@@ -1,0 +1,7 @@
+//! §5 analysis checks (C(LBC) ⊆ C(EDC), N(LBC) ⊆ N(CE)) and the
+//! path-distance-lower-bound ablation (LBC vs LBC-noplb).
+//! Run with `cargo bench -p rn-bench --bench ablation_analysis`.
+
+fn main() {
+    rn_bench::figures::ablation_analysis();
+}

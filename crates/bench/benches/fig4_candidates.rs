@@ -1,0 +1,7 @@
+//! Figure 4(a)–(c): candidate ratio |C|/|D| vs |Q|, ω, and network
+//! density. Run with `cargo bench -p rn-bench --bench fig4_candidates`.
+//! Environment knobs: `MSQ_SEEDS`, `MSQ_QMAX`, `MSQ_SCALE=small`.
+
+fn main() {
+    rn_bench::figures::fig4_candidates();
+}

@@ -1,0 +1,7 @@
+//! Figure 5(a)–(c): network disk pages, total response time and initial
+//! response time vs network density (CA/AU/NA-like presets).
+//! Run with `cargo bench -p rn-bench --bench fig5_density`.
+
+fn main() {
+    rn_bench::figures::fig5_density();
+}

@@ -1,0 +1,7 @@
+//! Figure 6(d)–(f): network disk pages, total response time and initial
+//! response time vs object density ω.
+//! Run with `cargo bench -p rn-bench --bench fig6_density`.
+
+fn main() {
+    rn_bench::figures::fig6_density();
+}

@@ -1,0 +1,7 @@
+//! Figure 6(a)–(c): network disk pages, total response time and initial
+//! response time vs the number of query points |Q|.
+//! Run with `cargo bench -p rn-bench --bench fig6_queries`.
+
+fn main() {
+    rn_bench::figures::fig6_queries();
+}

@@ -1,0 +1,368 @@
+//! One driver per paper figure. Each prints the same series the paper
+//! plots, as an aligned text table.
+
+use crate::harness::{build_engine, print_header, run_setting, seed_count, Setting};
+use msq_core::Algorithm;
+use rn_workload::Preset;
+
+/// The fixed parameters of §6: ω = 50 %, |Q| = 4 unless swept.
+const OMEGA_DEFAULT: f64 = 0.5;
+const NQ_DEFAULT: usize = 4;
+
+/// Largest |Q| in the sweeps. The paper uses 15; override with `MSQ_QMAX`
+/// for quick runs.
+fn q_max() -> usize {
+    std::env::var("MSQ_QMAX")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n >= 2)
+        .unwrap_or(15)
+}
+
+/// Presets to include. `MSQ_SCALE=small` restricts to the CA-like network
+/// so the whole evaluation runs in seconds.
+fn presets() -> Vec<Preset> {
+    match std::env::var("MSQ_SCALE").as_deref() {
+        Ok("small") => vec![Preset::Ca],
+        _ => Preset::ALL.to_vec(),
+    }
+}
+
+/// The dense preset used by the |Q| and ω sweeps (NA in the paper; CA when
+/// `MSQ_SCALE=small`).
+fn sweep_preset() -> Preset {
+    match std::env::var("MSQ_SCALE").as_deref() {
+        Ok("small") => Preset::Ca,
+        _ => Preset::Na,
+    }
+}
+
+const ALGOS: [Algorithm; 3] = Algorithm::PAPER_SET;
+
+fn algo_columns() -> Vec<&'static str> {
+    ALGOS.iter().map(|a| a.name()).collect()
+}
+
+/// Figure 4(a)–(c): candidate ratio |C|/|D|.
+pub fn fig4_candidates() {
+    let seeds = seed_count();
+
+    // 4(a): |C|/|D| vs |Q| at ω = 50 % on the dense network.
+    {
+        let preset = sweep_preset();
+        print_header(
+            &format!("Fig 4(a)  candidate ratio |C|/|D| vs |Q|  (w=50%, {})", preset.name()),
+            &algo_columns(),
+        );
+        let engine = build_engine(&Setting {
+            preset,
+            omega: OMEGA_DEFAULT,
+            nq: NQ_DEFAULT,
+        });
+        for nq in 1..=q_max() {
+            let setting = Setting {
+                preset,
+                omega: OMEGA_DEFAULT,
+                nq,
+            };
+            let vals: Vec<f64> = ALGOS
+                .iter()
+                .map(|&a| run_setting(&engine, &setting, a, seeds).candidate_ratio)
+                .collect();
+            println!("{}", crate::harness::format_row(&nq.to_string(), &vals, 4));
+        }
+    }
+
+    // 4(b): |C|/|D| vs ω at |Q| = 4 on the dense network.
+    {
+        let preset = sweep_preset();
+        print_header(
+            &format!("Fig 4(b)  candidate ratio |C|/|D| vs w  (|Q|=4, {})", preset.name()),
+            &algo_columns(),
+        );
+        for omega in [0.05, 0.2, 0.5, 1.0, 2.0] {
+            let setting = Setting {
+                preset,
+                omega,
+                nq: NQ_DEFAULT,
+            };
+            let engine = build_engine(&setting);
+            let vals: Vec<f64> = ALGOS
+                .iter()
+                .map(|&a| run_setting(&engine, &setting, a, seeds).candidate_ratio)
+                .collect();
+            println!(
+                "{}",
+                crate::harness::format_row(&format!("{}%", (omega * 100.0) as u32), &vals, 4)
+            );
+        }
+    }
+
+    // 4(c): |C|/|D| vs network density at |Q| = 4, ω = 50 %.
+    {
+        print_header(
+            "Fig 4(c)  candidate ratio |C|/|D| vs network density  (|Q|=4, w=50%)",
+            &algo_columns(),
+        );
+        for preset in presets() {
+            let setting = Setting {
+                preset,
+                omega: OMEGA_DEFAULT,
+                nq: NQ_DEFAULT,
+            };
+            let engine = build_engine(&setting);
+            let vals: Vec<f64> = ALGOS
+                .iter()
+                .map(|&a| run_setting(&engine, &setting, a, seeds).candidate_ratio)
+                .collect();
+            println!("{}", crate::harness::format_row(preset.name(), &vals, 4));
+        }
+    }
+}
+
+/// Figure 5(a)–(c): pages / total time / initial time vs network density.
+pub fn fig5_density() {
+    let seeds = seed_count();
+    let mut rows = Vec::new();
+    for preset in presets() {
+        let setting = Setting {
+            preset,
+            omega: OMEGA_DEFAULT,
+            nq: NQ_DEFAULT,
+        };
+        let engine = build_engine(&setting);
+        let metrics: Vec<_> = ALGOS
+            .iter()
+            .map(|&a| run_setting(&engine, &setting, a, seeds))
+            .collect();
+        rows.push((preset, metrics));
+    }
+
+    print_header(
+        "Fig 5(a)  network disk pages accessed vs density  (|Q|=4, w=50%)",
+        &algo_columns(),
+    );
+    for (preset, ms) in &rows {
+        let vals: Vec<f64> = ms.iter().map(|m| m.pages).collect();
+        println!("{}", crate::harness::format_row(preset.name(), &vals, 1));
+    }
+
+    print_header(
+        "Fig 5(b)  total response time (ms) vs density  (|Q|=4, w=50%)",
+        &algo_columns(),
+    );
+    for (preset, ms) in &rows {
+        let vals: Vec<f64> = ms.iter().map(|m| m.response_ms).collect();
+        println!("{}", crate::harness::format_row(preset.name(), &vals, 2));
+    }
+
+    print_header(
+        "Fig 5(c)  initial response time (ms) vs density  (|Q|=4, w=50%)",
+        &algo_columns(),
+    );
+    for (preset, ms) in &rows {
+        let vals: Vec<f64> = ms.iter().map(|m| m.initial_response_ms).collect();
+        println!("{}", crate::harness::format_row(preset.name(), &vals, 2));
+    }
+}
+
+/// Figure 6(a)–(c): pages / total / initial vs |Q| on the dense network.
+pub fn fig6_queries() {
+    let seeds = seed_count();
+    let preset = sweep_preset();
+    let engine = build_engine(&Setting {
+        preset,
+        omega: OMEGA_DEFAULT,
+        nq: NQ_DEFAULT,
+    });
+    let mut rows = Vec::new();
+    for nq in 2..=q_max() {
+        let setting = Setting {
+            preset,
+            omega: OMEGA_DEFAULT,
+            nq,
+        };
+        let metrics: Vec<_> = ALGOS
+            .iter()
+            .map(|&a| run_setting(&engine, &setting, a, seeds))
+            .collect();
+        rows.push((nq, metrics));
+    }
+
+    for (title, pick, prec) in [
+        (
+            format!("Fig 6(a)  network disk pages vs |Q|  (w=50%, {})", preset.name()),
+            0usize,
+            1usize,
+        ),
+        (
+            format!("Fig 6(b)  total response time (ms) vs |Q|  (w=50%, {})", preset.name()),
+            1,
+            2,
+        ),
+        (
+            format!("Fig 6(c)  initial response time (ms) vs |Q|  (w=50%, {})", preset.name()),
+            2,
+            2,
+        ),
+    ] {
+        print_header(&title, &algo_columns());
+        for (nq, ms) in &rows {
+            let vals: Vec<f64> = ms
+                .iter()
+                .map(|m| match pick {
+                    0 => m.pages,
+                    1 => m.response_ms,
+                    _ => m.initial_response_ms,
+                })
+                .collect();
+            println!("{}", crate::harness::format_row(&nq.to_string(), &vals, prec));
+        }
+    }
+}
+
+/// Figure 6(d)–(f): pages / total / initial vs ω on the dense network.
+pub fn fig6_density() {
+    let seeds = seed_count();
+    let preset = sweep_preset();
+    let mut rows = Vec::new();
+    for omega in [0.05, 0.2, 0.5, 1.0, 2.0] {
+        let setting = Setting {
+            preset,
+            omega,
+            nq: NQ_DEFAULT,
+        };
+        let engine = build_engine(&setting);
+        let metrics: Vec<_> = ALGOS
+            .iter()
+            .map(|&a| run_setting(&engine, &setting, a, seeds))
+            .collect();
+        rows.push((omega, metrics));
+    }
+
+    for (title, pick, prec) in [
+        (
+            format!("Fig 6(d)  network disk pages vs w  (|Q|=4, {})", preset.name()),
+            0usize,
+            1usize,
+        ),
+        (
+            format!("Fig 6(e)  total response time (ms) vs w  (|Q|=4, {})", preset.name()),
+            1,
+            2,
+        ),
+        (
+            format!("Fig 6(f)  initial response time (ms) vs w  (|Q|=4, {})", preset.name()),
+            2,
+            2,
+        ),
+    ] {
+        print_header(&title, &algo_columns());
+        for (omega, ms) in &rows {
+            let vals: Vec<f64> = ms
+                .iter()
+                .map(|m| match pick {
+                    0 => m.pages,
+                    1 => m.response_ms,
+                    _ => m.initial_response_ms,
+                })
+                .collect();
+            println!(
+                "{}",
+                crate::harness::format_row(&format!("{}%", (omega * 100.0) as u32), &vals, prec)
+            );
+        }
+    }
+}
+
+/// §5 analysis checks and the plb ablation.
+pub fn ablation_analysis() {
+    let seeds = seed_count();
+    let preset = match std::env::var("MSQ_SCALE").as_deref() {
+        Ok("small") => Preset::Ca,
+        _ => Preset::Au,
+    };
+    let setting = Setting {
+        preset,
+        omega: OMEGA_DEFAULT,
+        nq: NQ_DEFAULT,
+    };
+    let engine = build_engine(&setting);
+
+    // A1: C(LBC) <= C(EDC) and N(LBC) <= N(CE) — §5's containments, as
+    // measured averages.
+    print_header(
+        &format!("A1  §5 analysis: candidates & expansions ({}, |Q|=4, w=50%)", preset.name()),
+        &["CE", "EDC", "LBC"],
+    );
+    let ms: Vec<_> = ALGOS
+        .iter()
+        .map(|&a| run_setting(&engine, &setting, a, seeds))
+        .collect();
+    println!(
+        "{}",
+        crate::harness::format_row(
+            "cand ratio",
+            &ms.iter().map(|m| m.candidate_ratio).collect::<Vec<_>>(),
+            4
+        )
+    );
+    println!(
+        "{}",
+        crate::harness::format_row(
+            "expanded",
+            &ms.iter().map(|m| m.expanded).collect::<Vec<_>>(),
+            0
+        )
+    );
+    // The §5 containments hold for candidate *spaces*; the measured counts
+    // include a few boundary objects enqueued before their dominators were
+    // known, so allow a small tolerance.
+    let ok_cand = ms[2].candidate_ratio <= ms[1].candidate_ratio * 1.05 + 1e-9;
+    let ok_net = ms[2].expanded <= ms[0].expanded;
+    println!("C(LBC) <~ C(EDC): {ok_cand}    N(LBC) <= N(CE): {ok_net}");
+
+    // A2: the plb ablation — what the lower-bound machinery saves.
+    print_header(
+        &format!("A2  plb ablation ({}, |Q|=4, w=50%)", preset.name()),
+        &["LBC", "LBC-noplb"],
+    );
+    let lbc = run_setting(&engine, &setting, Algorithm::Lbc, seeds);
+    let noplb = run_setting(&engine, &setting, Algorithm::LbcNoPlb, seeds);
+    println!(
+        "{}",
+        crate::harness::format_row("pages", &[lbc.pages, noplb.pages], 1)
+    );
+    println!(
+        "{}",
+        crate::harness::format_row("expanded", &[lbc.expanded, noplb.expanded], 0)
+    );
+    println!(
+        "{}",
+        crate::harness::format_row("total ms", &[lbc.total_ms, noplb.total_ms], 2)
+    );
+
+    // A3: EDC incremental vs batch — what progressive reporting buys.
+    print_header(
+        &format!("A3  EDC incremental vs batch ({}, |Q|=4, w=50%)", preset.name()),
+        &["EDC", "EDC-batch"],
+    );
+    let incr = run_setting(&engine, &setting, Algorithm::Edc, seeds);
+    let batch = run_setting(&engine, &setting, Algorithm::EdcBatch, seeds);
+    println!(
+        "{}",
+        crate::harness::format_row(
+            "initial ms",
+            &[incr.initial_response_ms, batch.initial_response_ms],
+            2
+        )
+    );
+    println!(
+        "{}",
+        crate::harness::format_row(
+            "total ms",
+            &[incr.response_ms, batch.response_ms],
+            2
+        )
+    );
+}

@@ -1,0 +1,106 @@
+//! Brute-force oracle: the full distance matrix plus an O(m²) skyline.
+//!
+//! Not part of the paper's algorithm suite — this is the ground truth the
+//! test-suite holds CE, EDC and LBC against. One Dijkstra wavefront per
+//! query point is run to exhaustion, every object's complete distance
+//! vector is materialised, and the skyline is extracted by pairwise
+//! comparison.
+
+use crate::engine::{AlgoOutput, QueryInput};
+use crate::stats::{Reporter, SkylinePoint};
+use rn_graph::ObjectId;
+use rn_skyline::brute_force_skyline;
+use rn_sp::IncrementalExpansion;
+
+/// Runs the oracle. Reports skyline points in ascending object-id order.
+pub(crate) fn run(input: &QueryInput<'_>, reporter: &mut Reporter) -> AlgoOutput {
+    let m = input.ctx.mid.object_count();
+    let n = input.arity();
+    let mut vectors = vec![vec![f64::INFINITY; n]; m];
+    let mut expanded = 0u64;
+
+    for (qi, q) in input.queries.iter().enumerate() {
+        let mut ine = IncrementalExpansion::new(&input.ctx, q.pos);
+        for (obj, d) in ine.drain() {
+            vectors[obj.idx()][qi] = d;
+        }
+        expanded += ine.wavefront().settled_count();
+    }
+    // §4.3 extension: static attributes are extra pre-computed dimensions.
+    for (i, v) in vectors.iter_mut().enumerate() {
+        input.extend_with_attrs(ObjectId(i as u32), v);
+    }
+
+    // Objects unreachable from some query point keep infinite coordinates;
+    // they can still be skyline members only if no reachable object
+    // dominates them, which `brute_force_skyline` handles naturally.
+    for i in brute_force_skyline(&vectors) {
+        reporter.report(SkylinePoint {
+            object: ObjectId(i as u32),
+            vector: vectors[i].clone(),
+        });
+    }
+
+    AlgoOutput {
+        candidates: m,
+        nodes_expanded: expanded,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::engine::{Algorithm, SkylineEngine};
+    use rn_geom::Point;
+    use rn_graph::{EdgeId, NetPosition, NetworkBuilder};
+
+    /// A line network: objects strictly ordered by distance from one end.
+    #[test]
+    fn single_query_point_yields_unique_nn() {
+        let mut b = NetworkBuilder::new();
+        let n0 = b.add_node(Point::new(0.0, 0.0));
+        let n1 = b.add_node(Point::new(100.0, 0.0));
+        b.add_straight_edge(n0, n1).unwrap();
+        let net = b.build().unwrap();
+        let objects = vec![
+            NetPosition::new(EdgeId(0), 20.0),
+            NetPosition::new(EdgeId(0), 50.0),
+            NetPosition::new(EdgeId(0), 90.0),
+        ];
+        let e = SkylineEngine::build(net, objects);
+        let r = e.run(Algorithm::Brute, &[NetPosition::new(EdgeId(0), 45.0)]);
+        // Nearest object is at offset 50 (distance 5).
+        assert_eq!(r.skyline.len(), 1);
+        assert_eq!(r.skyline[0].object, rn_graph::ObjectId(1));
+        assert!(rn_geom::approx_eq(r.skyline[0].vector[0], 5.0));
+    }
+
+    #[test]
+    fn two_query_points_on_a_line_keep_in_between_objects() {
+        let mut b = NetworkBuilder::new();
+        let n0 = b.add_node(Point::new(0.0, 0.0));
+        let n1 = b.add_node(Point::new(100.0, 0.0));
+        b.add_straight_edge(n0, n1).unwrap();
+        let net = b.build().unwrap();
+        // Objects at 10, 40, 60, 95; queries at 30 and 70.
+        let objects = vec![
+            NetPosition::new(EdgeId(0), 10.0),
+            NetPosition::new(EdgeId(0), 40.0),
+            NetPosition::new(EdgeId(0), 60.0),
+            NetPosition::new(EdgeId(0), 95.0),
+        ];
+        let e = SkylineEngine::build(net, objects);
+        let r = e.run(
+            Algorithm::Brute,
+            &[NetPosition::new(EdgeId(0), 30.0), NetPosition::new(EdgeId(0), 70.0)],
+        );
+        // Objects between the queries dominate the ones outside:
+        // obj1 (40): vector (10, 30); obj2 (60): vector (30, 10);
+        // obj0 (10): (20, 60) dominated by obj1; obj3 (95): (65, 25)
+        // dominated by obj2.
+        let ids = r.ids();
+        assert_eq!(
+            ids,
+            vec![rn_graph::ObjectId(1), rn_graph::ObjectId(2)]
+        );
+    }
+}

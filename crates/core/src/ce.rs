@@ -1,0 +1,502 @@
+//! Collaborative Expansion (CE) — §4.1.
+//!
+//! The straightforward algorithm: one incremental network expansion per
+//! query point, alternated round-robin, each visiting objects in ascending
+//! network distance.
+//!
+//! * **Filtering phase** — runs until some object `p` has been visited by
+//!   *all* query points. Every object visited by at least one query point
+//!   so far forms the candidate set `C`; per the paper, everything outside
+//!   `C` is component-wise no better than `p`.
+//! * **Refinement phase** — expansion continues. Whenever an object's
+//!   distance vector completes it enters a *classification queue*: it is
+//!   classified (skyline or dominated) only once every wavefront radius
+//!   strictly exceeds the corresponding vector entry. This strict-radius
+//!   gate is what makes CE exact even under distance **ties** — a
+//!   dominator with an equal coordinate is guaranteed to classify in the
+//!   same batch or earlier, never after. Within a batch, candidates
+//!   classify in ascending distance-sum order (a dominator always has the
+//!   smaller sum).
+//! * After each confirmed skyline point, open candidates whose *certified*
+//!   lower-bound vectors (exact where visited, wavefront radius elsewhere)
+//!   are dominated get pruned — the `∩_q C(p, q)` pruning of the paper —
+//!   letting the expansion stop well before visiting everything.
+
+use crate::engine::{AlgoOutput, QueryInput};
+use crate::stats::{Reporter, SkylinePoint};
+use rn_geom::OrdF64;
+use rn_graph::ObjectId;
+use rn_skyline::dominance::dominates;
+use rn_sp::IncrementalExpansion;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+#[derive(Clone, Copy, PartialEq)]
+enum State {
+    /// Distance vector incomplete.
+    Open,
+    /// Vector complete; waiting for every radius to pass it.
+    Waiting,
+    /// Confirmed skyline point.
+    Skyline,
+    /// Dominated (or certified dominated early).
+    Pruned,
+}
+
+struct Obj {
+    /// Per-query network distances; `NAN` marks "not yet visited".
+    dists: Vec<f64>,
+    visited: usize,
+    /// Member of the frozen candidate set C (phase-1 arrival).
+    in_c: bool,
+    state: State,
+    /// Query dimensions whose wavefront radius has not yet strictly
+    /// passed this object's distance.
+    blocked: usize,
+}
+
+impl Obj {
+    fn new(n: usize) -> Self {
+        Obj {
+            dists: vec![f64::NAN; n],
+            visited: 0,
+            in_c: false,
+            state: State::Open,
+            blocked: 0,
+        }
+    }
+
+    fn certified(&self, radii: &[f64]) -> Vec<f64> {
+        self.dists
+            .iter()
+            .zip(radii)
+            .map(|(&d, &r)| if d.is_nan() { r } else { d })
+            .collect()
+    }
+
+    fn sum(&self) -> f64 {
+        self.dists.iter().sum()
+    }
+}
+
+pub(crate) fn run(input: &QueryInput<'_>, reporter: &mut Reporter) -> AlgoOutput {
+    let n = input.arity();
+    // With static attributes a spatially-dominated object can still be a
+    // skyline member (e.g. far but cheap), so the phase-1 filter argument
+    // no longer discards refinement-phase arrivals; instead the loop runs
+    // until the *group certificate* holds: some skyline vector dominates
+    // the certified bounds of everything not yet emitted (emission bounds
+    // on the distance dimensions, the dataset-wide minima on the static
+    // ones).
+    let track_all = input.attrs.is_some();
+    let mut ines: Vec<IncrementalExpansion<'_>> = input
+        .queries
+        .iter()
+        .map(|q| IncrementalExpansion::new(&input.ctx, q.pos))
+        .collect();
+    let mut exhausted = vec![false; n];
+    let mut objs: HashMap<ObjectId, Obj> = HashMap::new();
+    let mut skyline: Vec<(ObjectId, Vec<f64>)> = Vec::new();
+    // Per query point: completed objects waiting for its radius to pass,
+    // keyed by their distance in that dimension.
+    let mut waiting: Vec<BinaryHeap<Reverse<(OrdF64, ObjectId)>>> =
+        (0..n).map(|_| BinaryHeap::new()).collect();
+    let mut ready: Vec<ObjectId> = Vec::new();
+
+    let mut phase1 = true;
+    let mut frozen_candidates = 0usize;
+    // C members not yet classified (gates termination after phase 1).
+    let mut open = 0usize;
+    let mut turn = 0usize;
+
+    loop {
+        if !phase1 && open == 0 {
+            if !track_all {
+                break;
+            }
+            // Group certificate for the unemitted remainder.
+            let mut cert: Vec<f64> = ines
+                .iter()
+                .zip(&exhausted)
+                .map(|(i, &e)| if e { f64::INFINITY } else { i.emission_bound() })
+                .collect();
+            input.extend_with_attr_lower(&mut cert);
+            if skyline.iter().any(|(_, s)| dominates(s, &cert)) {
+                break;
+            }
+        }
+        if exhausted.iter().all(|&e| e) {
+            break;
+        }
+        while exhausted[turn] {
+            turn = (turn + 1) % n;
+        }
+        let qi = turn;
+        turn = (turn + 1) % n;
+
+        match ines[qi].next_nearest() {
+            None => {
+                exhausted[qi] = true;
+                // Everything waiting on this dimension is released.
+                while let Some(Reverse((_, obj))) = waiting[qi].pop() {
+                    release(&mut objs, obj, &mut ready);
+                }
+            }
+            Some((id, d)) => {
+                let mut newcomer = false;
+                let entry = objs.entry(id).or_insert_with(|| {
+                    newcomer = true;
+                    let mut o = Obj::new(n);
+                    o.in_c = phase1;
+                    o
+                });
+                // Refinement-phase newcomers are not candidates (§4.1) and
+                // do not gate termination — except under the static
+                // attribute extension, where a spatially-dominated object
+                // can still be a skyline member and must be classified.
+                if newcomer && !phase1 && track_all {
+                    open += 1;
+                }
+                if entry.dists[qi].is_nan() && entry.state == State::Open {
+                    entry.dists[qi] = d;
+                    entry.visited += 1;
+                }
+
+                if entry.visited == n && entry.state == State::Open {
+                    // Vector complete: enter the classification pipeline.
+                    entry.state = State::Waiting;
+                    let bounds: Vec<f64> =
+                        ines.iter().map(|i| i.emission_bound()).collect();
+                    let mut blocked = 0;
+                    for (j, (&dj, heap)) in
+                        entry.dists.iter().zip(waiting.iter_mut()).enumerate()
+                    {
+                        let passed = exhausted[j] || bounds[j] > dj;
+                        if !passed {
+                            heap.push(Reverse((OrdF64::new(dj), id)));
+                            blocked += 1;
+                        }
+                    }
+                    entry.blocked = blocked;
+                    if blocked == 0 {
+                        ready.push(id);
+                    }
+                    if phase1 {
+                        // Phase 1 ends at the first completed vector.
+                        phase1 = false;
+                        frozen_candidates = objs.len();
+                        open = objs
+                            .values()
+                            .filter(|o| {
+                                o.in_c
+                                    && matches!(o.state, State::Open | State::Waiting)
+                            })
+                            .count();
+                    }
+                }
+
+                // Advance this dimension's gate: the certified emission
+                // bound has grown.
+                let r = ines[qi].emission_bound();
+                while let Some(&Reverse((d, obj))) = waiting[qi].peek() {
+                    if r > d.get() {
+                        waiting[qi].pop();
+                        release(&mut objs, obj, &mut ready);
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+
+        classify_ready(
+            input,
+            &mut ready,
+            &mut objs,
+            &mut skyline,
+            &ines,
+            reporter,
+            &mut open,
+            phase1,
+        );
+    }
+
+    // Wavefronts exhausted with C members incomplete: their missing
+    // dimensions are unreachable (infinite). Finalise exactly.
+    classify_ready(
+        input,
+        &mut ready,
+        &mut objs,
+        &mut skyline,
+        &ines,
+        reporter,
+        &mut open,
+        phase1,
+    );
+    finalize_after_exhaustion(input, &mut objs, &mut skyline, reporter);
+    if phase1 {
+        frozen_candidates = objs.len();
+    }
+
+    AlgoOutput {
+        candidates: frozen_candidates,
+        nodes_expanded: ines.iter().map(|i| i.wavefront().settled_count()).sum(),
+    }
+}
+
+/// One dimension's gate passed for `obj`; move it to `ready` when fully
+/// unblocked.
+fn release(objs: &mut HashMap<ObjectId, Obj>, obj: ObjectId, ready: &mut Vec<ObjectId>) {
+    if let Some(o) = objs.get_mut(&obj) {
+        if o.state == State::Waiting {
+            o.blocked -= 1;
+            if o.blocked == 0 {
+                ready.push(obj);
+            }
+        }
+    }
+}
+
+/// Classifies every ready object: within a batch, ascending distance-sum
+/// order guarantees dominators classify before what they dominate.
+#[allow(clippy::too_many_arguments)]
+fn classify_ready(
+    input: &QueryInput<'_>,
+    ready: &mut Vec<ObjectId>,
+    objs: &mut HashMap<ObjectId, Obj>,
+    skyline: &mut Vec<(ObjectId, Vec<f64>)>,
+    ines: &[IncrementalExpansion<'_>],
+    reporter: &mut Reporter,
+    open: &mut usize,
+    phase1: bool,
+) {
+    if ready.is_empty() {
+        return;
+    }
+    // Ascending sum over the *full* vector (distances plus static
+    // attributes): a dominator's sum is strictly smaller, so it always
+    // classifies before anything it dominates.
+    let full_sum = |objs: &HashMap<ObjectId, Obj>, id: &ObjectId| -> f64 {
+        let mut s = objs[id].sum();
+        if let Some(a) = input.attrs {
+            s += a.row(*id).iter().sum::<f64>();
+        }
+        s
+    };
+    ready.sort_by(|a, b| {
+        let sa = full_sum(objs, a);
+        let sb = full_sum(objs, b);
+        sa.partial_cmp(&sb).expect("finite sums").then(a.cmp(b))
+    });
+    for id in ready.drain(..) {
+        let o = objs.get_mut(&id).expect("ready object exists");
+        if o.state != State::Waiting {
+            continue; // pruned while waiting
+        }
+        let counted = o.in_c || input.attrs.is_some();
+        let mut vec = o.dists.clone();
+        input.extend_with_attrs(id, &mut vec);
+        if skyline.iter().any(|(_, s)| dominates(s, &vec)) {
+            o.state = State::Pruned;
+            if counted && !phase1 {
+                *open -= 1;
+            }
+        } else {
+            o.state = State::Skyline;
+            if counted && !phase1 {
+                *open -= 1;
+            }
+            skyline.push((id, vec.clone()));
+            reporter.report(SkylinePoint {
+                object: id,
+                vector: vec.clone(),
+            });
+            prune_open(input, objs, ines, &vec, open, phase1);
+        }
+    }
+}
+
+/// Certified-bound pruning: any unclassified object whose lower-bound
+/// vector is dominated by the new skyline vector can never recover.
+fn prune_open(
+    input: &QueryInput<'_>,
+    objs: &mut HashMap<ObjectId, Obj>,
+    ines: &[IncrementalExpansion<'_>],
+    v: &[f64],
+    open: &mut usize,
+    phase1: bool,
+) {
+    let bounds: Vec<f64> = ines.iter().map(|i| i.emission_bound()).collect();
+    for (&id, o) in objs.iter_mut() {
+        if matches!(o.state, State::Open | State::Waiting) {
+            let mut cert = o.certified(&bounds);
+            if let Some(a) = input.attrs {
+                cert.extend_from_slice(a.row(id));
+            }
+            if dominates(v, &cert) {
+                let counted = o.in_c || input.attrs.is_some();
+                o.state = State::Pruned;
+                if counted && !phase1 {
+                    *open -= 1;
+                }
+            }
+        }
+    }
+}
+
+/// Exact classification of whatever never completed (unreachable
+/// dimensions become infinite distances).
+fn finalize_after_exhaustion(
+    input: &QueryInput<'_>,
+    objs: &mut HashMap<ObjectId, Obj>,
+    skyline: &mut Vec<(ObjectId, Vec<f64>)>,
+    reporter: &mut Reporter,
+) {
+    let mut remaining: Vec<(ObjectId, Vec<f64>)> = objs
+        .iter()
+        .filter(|(_, o)| matches!(o.state, State::Open | State::Waiting))
+        .map(|(&id, o)| {
+            let mut vec: Vec<f64> = o
+                .dists
+                .iter()
+                .map(|&d| if d.is_nan() { f64::INFINITY } else { d })
+                .collect();
+            input.extend_with_attrs(id, &mut vec);
+            (id, vec)
+        })
+        .collect();
+    remaining.sort_by_key(|(id, _)| *id);
+    for i in 0..remaining.len() {
+        let (id, ref vec) = remaining[i];
+        let dominated = skyline.iter().any(|(_, s)| dominates(s, vec))
+            || remaining
+                .iter()
+                .enumerate()
+                .any(|(j, (_, other))| j != i && dominates(other, vec));
+        objs.get_mut(&id).expect("object exists").state = if dominated {
+            State::Pruned
+        } else {
+            State::Skyline
+        };
+        if !dominated {
+            skyline.push((id, vec.clone()));
+            reporter.report(SkylinePoint {
+                object: id,
+                vector: vec.clone(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::engine::{Algorithm, SkylineEngine};
+    use rn_geom::Point;
+    use rn_graph::{EdgeId, NetPosition, NetworkBuilder};
+
+    fn line_engine(objects: &[f64]) -> SkylineEngine {
+        let mut b = NetworkBuilder::new();
+        let n0 = b.add_node(Point::new(0.0, 0.0));
+        let n1 = b.add_node(Point::new(100.0, 0.0));
+        b.add_straight_edge(n0, n1).unwrap();
+        let net = b.build().unwrap();
+        let objs = objects
+            .iter()
+            .map(|&o| NetPosition::new(EdgeId(0), o))
+            .collect();
+        SkylineEngine::build(net, objs)
+    }
+
+    #[test]
+    fn matches_brute_on_a_line() {
+        let e = line_engine(&[10.0, 40.0, 60.0, 95.0]);
+        let qs = [
+            NetPosition::new(EdgeId(0), 30.0),
+            NetPosition::new(EdgeId(0), 70.0),
+        ];
+        let ce = e.run(Algorithm::Ce, &qs);
+        let brute = e.run(Algorithm::Brute, &qs);
+        assert_eq!(ce.ids(), brute.ids());
+    }
+
+    #[test]
+    fn exact_under_distance_ties() {
+        // A symmetric square: objects tie in one dimension, and the
+        // dominated one must still be eliminated. This is the
+        // configuration the strict-radius classification gate exists for.
+        let mut b = NetworkBuilder::new();
+        let n0 = b.add_node(Point::new(0.0, 0.0));
+        let n1 = b.add_node(Point::new(100.0, 0.0));
+        let n2 = b.add_node(Point::new(200.0, 0.0));
+        let n3 = b.add_node(Point::new(0.0, 100.0));
+        let n4 = b.add_node(Point::new(100.0, 100.0));
+        let n5 = b.add_node(Point::new(200.0, 100.0));
+        let e01 = b.add_straight_edge(n0, n1).unwrap();
+        b.add_straight_edge(n1, n2).unwrap();
+        let e34 = b.add_straight_edge(n3, n4).unwrap();
+        let e45 = b.add_straight_edge(n4, n5).unwrap();
+        b.add_straight_edge(n0, n3).unwrap();
+        let e14 = b.add_straight_edge(n1, n4).unwrap();
+        let e25 = b.add_straight_edge(n2, n5).unwrap();
+        let net = b.build().unwrap();
+        let cafes = vec![
+            NetPosition::new(e01, 50.0),
+            NetPosition::new(e34, 50.0), // dominated, ties on one dim
+            NetPosition::new(e14, 50.0), // dominator
+            NetPosition::new(e25, 10.0),
+        ];
+        let engine = SkylineEngine::build(net, cafes);
+        let friends = [NetPosition::new(e01, 10.0), NetPosition::new(e45, 90.0)];
+        let ce = engine.run(Algorithm::Ce, &friends);
+        let brute = engine.run(Algorithm::Brute, &friends);
+        assert_eq!(ce.ids(), brute.ids());
+        assert!(!ce.ids().contains(&rn_graph::ObjectId(1)));
+    }
+
+    #[test]
+    fn single_query_point() {
+        let e = line_engine(&[10.0, 40.0, 90.0]);
+        let qs = [NetPosition::new(EdgeId(0), 35.0)];
+        let r = e.run(Algorithm::Ce, &qs);
+        assert_eq!(r.skyline.len(), 1);
+        assert_eq!(r.skyline[0].object, rn_graph::ObjectId(1));
+        assert!(rn_geom::approx_eq(r.skyline[0].vector[0], 5.0));
+    }
+
+    #[test]
+    fn disconnected_component_objects() {
+        let mut b = NetworkBuilder::new();
+        let n0 = b.add_node(Point::new(0.0, 0.0));
+        let n1 = b.add_node(Point::new(10.0, 0.0));
+        let n2 = b.add_node(Point::new(100.0, 100.0));
+        let n3 = b.add_node(Point::new(110.0, 100.0));
+        b.add_straight_edge(n0, n1).unwrap();
+        b.add_straight_edge(n2, n3).unwrap();
+        let net = b.build().unwrap();
+        let objects = vec![
+            NetPosition::new(EdgeId(0), 5.0),
+            NetPosition::new(EdgeId(1), 5.0), // unreachable from queries
+        ];
+        let e = SkylineEngine::build(net, objects);
+        let qs = [
+            NetPosition::new(EdgeId(0), 2.0),
+            NetPosition::new(EdgeId(0), 8.0),
+        ];
+        let ce = e.run(Algorithm::Ce, &qs);
+        let brute = e.run(Algorithm::Brute, &qs);
+        assert_eq!(ce.ids(), brute.ids());
+        assert_eq!(ce.ids(), vec![rn_graph::ObjectId(0)]);
+    }
+
+    #[test]
+    fn candidate_count_positive_and_bounded() {
+        let e = line_engine(&[10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0]);
+        let qs = [
+            NetPosition::new(EdgeId(0), 35.0),
+            NetPosition::new(EdgeId(0), 55.0),
+        ];
+        let r = e.run(Algorithm::Ce, &qs);
+        assert!(r.stats.candidates >= r.skyline.len());
+        assert!(r.stats.candidates <= 9);
+    }
+}

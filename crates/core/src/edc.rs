@@ -1,0 +1,365 @@
+//! Euclidean Distance Constraint (EDC) — §4.2, in its incremental form.
+//!
+//! EDC exploits the duality between the Euclidean and the network view of
+//! the same points:
+//!
+//! 1. browse the **Euclidean** multi-source skyline (BBS on the object
+//!    R-tree) as a guide;
+//! 2. for each Euclidean skyline point, compute its **network** distance
+//!    vector with per-query-point A\* engines (whose settled hash tables
+//!    are reused across targets — step 2/4 sharing);
+//! 3. fetch every object inside the hypercube `(origin, shifted point)` —
+//!    only those can dominate the shifted point — and compute their
+//!    network vectors too;
+//! 4. adjudicate: any computed object whose network vector lies inside the
+//!    current hypercube can be classified *exactly* against the computed
+//!    set (all of its potential dominators are provably computed), so
+//!    network skyline points are reported progressively;
+//! 5. confirmed network vectors are injected into the Euclidean browse as
+//!    dominators, pruning the remaining search.
+//!
+//! ## Deviation from the paper (documented in DESIGN.md §5)
+//!
+//! As literally specified, EDC's candidate set can miss a network skyline
+//! point whose Euclidean vector escapes every shifted-Euclidean-skyline
+//! hypercube (possible when the network/Euclidean distance ratio varies
+//! sharply between objects). After the paper's steps complete, this
+//! implementation therefore iterates a **closure fetch**: retrieve any
+//! object whose Euclidean vector is not dominated by a *confirmed network
+//! skyline* vector and compute it, repeating until a fixpoint. On
+//! realistic workloads the closure adds nothing (the paper's candidate set
+//! already covers it) and the measured candidate counts match the paper's
+//! definition; on adversarial inputs it restores correctness — all three
+//! algorithms always return identical skylines.
+
+use crate::engine::{AlgoOutput, QueryInput};
+use crate::stats::{Reporter, SkylinePoint};
+use rn_geom::Point;
+use rn_graph::ObjectId;
+use rn_skyline::dominance::{dominates, dominates_or_equal};
+use rn_skyline::EuclideanSkylineIter;
+use rn_sp::AStar;
+use std::collections::{HashMap, HashSet};
+
+pub(crate) fn run(input: &QueryInput<'_>, reporter: &mut Reporter) -> AlgoOutput {
+    run_mode(input, reporter, false)
+}
+
+/// The batch form of §4.2: steps 1-4 run to completion and step 5 reports
+/// everything at the end ("EDC ... is essentially a batch skyline query
+/// algorithm - no network skyline points can be reported until step 5").
+pub(crate) fn run_batch(input: &QueryInput<'_>, reporter: &mut Reporter) -> AlgoOutput {
+    run_mode(input, reporter, true)
+}
+
+fn run_mode(input: &QueryInput<'_>, reporter: &mut Reporter, batch: bool) -> AlgoOutput {
+    let qpts: Vec<Point> = input.queries.iter().map(|q| q.point).collect();
+    let mut engines: Vec<AStar<'_>> = input
+        .queries
+        .iter()
+        .map(|q| AStar::new(&input.ctx, q.pos))
+        .collect();
+
+    // Network vectors of every candidate we have paid to compute.
+    let mut computed: HashMap<ObjectId, Vec<f64>> = HashMap::new();
+    // Computed but neither confirmed skyline nor discarded yet.
+    let mut undetermined: HashSet<ObjectId> = HashSet::new();
+    // Confirmed network skyline vectors (reported as they are found).
+    let mut confirmed: Vec<(ObjectId, Vec<f64>)> = Vec::new();
+
+    let mut eskyline = match input.attrs {
+        None => EuclideanSkylineIter::new(input.obj_tree, &qpts),
+        // §4.3 extension: static attributes join the Euclidean browse as
+        // pre-computed dimensions.
+        Some(a) => EuclideanSkylineIter::with_static_attrs(
+            input.obj_tree,
+            &qpts,
+            |obj: &ObjectId| a.row(*obj).to_vec(),
+            a.lower().to_vec(),
+        ),
+    };
+    while let Some((&obj, _evec)) = eskyline.next() {
+        if computed.contains_key(&obj) {
+            continue;
+        }
+        // Step 2: shift the Euclidean skyline point into network space.
+        let shifted = net_vector(&mut engines, input, obj);
+        computed.insert(obj, shifted.clone());
+        undetermined.insert(obj);
+
+        // Step 3: everything inside the hypercube (o, shifted) could
+        // dominate it; fetch and compute the newcomers.
+        let in_cube = fetch_hypercube(input, &qpts, &shifted, &computed);
+        for cand in in_cube {
+            let v = net_vector(&mut engines, input, cand);
+            computed.insert(cand, v);
+            undetermined.insert(cand);
+        }
+
+        if batch {
+            continue; // step 5 adjudicates everything at the end
+        }
+        // Step 4/5 (incremental): objects whose network vector sits inside
+        // the current hypercube have all potential dominators computed, so
+        // they can be classified now.
+        let mut ready: Vec<ObjectId> = undetermined
+            .iter()
+            .copied()
+            .filter(|o| dominates_or_equal(&computed[o], &shifted))
+            .collect();
+        // Ascending distance-sum order: dominators classify first.
+        ready.sort_by(|a, b| {
+            let sa: f64 = computed[a].iter().sum();
+            let sb: f64 = computed[b].iter().sum();
+            sa.partial_cmp(&sb)
+                .expect("finite sums")
+                .then(a.cmp(b))
+        });
+        for o in ready {
+            let vec = computed[&o].clone();
+            undetermined.remove(&o);
+            let dominated = computed
+                .iter()
+                .any(|(other, v)| *other != o && dominates(v, &vec));
+            if !dominated {
+                eskyline.add_dominator(vec.clone());
+                confirmed.push((o, vec.clone()));
+                reporter.report(SkylinePoint {
+                    object: o,
+                    vector: vec,
+                });
+            }
+        }
+    }
+    drop(eskyline);
+
+    // Closure fetch (correctness guard): any uncomputed object whose
+    // Euclidean vector escapes every confirmed-skyline dominance region
+    // could still be a skyline point.
+    loop {
+        let sky_vecs: Vec<Vec<f64>> = {
+            let idx = rn_skyline::bnl::bnl_skyline(
+                &computed.values().cloned().collect::<Vec<_>>(),
+            );
+            let all: Vec<&Vec<f64>> = computed.values().collect();
+            idx.into_iter().map(|i| all[i].clone()).collect()
+        };
+        let fresh = fetch_undominated(input, &qpts, &sky_vecs, &computed);
+        if fresh.is_empty() {
+            break;
+        }
+        for cand in fresh {
+            let v = net_vector(&mut engines, input, cand);
+            computed.insert(cand, v);
+            undetermined.insert(cand);
+        }
+    }
+
+    // Final classification of whatever is still undetermined.
+    let mut rest: Vec<ObjectId> = undetermined.into_iter().collect();
+    rest.sort_unstable();
+    for o in rest {
+        let vec = &computed[&o];
+        let dominated = computed
+            .iter()
+            .any(|(other, v)| *other != o && dominates(v, vec));
+        if !dominated {
+            confirmed.push((o, vec.clone()));
+            reporter.report(SkylinePoint {
+                object: o,
+                vector: vec.clone(),
+            });
+        }
+    }
+
+    AlgoOutput {
+        candidates: computed.len(),
+        nodes_expanded: engines.iter().map(AStar::expansions).sum(),
+    }
+}
+
+/// Computes the network distance vector of `obj` using the per-query A\*
+/// engines (reusing their settled state).
+fn net_vector(engines: &mut [AStar<'_>], input: &QueryInput<'_>, obj: ObjectId) -> Vec<f64> {
+    let pos = input.ctx.mid.position(obj);
+    let mut vec: Vec<f64> = engines.iter_mut().map(|e| e.distance_to(pos)).collect();
+    input.extend_with_attrs(obj, &mut vec);
+    vec
+}
+
+/// Objects (not yet computed) whose Euclidean vector is component-wise
+/// `<=` the given shifted vector — step 3's hypercube fetch, done with one
+/// pruned R-tree traversal.
+fn fetch_hypercube(
+    input: &QueryInput<'_>,
+    qpts: &[Point],
+    shifted: &[f64],
+    computed: &HashMap<ObjectId, Vec<f64>>,
+) -> Vec<ObjectId> {
+    let n = qpts.len();
+    let (spatial, statics) = shifted.split_at(n);
+    // Sound subtree bound for static dimensions: the dataset-wide minima.
+    let lower_ok = input
+        .attrs
+        .map_or(true, |a| a.lower().iter().zip(statics).all(|(l, s)| l <= s));
+    let mut out = Vec::new();
+    input.obj_tree.traverse(
+        |mbr| {
+            lower_ok
+                && qpts
+                    .iter()
+                    .zip(spatial)
+                    .all(|(q, s)| mbr.min_dist(q) <= *s)
+        },
+        |mbr, obj| {
+            if computed.contains_key(obj) {
+                return;
+            }
+            let spatial_ok = qpts
+                .iter()
+                .zip(spatial)
+                .all(|(q, s)| mbr.min_dist(q) <= *s);
+            let statics_ok = input
+                .attrs
+                .map_or(true, |a| a.row(*obj).iter().zip(statics).all(|(v, s)| v <= s));
+            if spatial_ok && statics_ok {
+                out.push(*obj);
+            }
+        },
+    );
+    out
+}
+
+/// Objects (not yet computed) whose Euclidean vector is *not* dominated by
+/// any of the given network skyline vectors — the closure fetch.
+fn fetch_undominated(
+    input: &QueryInput<'_>,
+    qpts: &[Point],
+    sky: &[Vec<f64>],
+    computed: &HashMap<ObjectId, Vec<f64>>,
+) -> Vec<ObjectId> {
+    let mut out = Vec::new();
+    input.obj_tree.traverse(
+        |mbr| {
+            let mut lower: Vec<f64> = qpts.iter().map(|q| mbr.min_dist(q)).collect();
+            input.extend_with_attr_lower(&mut lower);
+            !sky.iter().any(|s| dominates(s, &lower))
+        },
+        |mbr, obj| {
+            if computed.contains_key(obj) {
+                return;
+            }
+            let mut vec: Vec<f64> = qpts.iter().map(|q| mbr.min_dist(q)).collect();
+            input.extend_with_attrs(*obj, &mut vec);
+            if !sky.iter().any(|s| dominates(s, &vec)) {
+                out.push(*obj);
+            }
+        },
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::engine::{Algorithm, SkylineEngine};
+    use rn_geom::Point;
+    use rn_graph::{EdgeId, NetPosition, NetworkBuilder};
+
+    #[test]
+    fn matches_brute_on_a_line() {
+        let mut b = NetworkBuilder::new();
+        let n0 = b.add_node(Point::new(0.0, 0.0));
+        let n1 = b.add_node(Point::new(100.0, 0.0));
+        b.add_straight_edge(n0, n1).unwrap();
+        let net = b.build().unwrap();
+        let objects: Vec<NetPosition> = [10.0, 25.0, 40.0, 60.0, 75.0, 95.0]
+            .iter()
+            .map(|&o| NetPosition::new(EdgeId(0), o))
+            .collect();
+        let e = SkylineEngine::build(net, objects);
+        let qs = [
+            NetPosition::new(EdgeId(0), 30.0),
+            NetPosition::new(EdgeId(0), 70.0),
+        ];
+        let edc = e.run(Algorithm::Edc, &qs);
+        let brute = e.run(Algorithm::Brute, &qs);
+        assert_eq!(edc.ids(), brute.ids());
+    }
+
+    /// The adversarial configuration the closure fetch exists for: a
+    /// network where one object's network distance hugely exceeds its
+    /// Euclidean distance while another's does not, so the paper's
+    /// hypercube misses a genuine skyline point.
+    #[test]
+    fn closure_catches_skyline_outside_paper_hypercube() {
+        let mut b = NetworkBuilder::new();
+        // A long horizontal spine with a huge-detour branch.
+        let n0 = b.add_node(Point::new(0.0, 0.0));
+        let n1 = b.add_node(Point::new(100.0, 0.0));
+        let n2 = b.add_node(Point::new(50.0, 10.0));
+        b.add_straight_edge(n0, n1).unwrap(); // edge 0, length 100
+        // Branch to n2 whose road length is far above its chord.
+        b.add_weighted_edge(n0, n2, 400.0).unwrap(); // edge 1
+        b.add_weighted_edge(n1, n2, 400.0).unwrap(); // edge 2
+        let net = b.build().unwrap();
+        let objects = vec![
+            NetPosition::new(EdgeId(1), 200.0), // on the detour branch
+            NetPosition::new(EdgeId(0), 50.0),  // on the spine
+        ];
+        let e = SkylineEngine::build(net, objects);
+        let qs = [
+            NetPosition::new(EdgeId(0), 10.0),
+            NetPosition::new(EdgeId(0), 90.0),
+        ];
+        let edc = e.run(Algorithm::Edc, &qs);
+        let brute = e.run(Algorithm::Brute, &qs);
+        assert_eq!(edc.ids(), brute.ids());
+    }
+
+    #[test]
+    fn batch_mode_defers_all_reports() {
+        use rn_workload::{generate_network, generate_objects, generate_queries, NetGenConfig};
+        let net = generate_network(&NetGenConfig {
+            cols: 14,
+            rows: 14,
+            edges: 300,
+            jitter: 0.3,
+            detour_prob: 0.3,
+            detour_stretch: (1.1, 1.4),
+            seed: 5,
+        });
+        let objects = generate_objects(&net, 0.5, 6);
+        let queries = generate_queries(&net, 4, 0.4, 7);
+        let e = SkylineEngine::build(net, objects);
+
+        let batch = e.run_cold(Algorithm::EdcBatch, &queries);
+        let incr = e.run_cold(Algorithm::Edc, &queries);
+        assert_eq!(batch.ids(), incr.ids());
+        // Batch: every page fault precedes the first report.
+        assert_eq!(
+            batch.stats.initial_pages.unwrap(),
+            batch.stats.network_pages,
+            "batch EDC must not report before step 5"
+        );
+        // Incremental: reporting may start before the work is done.
+        assert!(incr.stats.initial_pages.unwrap() <= incr.stats.network_pages);
+    }
+
+    #[test]
+    fn single_query_point_degenerates_to_network_nn() {
+        let mut b = NetworkBuilder::new();
+        let n0 = b.add_node(Point::new(0.0, 0.0));
+        let n1 = b.add_node(Point::new(100.0, 0.0));
+        b.add_straight_edge(n0, n1).unwrap();
+        let net = b.build().unwrap();
+        let objects: Vec<NetPosition> = [15.0, 55.0, 85.0]
+            .iter()
+            .map(|&o| NetPosition::new(EdgeId(0), o))
+            .collect();
+        let e = SkylineEngine::build(net, objects);
+        let qs = [NetPosition::new(EdgeId(0), 50.0)];
+        let r = e.run(Algorithm::Edc, &qs);
+        assert_eq!(r.skyline.len(), 1);
+        assert_eq!(r.skyline[0].object, rn_graph::ObjectId(1));
+    }
+}

@@ -1,0 +1,509 @@
+//! The query engine: owns the substrates, dispatches the algorithms, and
+//! collects the statistics the evaluation harness reports.
+
+use crate::stats::{QueryStats, Reporter, SkylinePoint};
+use rn_geom::Mbr;
+use rn_graph::{NetPosition, ObjectId, RoadNetwork};
+use rn_index::{MiddleLayer, RTree};
+use rn_sp::{NetCtx, QueryPoint};
+use rn_storage::NetworkStore;
+use std::time::Instant;
+
+/// Which of the paper's algorithms to execute.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Algorithm {
+    /// Collaborative Expansion (§4.1) — the straightforward baseline.
+    Ce,
+    /// Euclidean Distance Constraint (§4.2), incremental form (reports
+    /// skyline points progressively).
+    Edc,
+    /// EDC in the paper's batch form: nothing is reported until step 5,
+    /// so its initial response time equals its total response time.
+    EdcBatch,
+    /// Lower-Bound Constraint (§4.3) — the instance-optimal algorithm.
+    Lbc,
+    /// LBC with path-distance-lower-bound early termination disabled;
+    /// every candidate's distances are computed in full. Exists for the
+    /// ablation benchmark quantifying what the plb mechanism buys.
+    LbcNoPlb,
+    /// Brute force over a full distance matrix — the testing oracle.
+    Brute,
+}
+
+impl Algorithm {
+    /// Display name used by the benchmark tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::Ce => "CE",
+            Algorithm::Edc => "EDC",
+            Algorithm::EdcBatch => "EDC-batch",
+            Algorithm::Lbc => "LBC",
+            Algorithm::LbcNoPlb => "LBC-noplb",
+            Algorithm::Brute => "BRUTE",
+        }
+    }
+
+    /// The three algorithms the paper evaluates, in its plotting order.
+    pub const PAPER_SET: [Algorithm; 3] = [Algorithm::Ce, Algorithm::Edc, Algorithm::Lbc];
+}
+
+/// Borrowed view of one query execution: substrates plus resolved query
+/// points. Constructed by [`SkylineEngine::run`]; algorithm modules consume
+/// it.
+pub struct QueryInput<'a> {
+    /// Network metadata + counted storage + middle layer.
+    pub ctx: NetCtx<'a>,
+    /// R-tree over the data objects (degenerate point MBRs).
+    pub obj_tree: &'a RTree<ObjectId>,
+    /// The query points with resolved coordinates.
+    pub queries: Vec<QueryPoint>,
+    /// Optional static attribute dimensions (§4.3's extension).
+    pub attrs: Option<&'a crate::attrs::AttrTable>,
+}
+
+impl<'a> QueryInput<'a> {
+    /// Number of query points `|Q|` (the *spatial* skyline arity).
+    pub fn arity(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Total vector arity: query points plus static dimensions.
+    pub fn full_arity(&self) -> usize {
+        self.queries.len() + self.attrs.map_or(0, |a| a.arity())
+    }
+
+    /// Appends `obj`'s static attribute values to a distance vector.
+    pub fn extend_with_attrs(&self, obj: ObjectId, vec: &mut Vec<f64>) {
+        if let Some(a) = self.attrs {
+            vec.extend_from_slice(a.row(obj));
+        }
+    }
+
+    /// Appends the dataset-wide static lower bounds (for R-tree subtrees).
+    pub fn extend_with_attr_lower(&self, vec: &mut Vec<f64>) {
+        if let Some(a) = self.attrs {
+            vec.extend_from_slice(a.lower());
+        }
+    }
+}
+
+/// What an algorithm hands back besides the progressively reported points.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct AlgoOutput {
+    /// Candidate-set size `|C|` under the algorithm's own definition.
+    pub candidates: usize,
+    /// Wavefront/engine node expansions performed.
+    pub nodes_expanded: u64,
+}
+
+/// A finished query: the skyline and the measured statistics.
+#[derive(Clone, Debug)]
+pub struct SkylineResult {
+    /// Confirmed skyline points, in the order the algorithm reported them.
+    pub skyline: Vec<SkylinePoint>,
+    /// Measured statistics.
+    pub stats: QueryStats,
+}
+
+impl SkylineResult {
+    /// The skyline object ids, sorted — the canonical form for comparing
+    /// algorithms against each other.
+    pub fn ids(&self) -> Vec<ObjectId> {
+        let mut ids: Vec<ObjectId> = self.skyline.iter().map(|p| p.object).collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// The vector of a given skyline object, if present.
+    pub fn vector_of(&self, object: ObjectId) -> Option<&[f64]> {
+        self.skyline
+            .iter()
+            .find(|p| p.object == object)
+            .map(|p| p.vector.as_slice())
+    }
+}
+
+/// Owns a queryable dataset: the road network (disk-resident through a
+/// buffer pool), its data objects (middle layer + R-tree), and runs
+/// multi-source skyline queries against them.
+pub struct SkylineEngine {
+    net: RoadNetwork,
+    store: NetworkStore,
+    mid: MiddleLayer,
+    obj_tree: RTree<ObjectId>,
+    edge_locator: rn_index::EdgeLocator,
+}
+
+impl SkylineEngine {
+    /// Builds an engine with the paper's default 1 MB LRU buffer.
+    pub fn build(net: RoadNetwork, objects: Vec<NetPosition>) -> Self {
+        Self::with_buffer_bytes(net, objects, rn_storage::buffer::DEFAULT_BUFFER_BYTES)
+    }
+
+    /// Builds an engine with an explicit network buffer size.
+    pub fn with_buffer_bytes(
+        net: RoadNetwork,
+        objects: Vec<NetPosition>,
+        buffer_bytes: usize,
+    ) -> Self {
+        let store = NetworkStore::with_buffer_bytes(&net, buffer_bytes);
+        let mid = MiddleLayer::build(&net, &objects);
+        let obj_tree = RTree::bulk_load(
+            mid.all_points()
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (Mbr::from_point(*p), ObjectId(i as u32)))
+                .collect(),
+        );
+        let edge_locator = rn_index::EdgeLocator::build(&net);
+        SkylineEngine {
+            net,
+            store,
+            mid,
+            obj_tree,
+            edge_locator,
+        }
+    }
+
+    /// The road network.
+    pub fn network(&self) -> &RoadNetwork {
+        &self.net
+    }
+
+    /// Number of data objects.
+    pub fn object_count(&self) -> usize {
+        self.mid.object_count()
+    }
+
+    /// The network position of an object.
+    pub fn object_position(&self, object: ObjectId) -> NetPosition {
+        self.mid.position(object)
+    }
+
+    /// Pages occupied by the network on the simulated disk.
+    pub fn network_page_count(&self) -> usize {
+        self.store.page_count()
+    }
+
+    /// The R-tree over the data objects.
+    pub fn object_tree(&self) -> &RTree<ObjectId> {
+        &self.obj_tree
+    }
+
+    /// The edge R-tree used for map-matching.
+    pub fn edge_locator(&self) -> &rn_index::EdgeLocator {
+        &self.edge_locator
+    }
+
+    /// The counted network store (for substrate-level instrumentation).
+    pub fn store_ref(&self) -> &NetworkStore {
+        &self.store
+    }
+
+    /// The object middle layer.
+    pub fn mid_ref(&self) -> &MiddleLayer {
+        &self.mid
+    }
+
+    /// Empties the network buffer pool so the next query starts cold, as
+    /// each averaged run in §6 does.
+    pub fn clear_buffer(&self) {
+        self.store.clear_buffer();
+    }
+
+    /// Runs `algo` for the query points at `queries` and returns the
+    /// skyline with per-query statistics.
+    ///
+    /// # Panics
+    /// Panics when `queries` is empty.
+    pub fn run(&self, algo: Algorithm, queries: &[NetPosition]) -> SkylineResult {
+        self.run_inner(algo, queries, None)
+    }
+
+    /// Runs `algo` with additional static attribute dimensions (§4.3's
+    /// non-spatial extension): each object's vector becomes its network
+    /// distances followed by its attribute values, and dominance is
+    /// adjudicated over all of them.
+    ///
+    /// # Panics
+    /// Panics when `queries` is empty or `attrs` does not cover every
+    /// object.
+    pub fn run_with_attrs(
+        &self,
+        algo: Algorithm,
+        queries: &[NetPosition],
+        attrs: &crate::attrs::AttrTable,
+    ) -> SkylineResult {
+        assert_eq!(
+            attrs.len(),
+            self.object_count(),
+            "attribute table must cover every object"
+        );
+        self.run_inner(algo, queries, Some(attrs))
+    }
+
+    fn run_inner(
+        &self,
+        algo: Algorithm,
+        queries: &[NetPosition],
+        attrs: Option<&crate::attrs::AttrTable>,
+    ) -> SkylineResult {
+        assert!(!queries.is_empty(), "need at least one query point");
+        let input = QueryInput {
+            ctx: NetCtx::new(&self.net, &self.store, &self.mid),
+            obj_tree: &self.obj_tree,
+            queries: queries
+                .iter()
+                .map(|pos| QueryPoint::on_network(&self.net, *pos))
+                .collect(),
+            attrs,
+        };
+
+        let io_before = self.store.stats().snapshot();
+        self.obj_tree.reset_node_reads();
+        self.mid.reset_node_reads();
+
+        let started = Instant::now();
+        let mut reporter = Reporter::with_io(self.store.stats().clone());
+        let out = match algo {
+            Algorithm::Ce => crate::ce::run(&input, &mut reporter),
+            Algorithm::Edc => crate::edc::run(&input, &mut reporter),
+            Algorithm::EdcBatch => crate::edc::run_batch(&input, &mut reporter),
+            Algorithm::Lbc => crate::lbc::run(&input, &mut reporter, true),
+            Algorithm::LbcNoPlb => crate::lbc::run(&input, &mut reporter, false),
+            Algorithm::Brute => crate::brute::run(&input, &mut reporter),
+        };
+        let total_time = started.elapsed();
+        let io = self.store.stats().snapshot().since(&io_before);
+
+        let initial_time = reporter.time_to_first();
+        let initial_pages = reporter.pages_to_first();
+        let skyline = reporter.into_points();
+        SkylineResult {
+            skyline,
+            stats: QueryStats {
+                candidates: out.candidates,
+                network_pages: io.faults,
+                network_logical: io.logical,
+                total_time,
+                initial_time,
+                initial_pages,
+                nodes_expanded: out.nodes_expanded,
+                index_reads: self.obj_tree.node_reads() + self.mid.node_reads(),
+            },
+        }
+    }
+
+    /// [`SkylineEngine::run`] preceded by a buffer flush — the cold-cache
+    /// configuration used by the experiment harness.
+    pub fn run_cold(&self, algo: Algorithm, queries: &[NetPosition]) -> SkylineResult {
+        self.clear_buffer();
+        self.run(algo, queries)
+    }
+
+    /// Runs LBC with an explicit *source* query point selection (§4.3:
+    /// "LBC can use different strategies for selecting the source query
+    /// points to support the applications with user preferences" — skyline
+    /// points near the source are reported first).
+    ///
+    /// The skyline set is independent of the choice; only the report order
+    /// and the cost profile change. Result vectors stay in the order of
+    /// `queries` as passed.
+    ///
+    /// # Panics
+    /// Panics when `queries` is empty.
+    pub fn run_lbc_with_source(
+        &self,
+        queries: &[NetPosition],
+        strategy: SourceStrategy,
+    ) -> SkylineResult {
+        assert!(!queries.is_empty(), "need at least one query point");
+        let src = strategy.pick(self, queries);
+        // Rotate the chosen source to the front, run, then permute the
+        // vectors back into the caller's dimension order.
+        let mut order: Vec<usize> = (0..queries.len()).collect();
+        order.swap(0, src);
+        let permuted: Vec<NetPosition> = order.iter().map(|&i| queries[i]).collect();
+        let mut result = self.run(Algorithm::Lbc, &permuted);
+        for p in &mut result.skyline {
+            let mut v = p.vector.clone();
+            // order[k] = original index served at permuted slot k.
+            for (k, &orig) in order.iter().enumerate() {
+                v[orig] = p.vector[k];
+            }
+            // Static attribute dimensions (if any) ride behind the spatial
+            // ones and are unaffected by the permutation.
+            p.vector = v;
+        }
+        result
+    }
+}
+
+/// How [`SkylineEngine::run_lbc_with_source`] picks LBC's source query
+/// point.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SourceStrategy {
+    /// The first query point (LBC's default).
+    First,
+    /// The query point with the smallest total Euclidean distance to the
+    /// others — the most "central" one, which tends to shrink the NN
+    /// frontier's spread.
+    Centroid,
+    /// A caller-chosen index into the query slice (user preference: the
+    /// skyline points nearest this query point arrive first).
+    Index(usize),
+}
+
+impl SourceStrategy {
+    fn pick(self, engine: &SkylineEngine, queries: &[NetPosition]) -> usize {
+        match self {
+            SourceStrategy::First => 0,
+            SourceStrategy::Index(i) => {
+                assert!(i < queries.len(), "source index out of range");
+                i
+            }
+            SourceStrategy::Centroid => {
+                let pts: Vec<rn_geom::Point> = queries
+                    .iter()
+                    .map(|q| engine.network().position_point(q))
+                    .collect();
+                (0..pts.len())
+                    .min_by(|&a, &b| {
+                        let sa: f64 = pts.iter().map(|p| pts[a].distance(p)).sum();
+                        let sb: f64 = pts.iter().map(|p| pts[b].distance(p)).sum();
+                        sa.partial_cmp(&sb).expect("finite").then(a.cmp(&b))
+                    })
+                    .unwrap_or(0)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rn_geom::Point;
+    use rn_graph::{EdgeId, NetworkBuilder};
+
+    fn tiny_engine() -> SkylineEngine {
+        let mut b = NetworkBuilder::new();
+        let n0 = b.add_node(Point::new(0.0, 0.0));
+        let n1 = b.add_node(Point::new(100.0, 0.0));
+        let n2 = b.add_node(Point::new(100.0, 100.0));
+        let n3 = b.add_node(Point::new(0.0, 100.0));
+        b.add_straight_edge(n0, n1).unwrap();
+        b.add_straight_edge(n1, n2).unwrap();
+        b.add_straight_edge(n2, n3).unwrap();
+        b.add_straight_edge(n3, n0).unwrap();
+        let net = b.build().unwrap();
+        let objects = vec![
+            NetPosition::new(EdgeId(0), 50.0),
+            NetPosition::new(EdgeId(2), 50.0),
+        ];
+        SkylineEngine::build(net, objects)
+    }
+
+    #[test]
+    fn engine_exposes_dataset_shape() {
+        let e = tiny_engine();
+        assert_eq!(e.object_count(), 2);
+        assert_eq!(e.network().node_count(), 4);
+        assert!(e.network_page_count() >= 1);
+    }
+
+    #[test]
+    fn brute_runs_and_reports() {
+        let e = tiny_engine();
+        // Off-centre query so the two objects are not tied.
+        let qs = vec![NetPosition::new(EdgeId(1), 30.0)];
+        let r = e.run(Algorithm::Brute, &qs);
+        // One query point: the skyline is the network NN (unique here).
+        assert_eq!(r.skyline.len(), 1);
+        assert!(r.stats.total_time >= r.stats.initial_time.unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one query point")]
+    fn empty_query_set_panics() {
+        let e = tiny_engine();
+        e.run(Algorithm::Brute, &[]);
+    }
+
+    #[test]
+    fn source_strategy_preserves_skyline_and_vector_order() {
+        let e = tiny_engine();
+        let qs = vec![
+            NetPosition::new(EdgeId(1), 30.0),
+            NetPosition::new(EdgeId(3), 60.0),
+            NetPosition::new(EdgeId(0), 10.0),
+        ];
+        let base = e.run(Algorithm::Lbc, &qs);
+        for strategy in [
+            SourceStrategy::First,
+            SourceStrategy::Centroid,
+            SourceStrategy::Index(2),
+        ] {
+            let r = e.run_lbc_with_source(&qs, strategy);
+            assert_eq!(r.ids(), base.ids(), "{strategy:?}");
+            for p in &r.skyline {
+                let want = base.vector_of(p.object).expect("same skyline");
+                for (a, b) in p.vector.iter().zip(want) {
+                    assert!(rn_geom::approx_eq(*a, *b), "{strategy:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn source_index_out_of_range_panics() {
+        let e = tiny_engine();
+        let qs = vec![NetPosition::new(EdgeId(1), 30.0)];
+        e.run_lbc_with_source(&qs, SourceStrategy::Index(5));
+    }
+
+    #[test]
+    fn empty_object_set_yields_empty_skyline() {
+        let mut b = NetworkBuilder::new();
+        let n0 = b.add_node(Point::new(0.0, 0.0));
+        let n1 = b.add_node(Point::new(100.0, 0.0));
+        b.add_straight_edge(n0, n1).unwrap();
+        let e = SkylineEngine::build(b.build().unwrap(), Vec::new());
+        let qs = vec![NetPosition::new(EdgeId(0), 10.0), NetPosition::new(EdgeId(0), 90.0)];
+        for algo in [
+            Algorithm::Ce,
+            Algorithm::Edc,
+            Algorithm::EdcBatch,
+            Algorithm::Lbc,
+            Algorithm::LbcNoPlb,
+            Algorithm::Brute,
+        ] {
+            let r = e.run(algo, &qs);
+            assert!(r.skyline.is_empty(), "{}", algo.name());
+            assert!(r.stats.initial_time.is_none(), "{}", algo.name());
+        }
+    }
+
+    #[test]
+    fn algorithm_names_are_stable() {
+        // The benchmark tables and EXPERIMENTS.md reference these labels.
+        assert_eq!(Algorithm::Ce.name(), "CE");
+        assert_eq!(Algorithm::Edc.name(), "EDC");
+        assert_eq!(Algorithm::EdcBatch.name(), "EDC-batch");
+        assert_eq!(Algorithm::Lbc.name(), "LBC");
+        assert_eq!(Algorithm::LbcNoPlb.name(), "LBC-noplb");
+        assert_eq!(Algorithm::Brute.name(), "BRUTE");
+        assert_eq!(Algorithm::PAPER_SET.len(), 3);
+    }
+
+    #[test]
+    fn cold_run_faults_pages_again() {
+        let e = tiny_engine();
+        let qs = vec![NetPosition::new(EdgeId(1), 50.0)];
+        let warm_first = e.run(Algorithm::Brute, &qs);
+        let warm_second = e.run(Algorithm::Brute, &qs);
+        assert!(warm_second.stats.network_pages <= warm_first.stats.network_pages);
+        let cold = e.run_cold(Algorithm::Brute, &qs);
+        assert!(cold.stats.network_pages >= warm_second.stats.network_pages);
+    }
+}

@@ -1,0 +1,230 @@
+//! Companion network queries on the same substrates.
+//!
+//! The skyline engine already owns everything these need — the counted
+//! network store, the middle layer, the object R-tree — so the related
+//! query types the paper builds on come almost for free and round the
+//! library out for downstream use:
+//!
+//! * [`SkylineEngine::network_knn`] — k nearest neighbours by network
+//!   distance (incremental network expansion, Papadias et al. VLDB 2003);
+//! * [`SkylineEngine::aggregate_nn`] — aggregate nearest neighbours for a
+//!   *group* of query points (Yiu, Mamoulis, Papadias, TKDE 2005 — the
+//!   paper's reference \[26\]), by sum or max, using the same
+//!   Euclidean-guide + A\*-confirm interplay as LBC's step 1;
+//! * [`SkylineEngine::locate`] — map-match a planar point onto the
+//!   network through the edge R-tree (§6.1);
+//! * [`SkylineEngine::shortest_path`] — reconstruct an actual route.
+
+use crate::engine::SkylineEngine;
+use rn_geom::{OrdF64, Point};
+use rn_graph::{NetPosition, ObjectId};
+use rn_sp::{AStar, IncrementalExpansion, NetCtx, NetPath, PathFinder};
+use std::collections::BinaryHeap;
+
+/// Aggregate function for group nearest-neighbour queries.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Aggregate {
+    /// Minimise the total travel distance of the group.
+    Sum,
+    /// Minimise the worst member's travel distance.
+    Max,
+}
+
+impl Aggregate {
+    fn fold(self, values: impl Iterator<Item = f64>) -> f64 {
+        match self {
+            Aggregate::Sum => values.sum(),
+            Aggregate::Max => values.fold(0.0, f64::max),
+        }
+    }
+}
+
+impl SkylineEngine {
+    /// The `k` objects nearest to `query` by network distance, ascending.
+    /// Fewer than `k` when the reachable component holds fewer objects.
+    pub fn network_knn(&self, query: NetPosition, k: usize) -> Vec<(ObjectId, f64)> {
+        let ctx = self.net_ctx();
+        let mut ine = IncrementalExpansion::new(&ctx, query);
+        let mut out = Vec::with_capacity(k);
+        while out.len() < k {
+            match ine.next_nearest() {
+                Some(hit) => out.push(hit),
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// The `k` objects minimising the aggregate network distance to all
+    /// `queries` (the ANN query of the paper's reference \[26\]), ascending
+    /// by aggregate.
+    ///
+    /// Incremental Euclidean restriction: objects stream in ascending
+    /// *Euclidean* aggregate (a lower bound on the network aggregate,
+    /// since `d_E <= d_N` dimension-wise and both aggregates are
+    /// monotone); each is confirmed with per-query A\* engines whose
+    /// settled state persists across candidates. The k-th best confirmed
+    /// aggregate closes the search once the stream's lower bound passes it.
+    ///
+    /// # Panics
+    /// Panics when `queries` is empty or `k == 0`.
+    pub fn aggregate_nn(
+        &self,
+        queries: &[NetPosition],
+        k: usize,
+        agg: Aggregate,
+    ) -> Vec<(ObjectId, f64)> {
+        assert!(!queries.is_empty(), "need at least one query point");
+        assert!(k > 0, "k must be positive");
+        let ctx = self.net_ctx();
+        let qpts: Vec<Point> = queries
+            .iter()
+            .map(|q| ctx.net.position_point(q))
+            .collect();
+        let mut engines: Vec<AStar<'_>> = queries
+            .iter()
+            .map(|q| AStar::new(&ctx, *q))
+            .collect();
+
+        // Confirmed results, max-heap on the aggregate so the k-th best is
+        // at the top.
+        let mut best: BinaryHeap<(OrdF64, ObjectId)> = BinaryHeap::new();
+        let stream_qpts = qpts.clone();
+        let stream = self.object_tree().best_first(move |mbr, _| {
+            Some(agg.fold(stream_qpts.iter().map(|q| mbr.min_dist(q))))
+        });
+        for (lower, _, &obj) in stream {
+            if best.len() == k {
+                let kth = best.peek().expect("k results present").0.get();
+                if lower >= kth {
+                    break; // nothing later can improve the top k
+                }
+            }
+            let pos = self.object_position(obj);
+            let value = agg.fold(engines.iter_mut().map(|e| e.distance_to(pos)));
+            if value.is_finite() {
+                best.push((OrdF64::new(value), obj));
+                if best.len() > k {
+                    best.pop();
+                }
+            }
+        }
+        let mut out: Vec<(ObjectId, f64)> = best
+            .into_iter()
+            .map(|(d, o)| (o, d.get()))
+            .collect();
+        out.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite").then(a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Maps a planar point onto the nearest on-network position via the
+    /// edge R-tree; `None` for an edgeless network.
+    pub fn locate(&self, p: Point) -> Option<(NetPosition, f64)> {
+        self.edge_locator().locate(self.network(), p)
+    }
+
+    /// Reconstructs the shortest path between two network positions, or
+    /// `None` when they are disconnected.
+    pub fn shortest_path(&self, from: NetPosition, to: NetPosition) -> Option<NetPath> {
+        let ctx = self.net_ctx();
+        PathFinder::new(&ctx).shortest_path(from, to)
+    }
+
+    fn net_ctx(&self) -> NetCtx<'_> {
+        NetCtx::new(self.network(), self.store_ref(), self.mid_ref())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::SkylineEngine;
+    use rn_sp::oracle::position_distance_oracle;
+    use rn_workload::{generate_network, generate_objects, generate_queries, NetGenConfig};
+
+    fn engine(seed: u64) -> (SkylineEngine, Vec<NetPosition>) {
+        let net = generate_network(&NetGenConfig {
+            cols: 10,
+            rows: 10,
+            edges: 150,
+            jitter: 0.3,
+            detour_prob: 0.4,
+            detour_stretch: (1.1, 1.5),
+            seed,
+        });
+        let objects = generate_objects(&net, 0.4, seed + 1);
+        let queries = generate_queries(&net, 3, 0.4, seed + 2);
+        (SkylineEngine::build(net, objects), queries)
+    }
+
+    #[test]
+    fn knn_matches_oracle() {
+        let (e, queries) = engine(1);
+        let reference = position_distance_oracle(e.network());
+        let q = queries[0];
+        let got = e.network_knn(q, 5);
+        assert_eq!(got.len(), 5);
+        // Sorted ascending and exact.
+        let mut dists: Vec<f64> = (0..e.object_count())
+            .map(|i| reference(&q, &e.object_position(rn_graph::ObjectId(i as u32))))
+            .collect();
+        dists.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for (k, (_, d)) in got.iter().enumerate() {
+            assert!(rn_geom::approx_eq(*d, dists[k]), "k={k}: {d} vs {}", dists[k]);
+        }
+    }
+
+    #[test]
+    fn aggregate_nn_matches_brute_force() {
+        for agg in [Aggregate::Sum, Aggregate::Max] {
+            let (e, queries) = engine(2);
+            let reference = position_distance_oracle(e.network());
+            let got = e.aggregate_nn(&queries, 4, agg);
+            assert_eq!(got.len(), 4);
+            let mut brute: Vec<(u32, f64)> = (0..e.object_count() as u32)
+                .map(|i| {
+                    let pos = e.object_position(rn_graph::ObjectId(i));
+                    let v = agg.fold(queries.iter().map(|q| reference(q, &pos)));
+                    (i, v)
+                })
+                .collect();
+            brute.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+            for (k, (obj, d)) in got.iter().enumerate() {
+                assert!(
+                    rn_geom::approx_eq(*d, brute[k].1),
+                    "{agg:?} k={k}: {obj:?} at {d} vs {} ({})",
+                    brute[k].1,
+                    brute[k].0,
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn locate_then_query_round_trip() {
+        let (e, _) = engine(3);
+        // Locate the planar position of object 0; it must map back onto
+        // (essentially) the same network position.
+        let obj_pos = e.object_position(rn_graph::ObjectId(0));
+        let p = e.network().position_point(&obj_pos);
+        let (located, d) = e.locate(p).unwrap();
+        assert!(d < 1e-6);
+        let reference = position_distance_oracle(e.network());
+        assert!(reference(&located, &obj_pos) < 1e-6);
+    }
+
+    #[test]
+    fn shortest_path_between_queries() {
+        let (e, queries) = engine(4);
+        let p = e.shortest_path(queries[0], queries[1]).unwrap();
+        let reference = position_distance_oracle(e.network());
+        assert!(rn_geom::approx_eq(p.length, reference(&queries[0], &queries[1])));
+    }
+
+    #[test]
+    fn knn_with_k_larger_than_dataset() {
+        let (e, queries) = engine(5);
+        let got = e.network_knn(queries[0], e.object_count() + 10);
+        assert_eq!(got.len(), e.object_count());
+    }
+}

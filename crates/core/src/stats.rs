@@ -1,0 +1,167 @@
+//! Result records and per-query statistics.
+//!
+//! The evaluation (§6) compares the algorithms on candidate-set size,
+//! network disk pages accessed, total response time and *initial* response
+//! time (time until the first skyline point is reported). [`Reporter`]
+//! captures the progressive-reporting side of that: algorithms push each
+//! skyline point through it as soon as the point is confirmed, and the
+//! reporter timestamps the first arrival.
+
+use rn_graph::ObjectId;
+use rn_storage::IoStats;
+use std::time::{Duration, Instant};
+
+/// One confirmed network skyline point.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SkylinePoint {
+    /// The object.
+    pub object: ObjectId,
+    /// `vector[i]` is the network distance from the object to the i-th
+    /// query point.
+    pub vector: Vec<f64>,
+}
+
+/// Collects progressively reported skyline points with timing and, when
+/// wired to the network store's counters, the page cost of the first
+/// report (the I/O component of the paper's "initial response time").
+pub struct Reporter {
+    start: Instant,
+    first_at: Option<Duration>,
+    points: Vec<SkylinePoint>,
+    io: Option<IoStats>,
+    start_faults: u64,
+    first_faults: Option<u64>,
+}
+
+impl Reporter {
+    /// Starts the clock.
+    pub fn new() -> Self {
+        Reporter {
+            start: Instant::now(),
+            first_at: None,
+            points: Vec::new(),
+            io: None,
+            start_faults: 0,
+            first_faults: None,
+        }
+    }
+
+    /// Starts the clock and snapshots `io` so the first report's fault
+    /// count can be measured.
+    pub fn with_io(io: IoStats) -> Self {
+        let start_faults = io.snapshot().faults;
+        Reporter {
+            start: Instant::now(),
+            first_at: None,
+            points: Vec::new(),
+            io: Some(io),
+            start_faults,
+            first_faults: None,
+        }
+    }
+
+    /// Records a confirmed skyline point (timestamping the first).
+    pub fn report(&mut self, point: SkylinePoint) {
+        self.mark_first();
+        self.points.push(point);
+    }
+
+    /// Timestamps the initial response *now*, without a point.
+    ///
+    /// LBC calls this the moment the first network nearest neighbour of
+    /// the source query point is identified: that object is guaranteed to
+    /// be a skyline member (nothing can beat it on the source dimension),
+    /// so it can be handed to the user before its remaining distances are
+    /// computed — this is why the paper's Figure 5(c)/6(c) show LBC's
+    /// initial response as essentially immediate. Idempotent; a subsequent
+    /// [`Reporter::report`] keeps the earlier timestamp.
+    pub fn mark_first(&mut self) {
+        if self.first_at.is_none() {
+            self.first_at = Some(self.start.elapsed());
+            if let Some(io) = &self.io {
+                self.first_faults =
+                    Some(io.snapshot().faults.saturating_sub(self.start_faults));
+            }
+        }
+    }
+
+    /// Time from construction to the first report, if any was made.
+    pub fn time_to_first(&self) -> Option<Duration> {
+        self.first_at
+    }
+
+    /// Network pages faulted before the first report, when constructed
+    /// with [`Reporter::with_io`].
+    pub fn pages_to_first(&self) -> Option<u64> {
+        self.first_faults
+    }
+
+    /// Number of points reported so far.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` when nothing has been reported.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Consumes the reporter, yielding the reported points in report order.
+    pub fn into_points(self) -> Vec<SkylinePoint> {
+        self.points
+    }
+}
+
+impl Default for Reporter {
+    fn default() -> Self {
+        Reporter::new()
+    }
+}
+
+/// Everything the experiment harness records about one query execution.
+#[derive(Clone, Debug, Default)]
+pub struct QueryStats {
+    /// Candidate-set size `|C|` as defined per algorithm in §5/§6.2.
+    pub candidates: usize,
+    /// Network disk pages accessed (buffer-pool faults).
+    pub network_pages: u64,
+    /// Logical network page requests (hits + faults).
+    pub network_logical: u64,
+    /// Wall-clock total response time.
+    pub total_time: Duration,
+    /// Wall-clock time until the first skyline point was reported.
+    pub initial_time: Option<Duration>,
+    /// Network pages faulted before the first skyline point was reported.
+    pub initial_pages: Option<u64>,
+    /// Network nodes expanded across all wavefronts/engines.
+    pub nodes_expanded: u64,
+    /// R-tree / B⁺-tree index nodes visited.
+    pub index_reads: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reporter_timestamps_first_only() {
+        let mut r = Reporter::new();
+        assert!(r.time_to_first().is_none());
+        assert!(r.is_empty());
+        r.report(SkylinePoint {
+            object: ObjectId(1),
+            vector: vec![1.0],
+        });
+        let t1 = r.time_to_first().unwrap();
+        std::thread::sleep(Duration::from_millis(2));
+        r.report(SkylinePoint {
+            object: ObjectId(2),
+            vector: vec![2.0],
+        });
+        assert_eq!(r.time_to_first().unwrap(), t1, "first timestamp is sticky");
+        assert_eq!(r.len(), 2);
+        let pts = r.into_points();
+        assert_eq!(pts[0].object, ObjectId(1));
+        assert_eq!(pts[1].object, ObjectId(2));
+    }
+}

@@ -1,0 +1,65 @@
+//! Geometric primitives shared by every crate in the `msq` workspace.
+//!
+//! Road-network query processing constantly mixes two metrics over the same
+//! set of points: the *Euclidean* distance `d_E` (used as a lower bound and
+//! as a search heuristic) and the *network* distance `d_N` (the real cost).
+//! This crate provides the Euclidean half: points, segments, polylines,
+//! minimum bounding rectangles and a handful of numeric helpers (`OrdF64`
+//! for priority queues, `approx_eq` for tests).
+//!
+//! Everything here is plain-old-data with `f64` coordinates; no coordinate
+//! reference systems are modelled because the paper normalises all networks
+//! into a 1 km x 1 km square before measuring anything.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod mbr;
+pub mod ordf64;
+pub mod point;
+pub mod polyline;
+pub mod segment;
+
+pub use mbr::Mbr;
+pub use ordf64::OrdF64;
+pub use point::Point;
+pub use polyline::Polyline;
+pub use segment::Segment;
+
+/// Absolute tolerance used by the test suites when comparing distances that
+/// were computed along different code paths (e.g. A* vs Floyd–Warshall).
+pub const EPSILON: f64 = 1e-9;
+
+/// Returns `true` when `a` and `b` differ by at most [`EPSILON`] scaled by
+/// the magnitude of the operands.
+///
+/// Distances in this workspace are sums of at most a few thousand edge
+/// lengths, so a relative tolerance anchored at `1.0` is adequate.
+#[inline]
+pub fn approx_eq(a: f64, b: f64) -> bool {
+    let scale = 1.0_f64.max(a.abs()).max(b.abs());
+    (a - b).abs() <= EPSILON * scale
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_eq_exact() {
+        assert!(approx_eq(1.0, 1.0));
+        assert!(approx_eq(0.0, 0.0));
+    }
+
+    #[test]
+    fn approx_eq_within_tolerance() {
+        assert!(approx_eq(1.0, 1.0 + 1e-12));
+        assert!(approx_eq(1e6, 1e6 + 1e-4));
+    }
+
+    #[test]
+    fn approx_eq_outside_tolerance() {
+        assert!(!approx_eq(1.0, 1.001));
+        assert!(!approx_eq(0.0, 1.0));
+    }
+}

@@ -1,0 +1,115 @@
+//! A totally-ordered `f64` wrapper for use as a priority-queue key.
+//!
+//! Every search structure in this workspace (Dijkstra/A* frontiers, R-tree
+//! best-first queues, skyline heaps) orders entries by a non-negative, finite
+//! distance. [`OrdF64`] encodes the "finite, not NaN" invariant at
+//! construction time so the queues themselves never need to reason about
+//! partial orders.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A finite, non-NaN `f64` with a total order.
+///
+/// Construction via [`OrdF64::new`] panics on NaN. Infinity is permitted —
+/// "unreachable" network distances are represented as `f64::INFINITY`
+/// throughout the workspace and must sort after every finite distance.
+#[derive(Clone, Copy, PartialEq, Default)]
+pub struct OrdF64(f64);
+
+impl PartialOrd for OrdF64 {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl OrdF64 {
+    /// Wraps `v`, panicking if it is NaN.
+    ///
+    /// # Panics
+    /// Panics when `v.is_nan()`. A NaN distance always indicates a logic
+    /// error upstream (e.g. a degenerate geometry), never a valid state.
+    #[inline]
+    pub fn new(v: f64) -> Self {
+        assert!(!v.is_nan(), "OrdF64 cannot hold NaN");
+        OrdF64(v)
+    }
+
+    /// Returns the wrapped value.
+    #[inline]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+
+    /// Zero distance.
+    pub const ZERO: OrdF64 = OrdF64(0.0);
+
+    /// Positive infinity; sorts after every finite distance.
+    pub const INFINITY: OrdF64 = OrdF64(f64::INFINITY);
+}
+
+impl Eq for OrdF64 {}
+
+impl Ord for OrdF64 {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Safe: NaN is excluded at construction.
+        self.0.partial_cmp(&other.0).expect("OrdF64 holds no NaN")
+    }
+}
+
+impl fmt::Debug for OrdF64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.0)
+    }
+}
+
+impl fmt::Display for OrdF64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<OrdF64> for f64 {
+    #[inline]
+    fn from(v: OrdF64) -> f64 {
+        v.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_finite_values() {
+        assert!(OrdF64::new(1.0) < OrdF64::new(2.0));
+        assert!(OrdF64::new(-3.0) < OrdF64::ZERO);
+        assert_eq!(OrdF64::new(5.5), OrdF64::new(5.5));
+    }
+
+    #[test]
+    fn infinity_sorts_last() {
+        assert!(OrdF64::new(1e300) < OrdF64::INFINITY);
+        assert_eq!(OrdF64::INFINITY, OrdF64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn rejects_nan() {
+        let _ = OrdF64::new(f64::NAN);
+    }
+
+    #[test]
+    fn sorts_in_binary_heap() {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        let mut h = BinaryHeap::new();
+        for v in [3.0, 1.0, 2.0] {
+            h.push(Reverse(OrdF64::new(v)));
+        }
+        let order: Vec<f64> = std::iter::from_fn(|| h.pop().map(|Reverse(v)| v.get())).collect();
+        assert_eq!(order, vec![1.0, 2.0, 3.0]);
+    }
+}

@@ -1,0 +1,168 @@
+//! 2-D points in the normalised network plane.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Mul, Sub};
+
+/// A point in the plane. Coordinates are in the paper's normalised units
+/// (the whole network fits a 1 km x 1 km square, so `0.0 ..= 1000.0` metres
+/// is the usual range, but nothing here assumes it).
+#[derive(Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point {
+    /// Easting.
+    pub x: f64,
+    /// Northing.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point from its coordinates.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Point = Point { x: 0.0, y: 0.0 };
+
+    /// Euclidean distance to `other` (the paper's `d_E`).
+    #[inline]
+    pub fn distance(&self, other: &Point) -> f64 {
+        self.distance_sq(other).sqrt()
+    }
+
+    /// Squared Euclidean distance; avoids the `sqrt` when only comparisons
+    /// are needed (e.g. choosing the nearer of two segment endpoints).
+    #[inline]
+    pub fn distance_sq(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Linear interpolation: `self` at `t = 0`, `other` at `t = 1`.
+    #[inline]
+    pub fn lerp(&self, other: &Point, t: f64) -> Point {
+        Point::new(
+            self.x + (other.x - self.x) * t,
+            self.y + (other.y - self.y) * t,
+        )
+    }
+
+    /// Midpoint of the segment `self`-`other`.
+    #[inline]
+    pub fn midpoint(&self, other: &Point) -> Point {
+        self.lerp(other, 0.5)
+    }
+
+    /// Dot product, treating both points as vectors from the origin.
+    #[inline]
+    pub fn dot(&self, other: &Point) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// Euclidean norm, treating the point as a vector from the origin.
+    #[inline]
+    pub fn norm(&self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// Returns `true` when both coordinates are finite (not NaN/inf).
+    #[inline]
+    pub fn is_finite(&self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl Add for Point {
+    type Output = Point;
+    #[inline]
+    fn add(self, rhs: Point) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub for Point {
+    type Output = Point;
+    #[inline]
+    fn sub(self, rhs: Point) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Mul<f64> for Point {
+    type Output = Point;
+    #[inline]
+    fn mul(self, s: f64) -> Point {
+        Point::new(self.x * s, self.y * s)
+    }
+}
+
+impl fmt::Debug for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+    use proptest::prelude::*;
+
+    #[test]
+    fn distance_345_triangle() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert!(approx_eq(a.distance(&b), 5.0));
+        assert!(approx_eq(a.distance_sq(&b), 25.0));
+    }
+
+    #[test]
+    fn distance_is_zero_to_self() {
+        let p = Point::new(7.25, -3.5);
+        assert_eq!(p.distance(&p), 0.0);
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, 20.0);
+        assert_eq!(a.lerp(&b, 0.0), a);
+        assert_eq!(a.lerp(&b, 1.0), b);
+        assert_eq!(a.midpoint(&b), Point::new(5.0, 10.0));
+    }
+
+    #[test]
+    fn vector_arithmetic() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(3.0, 5.0);
+        assert_eq!(a + b, Point::new(4.0, 7.0));
+        assert_eq!(b - a, Point::new(2.0, 3.0));
+        assert_eq!(a * 2.0, Point::new(2.0, 4.0));
+        assert!(approx_eq(a.dot(&b), 13.0));
+    }
+
+    fn arb_point() -> impl Strategy<Value = Point> {
+        (-1000.0..1000.0f64, -1000.0..1000.0f64).prop_map(|(x, y)| Point::new(x, y))
+    }
+
+    proptest! {
+        #[test]
+        fn distance_symmetric(a in arb_point(), b in arb_point()) {
+            prop_assert!(approx_eq(a.distance(&b), b.distance(&a)));
+        }
+
+        #[test]
+        fn triangle_inequality(a in arb_point(), b in arb_point(), c in arb_point()) {
+            prop_assert!(a.distance(&c) <= a.distance(&b) + b.distance(&c) + 1e-9);
+        }
+
+        #[test]
+        fn lerp_stays_on_segment(a in arb_point(), b in arb_point(), t in 0.0..1.0f64) {
+            let p = a.lerp(&b, t);
+            let along = a.distance(&p) + p.distance(&b);
+            prop_assert!(crate::approx_eq(along, a.distance(&b)));
+        }
+    }
+}

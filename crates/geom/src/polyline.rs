@@ -1,0 +1,242 @@
+//! Polylines — the geometry of road edges that are not straight lines.
+//!
+//! The paper's network model (§3) allows an edge to be "a straight line or a
+//! polyline". The polyline is what makes an edge's *length* (used for
+//! network distances) exceed the Euclidean distance between its endpoints,
+//! which in turn is what makes the A* heuristic merely a lower bound rather
+//! than exact. The workload generator uses polyline detours to control the
+//! network/Euclidean distance ratio delta.
+
+use crate::{Mbr, Point, Segment};
+use serde::{Deserialize, Serialize};
+
+/// An immutable polyline with at least two vertices and pre-computed
+/// cumulative arc lengths for O(log k) point-at-offset lookups.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct Polyline {
+    vertices: Vec<Point>,
+    /// `cum[i]` = arc length from `vertices[0]` to `vertices[i]`.
+    cum: Vec<f64>,
+}
+
+impl Polyline {
+    /// Builds a polyline from its vertices.
+    ///
+    /// # Panics
+    /// Panics when fewer than two vertices are supplied or any coordinate is
+    /// non-finite; both indicate corrupt input data.
+    pub fn new(vertices: Vec<Point>) -> Self {
+        assert!(vertices.len() >= 2, "polyline needs at least two vertices");
+        assert!(
+            vertices.iter().all(Point::is_finite),
+            "polyline vertices must be finite"
+        );
+        let mut cum = Vec::with_capacity(vertices.len());
+        cum.push(0.0);
+        for w in vertices.windows(2) {
+            let last = *cum.last().expect("cum is never empty");
+            cum.push(last + w[0].distance(&w[1]));
+        }
+        Polyline { vertices, cum }
+    }
+
+    /// A two-vertex polyline, i.e. a straight line.
+    pub fn straight(a: Point, b: Point) -> Self {
+        Polyline::new(vec![a, b])
+    }
+
+    /// First vertex.
+    #[inline]
+    pub fn start(&self) -> Point {
+        self.vertices[0]
+    }
+
+    /// Last vertex.
+    #[inline]
+    pub fn end(&self) -> Point {
+        *self.vertices.last().expect("len >= 2")
+    }
+
+    /// All vertices, in order.
+    #[inline]
+    pub fn vertices(&self) -> &[Point] {
+        &self.vertices
+    }
+
+    /// Total arc length.
+    #[inline]
+    pub fn length(&self) -> f64 {
+        *self.cum.last().expect("len >= 2")
+    }
+
+    /// Euclidean distance between the two endpoints (the chord). Always
+    /// `<= length()`; the ratio `length / chord` is this edge's contribution
+    /// to the network's delta.
+    #[inline]
+    pub fn chord(&self) -> f64 {
+        self.start().distance(&self.end())
+    }
+
+    /// The point at arc-length `offset` from the start, clamped to the ends.
+    pub fn point_at_offset(&self, offset: f64) -> Point {
+        let total = self.length();
+        let offset = offset.clamp(0.0, total);
+        // Find the segment containing `offset`.
+        let i = match self
+            .cum
+            .binary_search_by(|c| c.partial_cmp(&offset).expect("finite"))
+        {
+            Ok(i) => i.min(self.vertices.len() - 2),
+            Err(i) => i - 1,
+        };
+        let seg = Segment::new(self.vertices[i], self.vertices[i + 1]);
+        seg.point_at_offset(offset - self.cum[i])
+    }
+
+    /// Minimum Euclidean distance from `p` to the polyline, and the
+    /// arc-length offset of the closest point.
+    pub fn closest_offset(&self, p: &Point) -> (f64, f64) {
+        let mut best = (f64::INFINITY, 0.0);
+        for (i, w) in self.vertices.windows(2).enumerate() {
+            let seg = Segment::new(w[0], w[1]);
+            let t = seg.project(p);
+            let q = seg.point_at(t);
+            let d = q.distance(p);
+            if d < best.0 {
+                best = (d, self.cum[i] + t * seg.length());
+            }
+        }
+        best
+    }
+
+    /// Bounding rectangle of the whole polyline.
+    pub fn mbr(&self) -> Mbr {
+        Mbr::from_points(&self.vertices).expect("len >= 2")
+    }
+
+    /// The polyline traversed in the opposite direction.
+    pub fn reversed(&self) -> Polyline {
+        let mut v = self.vertices.clone();
+        v.reverse();
+        Polyline::new(v)
+    }
+
+    /// Component segments, in order.
+    pub fn segments(&self) -> impl Iterator<Item = Segment> + '_ {
+        self.vertices.windows(2).map(|w| Segment::new(w[0], w[1]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+    use proptest::prelude::*;
+
+    fn zigzag() -> Polyline {
+        Polyline::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(3.0, 4.0),
+            Point::new(6.0, 0.0),
+        ])
+    }
+
+    #[test]
+    fn length_is_sum_of_segments() {
+        assert!(approx_eq(zigzag().length(), 10.0));
+        assert!(approx_eq(zigzag().chord(), 6.0));
+    }
+
+    #[test]
+    fn straight_polyline_chord_equals_length() {
+        let p = Polyline::straight(Point::new(1.0, 1.0), Point::new(4.0, 5.0));
+        assert!(approx_eq(p.length(), p.chord()));
+        assert!(approx_eq(p.length(), 5.0));
+    }
+
+    #[test]
+    fn point_at_offset_walks_segments() {
+        let p = zigzag();
+        assert_eq!(p.point_at_offset(0.0), Point::new(0.0, 0.0));
+        assert_eq!(p.point_at_offset(5.0), Point::new(3.0, 4.0));
+        assert_eq!(p.point_at_offset(10.0), Point::new(6.0, 0.0));
+        // Halfway down the second segment.
+        let q = p.point_at_offset(7.5);
+        assert!(approx_eq(q.x, 4.5));
+        assert!(approx_eq(q.y, 2.0));
+    }
+
+    #[test]
+    fn point_at_offset_clamps() {
+        let p = zigzag();
+        assert_eq!(p.point_at_offset(-1.0), p.start());
+        assert_eq!(p.point_at_offset(99.0), p.end());
+    }
+
+    #[test]
+    fn closest_offset_on_vertex() {
+        let p = zigzag();
+        let (d, off) = p.closest_offset(&Point::new(3.0, 6.0));
+        assert!(approx_eq(d, 2.0));
+        assert!(approx_eq(off, 5.0));
+    }
+
+    #[test]
+    fn reversed_preserves_length() {
+        let p = zigzag();
+        let r = p.reversed();
+        assert!(approx_eq(p.length(), r.length()));
+        assert_eq!(p.start(), r.end());
+        assert_eq!(p.end(), r.start());
+    }
+
+    #[test]
+    fn mbr_covers_vertices() {
+        let m = zigzag().mbr();
+        assert_eq!(m, Mbr::new(Point::new(0.0, 0.0), Point::new(6.0, 4.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn rejects_single_vertex() {
+        let _ = Polyline::new(vec![Point::ORIGIN]);
+    }
+
+    fn arb_pts() -> impl Strategy<Value = Vec<Point>> {
+        proptest::collection::vec(
+            (-50.0..50.0f64, -50.0..50.0f64).prop_map(|(x, y)| Point::new(x, y)),
+            2..10,
+        )
+    }
+
+    proptest! {
+        #[test]
+        fn chord_never_exceeds_length(pts in arb_pts()) {
+            let p = Polyline::new(pts);
+            prop_assert!(p.chord() <= p.length() + 1e-9);
+        }
+
+        #[test]
+        fn point_at_offset_is_on_mbr(pts in arb_pts(), t in 0.0..1.0f64) {
+            let p = Polyline::new(pts);
+            let q = p.point_at_offset(t * p.length());
+            prop_assert!(p.mbr().contains_point(&q));
+        }
+
+        #[test]
+        fn offsets_monotone_along_distance_from_start(pts in arb_pts()) {
+            let p = Polyline::new(pts);
+            // Walking along the polyline accumulates exactly length().
+            let n = 16;
+            let mut walked = 0.0;
+            let mut prev = p.point_at_offset(0.0);
+            for i in 1..=n {
+                let q = p.point_at_offset(p.length() * i as f64 / n as f64);
+                walked += prev.distance(&q);
+                prev = q;
+            }
+            // Walked chords cannot exceed true arc length.
+            prop_assert!(walked <= p.length() + 1e-6);
+        }
+    }
+}

@@ -1,0 +1,757 @@
+//! A B⁺-tree.
+//!
+//! §3: the middle layer between the network and the object set "can be
+//! indexed using a B⁺-tree on edge ids", so that a wavefront expansion can
+//! cheaply probe "are there any data objects on this edge?" per visited
+//! edge. This implementation is a textbook arena-based B⁺-tree — all values
+//! live in the leaves, leaves are chained for range scans, and deletes
+//! rebalance by borrowing from or merging with siblings.
+//!
+//! The tree is generic over `K: Ord + Clone` and any `V`; the middle layer
+//! instantiates it as `BPlusTree<u32, Vec<ObjectOnEdge>>`.
+
+use std::cell::Cell;
+
+/// Maximum keys per node by default. With 4-byte keys and 8-byte child
+/// pointers/values this keeps nodes within a 4 KB page, mirroring the
+/// storage configuration of §6.1.
+pub const DEFAULT_ORDER: usize = 128;
+
+/// An arena-based B⁺-tree map.
+pub struct BPlusTree<K, V> {
+    nodes: Vec<Node<K, V>>,
+    root: usize,
+    /// Max keys per node.
+    order: usize,
+    len: usize,
+    /// Nodes visited by lookups since construction/reset (index-page
+    /// analogue of the storage layer's fault counter).
+    node_reads: Cell<u64>,
+    /// Recycled node slots.
+    free: Vec<usize>,
+}
+
+enum Node<K, V> {
+    Internal {
+        /// Separator keys; `children[i]` holds keys `< keys[i]`,
+        /// `children[i+1]` holds keys `>= keys[i]`.
+        keys: Vec<K>,
+        children: Vec<usize>,
+    },
+    Leaf {
+        keys: Vec<K>,
+        values: Vec<V>,
+        /// Next leaf in key order, for range scans.
+        next: Option<usize>,
+    },
+    /// Recycled slot.
+    Free,
+}
+
+impl<K: Ord + Clone, V> BPlusTree<K, V> {
+    /// An empty tree with the default node order.
+    pub fn new() -> Self {
+        Self::with_order(DEFAULT_ORDER)
+    }
+
+    /// An empty tree holding at most `order` keys per node.
+    ///
+    /// # Panics
+    /// Panics when `order < 3` (splits need at least two keys per side).
+    pub fn with_order(order: usize) -> Self {
+        assert!(order >= 3, "B+tree order must be at least 3");
+        BPlusTree {
+            nodes: vec![Node::Leaf {
+                keys: Vec::new(),
+                values: Vec::new(),
+                next: None,
+            }],
+            root: 0,
+            order,
+            len: 0,
+            node_reads: Cell::new(0),
+            free: Vec::new(),
+        }
+    }
+
+    /// Number of key/value pairs stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the tree holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Nodes visited by `get`/`range` since the last reset.
+    pub fn node_reads(&self) -> u64 {
+        self.node_reads.get()
+    }
+
+    /// Resets the node-visit counter.
+    pub fn reset_node_reads(&self) {
+        self.node_reads.set(0);
+    }
+
+    fn min_keys(&self) -> usize {
+        self.order / 2
+    }
+
+    fn alloc(&mut self, node: Node<K, V>) -> usize {
+        if let Some(i) = self.free.pop() {
+            self.nodes[i] = node;
+            i
+        } else {
+            self.nodes.push(node);
+            self.nodes.len() - 1
+        }
+    }
+
+    fn release(&mut self, i: usize) {
+        self.nodes[i] = Node::Free;
+        self.free.push(i);
+    }
+
+    /// Finds the leaf that would hold `key`.
+    fn find_leaf(&self, key: &K) -> usize {
+        let mut n = self.root;
+        loop {
+            self.node_reads.set(self.node_reads.get() + 1);
+            match &self.nodes[n] {
+                Node::Leaf { .. } => return n,
+                Node::Internal { keys, children } => {
+                    let i = keys.partition_point(|k| k <= key);
+                    n = children[i];
+                }
+                Node::Free => unreachable!("descended into a freed node"),
+            }
+        }
+    }
+
+    /// Looks up the value for `key`.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        let leaf = self.find_leaf(key);
+        match &self.nodes[leaf] {
+            Node::Leaf { keys, values, .. } => keys
+                .binary_search(key)
+                .ok()
+                .map(|i| &values[i]),
+            _ => unreachable!("find_leaf returns a leaf"),
+        }
+    }
+
+    /// Looks up the value for `key` mutably.
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        let leaf = self.find_leaf(key);
+        match &mut self.nodes[leaf] {
+            Node::Leaf { keys, values, .. } => match keys.binary_search(key) {
+                Ok(i) => Some(&mut values[i]),
+                Err(_) => None,
+            },
+            _ => unreachable!("find_leaf returns a leaf"),
+        }
+    }
+
+    /// `true` when `key` is present.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Inserts `key -> value`, returning the previous value if any.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        let root = self.root;
+        let (old, split) = self.insert_rec(root, key, value);
+        if old.is_none() {
+            self.len += 1;
+        }
+        if let Some((sep, right)) = split {
+            let new_root = self.alloc(Node::Internal {
+                keys: vec![sep],
+                children: vec![self.root, right],
+            });
+            self.root = new_root;
+        }
+        old
+    }
+
+    /// Recursive insert. Returns `(previous value, split)` where split is
+    /// `(separator, new right sibling)` if this node overflowed.
+    fn insert_rec(&mut self, n: usize, key: K, value: V) -> (Option<V>, Option<(K, usize)>) {
+        match &mut self.nodes[n] {
+            Node::Leaf { keys, values, .. } => {
+                match keys.binary_search(&key) {
+                    Ok(i) => {
+                        let old = std::mem::replace(&mut values[i], value);
+                        (Some(old), None)
+                    }
+                    Err(i) => {
+                        keys.insert(i, key);
+                        values.insert(i, value);
+                        if keys.len() > self.order {
+                            (None, Some(self.split_leaf(n)))
+                        } else {
+                            (None, None)
+                        }
+                    }
+                }
+            }
+            Node::Internal { keys, children } => {
+                let i = keys.partition_point(|k| *k <= key);
+                let child = children[i];
+                let (old, split) = self.insert_rec(child, key, value);
+                if let Some((sep, right)) = split {
+                    if let Node::Internal { keys, children } = &mut self.nodes[n] {
+                        keys.insert(i, sep);
+                        children.insert(i + 1, right);
+                        if keys.len() > self.order {
+                            return (old, Some(self.split_internal(n)));
+                        }
+                    }
+                }
+                (old, None)
+            }
+            Node::Free => unreachable!("insert into a freed node"),
+        }
+    }
+
+    fn split_leaf(&mut self, n: usize) -> (K, usize) {
+        let (rk, rv, next) = match &mut self.nodes[n] {
+            Node::Leaf { keys, values, next } => {
+                let mid = keys.len() / 2;
+                (keys.split_off(mid), values.split_off(mid), *next)
+            }
+            _ => unreachable!("split_leaf on non-leaf"),
+        };
+        let sep = rk[0].clone();
+        let right = self.alloc(Node::Leaf {
+            keys: rk,
+            values: rv,
+            next,
+        });
+        if let Node::Leaf { next, .. } = &mut self.nodes[n] {
+            *next = Some(right);
+        }
+        (sep, right)
+    }
+
+    fn split_internal(&mut self, n: usize) -> (K, usize) {
+        let (sep, rk, rc) = match &mut self.nodes[n] {
+            Node::Internal { keys, children } => {
+                let mid = keys.len() / 2;
+                let mut rk = keys.split_off(mid);
+                let sep = rk.remove(0);
+                let rc = children.split_off(mid + 1);
+                (sep, rk, rc)
+            }
+            _ => unreachable!("split_internal on non-internal"),
+        };
+        let right = self.alloc(Node::Internal {
+            keys: rk,
+            children: rc,
+        });
+        (sep, right)
+    }
+
+    /// Removes `key`, returning its value if it was present.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let root = self.root;
+        let removed = self.remove_rec(root, key);
+        if removed.is_some() {
+            self.len -= 1;
+        }
+        // Shrink the root when it has a single child.
+        if let Node::Internal { children, keys } = &self.nodes[self.root] {
+            if keys.is_empty() {
+                debug_assert_eq!(children.len(), 1);
+                let only = children[0];
+                let old_root = self.root;
+                self.root = only;
+                self.release(old_root);
+            }
+        }
+        removed
+    }
+
+    fn remove_rec(&mut self, n: usize, key: &K) -> Option<V> {
+        match &mut self.nodes[n] {
+            Node::Leaf { keys, values, .. } => match keys.binary_search(key) {
+                Ok(i) => {
+                    keys.remove(i);
+                    Some(values.remove(i))
+                }
+                Err(_) => None,
+            },
+            Node::Internal { keys, children } => {
+                let i = keys.partition_point(|k| k <= key);
+                let child = children[i];
+                let removed = self.remove_rec(child, key)?;
+                self.rebalance_child(n, i);
+                Some(removed)
+            }
+            Node::Free => unreachable!("remove from a freed node"),
+        }
+    }
+
+    /// After a removal in `children[i]` of internal node `n`, restore the
+    /// minimum-fill invariant by borrowing from a sibling or merging.
+    fn rebalance_child(&mut self, n: usize, i: usize) {
+        let min = self.min_keys();
+        let child = match &self.nodes[n] {
+            Node::Internal { children, .. } => children[i],
+            _ => unreachable!("rebalance_child on non-internal parent"),
+        };
+        let child_len = self.node_len(child);
+        if child_len >= min {
+            return;
+        }
+        let (left, right) = match &self.nodes[n] {
+            Node::Internal { children, .. } => (
+                (i > 0).then(|| children[i - 1]),
+                (i + 1 < children.len()).then(|| children[i + 1]),
+            ),
+            _ => unreachable!(),
+        };
+        // Prefer borrowing.
+        if let Some(l) = left {
+            if self.node_len(l) > min {
+                self.borrow_from_left(n, i);
+                return;
+            }
+        }
+        if let Some(r) = right {
+            if self.node_len(r) > min {
+                self.borrow_from_right(n, i);
+                return;
+            }
+        }
+        // Merge with a sibling (prefer left so the survivor is children[i-1]).
+        if left.is_some() {
+            self.merge_children(n, i - 1);
+        } else if right.is_some() {
+            self.merge_children(n, i);
+        }
+    }
+
+    fn node_len(&self, n: usize) -> usize {
+        match &self.nodes[n] {
+            Node::Leaf { keys, .. } | Node::Internal { keys, .. } => keys.len(),
+            Node::Free => unreachable!("len of a freed node"),
+        }
+    }
+
+    /// Moves the last key of `children[i-1]` into `children[i]`.
+    fn borrow_from_left(&mut self, n: usize, i: usize) {
+        let (l, c) = match &self.nodes[n] {
+            Node::Internal { children, .. } => (children[i - 1], children[i]),
+            _ => unreachable!(),
+        };
+        let leaf_like = matches!(self.nodes[c], Node::Leaf { .. });
+        if leaf_like {
+            let (k, v) = match &mut self.nodes[l] {
+                Node::Leaf { keys, values, .. } => {
+                    (keys.pop().expect("donor non-empty"), values.pop().expect("donor non-empty"))
+                }
+                _ => unreachable!("sibling kinds match"),
+            };
+            let new_sep = k.clone();
+            if let Node::Leaf { keys, values, .. } = &mut self.nodes[c] {
+                keys.insert(0, k);
+                values.insert(0, v);
+            }
+            if let Node::Internal { keys, .. } = &mut self.nodes[n] {
+                keys[i - 1] = new_sep;
+            }
+        } else {
+            // Rotate through the parent separator.
+            let (k, ch) = match &mut self.nodes[l] {
+                Node::Internal { keys, children } => (
+                    keys.pop().expect("donor non-empty"),
+                    children.pop().expect("donor non-empty"),
+                ),
+                _ => unreachable!("sibling kinds match"),
+            };
+            let sep = match &mut self.nodes[n] {
+                Node::Internal { keys, .. } => std::mem::replace(&mut keys[i - 1], k),
+                _ => unreachable!(),
+            };
+            if let Node::Internal { keys, children } = &mut self.nodes[c] {
+                keys.insert(0, sep);
+                children.insert(0, ch);
+            }
+        }
+    }
+
+    /// Moves the first key of `children[i+1]` into `children[i]`.
+    fn borrow_from_right(&mut self, n: usize, i: usize) {
+        let (c, r) = match &self.nodes[n] {
+            Node::Internal { children, .. } => (children[i], children[i + 1]),
+            _ => unreachable!(),
+        };
+        let leaf_like = matches!(self.nodes[c], Node::Leaf { .. });
+        if leaf_like {
+            let (k, v) = match &mut self.nodes[r] {
+                Node::Leaf { keys, values, .. } => (keys.remove(0), values.remove(0)),
+                _ => unreachable!("sibling kinds match"),
+            };
+            let new_sep = match &self.nodes[r] {
+                Node::Leaf { keys, .. } => keys[0].clone(),
+                _ => unreachable!(),
+            };
+            if let Node::Leaf { keys, values, .. } = &mut self.nodes[c] {
+                keys.push(k);
+                values.push(v);
+            }
+            if let Node::Internal { keys, .. } = &mut self.nodes[n] {
+                keys[i] = new_sep;
+            }
+        } else {
+            let (k, ch) = match &mut self.nodes[r] {
+                Node::Internal { keys, children } => (keys.remove(0), children.remove(0)),
+                _ => unreachable!("sibling kinds match"),
+            };
+            let sep = match &mut self.nodes[n] {
+                Node::Internal { keys, .. } => std::mem::replace(&mut keys[i], k),
+                _ => unreachable!(),
+            };
+            if let Node::Internal { keys, children } = &mut self.nodes[c] {
+                keys.push(sep);
+                children.push(ch);
+            }
+        }
+    }
+
+    /// Merges `children[i+1]` into `children[i]` and drops the separator.
+    fn merge_children(&mut self, n: usize, i: usize) {
+        let (l, r, sep) = match &mut self.nodes[n] {
+            Node::Internal { keys, children } => {
+                let sep = keys.remove(i);
+                let r = children.remove(i + 1);
+                (children[i], r, sep)
+            }
+            _ => unreachable!(),
+        };
+        let right = std::mem::replace(&mut self.nodes[r], Node::Free);
+        self.free.push(r);
+        match (&mut self.nodes[l], right) {
+            (
+                Node::Leaf { keys, values, next },
+                Node::Leaf {
+                    keys: rk,
+                    values: rv,
+                    next: rnext,
+                },
+            ) => {
+                keys.extend(rk);
+                values.extend(rv);
+                *next = rnext;
+            }
+            (
+                Node::Internal { keys, children },
+                Node::Internal {
+                    keys: rk,
+                    children: rc,
+                },
+            ) => {
+                keys.push(sep);
+                keys.extend(rk);
+                children.extend(rc);
+            }
+            _ => unreachable!("siblings have the same kind"),
+        }
+    }
+
+    /// Visits all pairs with `lo <= key <= hi` in ascending key order.
+    pub fn range(&self, lo: &K, hi: &K, mut visit: impl FnMut(&K, &V)) {
+        if lo > hi {
+            return;
+        }
+        let mut leaf = Some(self.find_leaf(lo));
+        while let Some(n) = leaf {
+            self.node_reads.set(self.node_reads.get() + 1);
+            match &self.nodes[n] {
+                Node::Leaf { keys, values, next } => {
+                    let start = keys.partition_point(|k| k < lo);
+                    for i in start..keys.len() {
+                        if keys[i] > *hi {
+                            return;
+                        }
+                        visit(&keys[i], &values[i]);
+                    }
+                    leaf = *next;
+                }
+                _ => unreachable!("leaf chain holds only leaves"),
+            }
+        }
+    }
+
+    /// All pairs in ascending key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        // Walk down the leftmost spine, then follow the leaf chain.
+        let mut n = self.root;
+        loop {
+            match &self.nodes[n] {
+                Node::Internal { children, .. } => n = children[0],
+                Node::Leaf { .. } => break,
+                Node::Free => unreachable!("descended into a freed node"),
+            }
+        }
+        LeafIter {
+            tree: self,
+            leaf: Some(n),
+            pos: 0,
+        }
+    }
+
+    /// Structural self-check for tests: key ordering within nodes, leaf
+    /// chain order, and minimum fill of non-root nodes.
+    #[doc(hidden)]
+    pub fn check_invariants(&self) {
+        // Keys along the leaf chain must be globally sorted.
+        let collected: Vec<&K> = self.iter().map(|(k, _)| k).collect();
+        for w in collected.windows(2) {
+            assert!(w[0] < w[1], "leaf chain out of order");
+        }
+        assert_eq!(collected.len(), self.len, "len out of sync");
+        self.check_node(self.root, true);
+    }
+
+    fn check_node(&self, n: usize, is_root: bool) {
+        match &self.nodes[n] {
+            Node::Leaf { keys, .. } => {
+                if !is_root {
+                    assert!(keys.len() >= self.min_keys(), "leaf underfull");
+                }
+                assert!(keys.len() <= self.order + 1, "leaf overfull");
+            }
+            Node::Internal { keys, children } => {
+                assert_eq!(children.len(), keys.len() + 1);
+                if !is_root {
+                    assert!(keys.len() >= self.min_keys(), "internal underfull");
+                }
+                for w in keys.windows(2) {
+                    assert!(w[0] < w[1], "internal keys out of order");
+                }
+                for &c in children {
+                    self.check_node(c, false);
+                }
+            }
+            Node::Free => panic!("freed node reachable from root"),
+        }
+    }
+}
+
+impl<K: Ord + Clone, V> Default for BPlusTree<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+struct LeafIter<'a, K, V> {
+    tree: &'a BPlusTree<K, V>,
+    leaf: Option<usize>,
+    pos: usize,
+}
+
+impl<'a, K: Ord + Clone, V> Iterator for LeafIter<'a, K, V> {
+    type Item = (&'a K, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let n = self.leaf?;
+            match &self.tree.nodes[n] {
+                Node::Leaf { keys, values, next } => {
+                    if self.pos < keys.len() {
+                        let i = self.pos;
+                        self.pos += 1;
+                        return Some((&keys[i], &values[i]));
+                    }
+                    self.leaf = *next;
+                    self.pos = 0;
+                }
+                _ => unreachable!("leaf chain holds only leaves"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut t = BPlusTree::with_order(4);
+        for i in 0..100u32 {
+            assert_eq!(t.insert(i, i * 10), None);
+        }
+        assert_eq!(t.len(), 100);
+        for i in 0..100u32 {
+            assert_eq!(t.get(&i), Some(&(i * 10)));
+        }
+        assert_eq!(t.get(&200), None);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn insert_overwrites() {
+        let mut t: BPlusTree<u32, &str> = BPlusTree::with_order(4);
+        assert_eq!(t.insert(7, "a"), None);
+        assert_eq!(t.insert(7, "b"), Some("a"));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(&7), Some(&"b"));
+    }
+
+    #[test]
+    fn reverse_and_shuffled_inserts() {
+        for seed in 0..3u64 {
+            let mut keys: Vec<u32> = (0..500).collect();
+            keys.shuffle(&mut StdRng::seed_from_u64(seed));
+            let mut t = BPlusTree::with_order(5);
+            for &k in &keys {
+                t.insert(k, k as u64);
+            }
+            t.check_invariants();
+            let got: Vec<u32> = t.iter().map(|(k, _)| *k).collect();
+            assert_eq!(got, (0..500).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn range_scan() {
+        let mut t = BPlusTree::with_order(4);
+        for i in (0..100u32).step_by(2) {
+            t.insert(i, ());
+        }
+        let mut got = Vec::new();
+        t.range(&11, &31, |k, _| got.push(*k));
+        assert_eq!(got, vec![12, 14, 16, 18, 20, 22, 24, 26, 28, 30]);
+        // Inclusive bounds.
+        got.clear();
+        t.range(&10, &14, |k, _| got.push(*k));
+        assert_eq!(got, vec![10, 12, 14]);
+        // Empty and inverted ranges.
+        got.clear();
+        t.range(&13, &13, |k, _| got.push(*k));
+        assert!(got.is_empty());
+        t.range(&30, &10, |k, _| got.push(*k));
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn get_mut_mutates() {
+        let mut t = BPlusTree::with_order(4);
+        t.insert(1u32, vec![1]);
+        t.get_mut(&1).unwrap().push(2);
+        assert_eq!(t.get(&1), Some(&vec![1, 2]));
+        assert!(t.get_mut(&9).is_none());
+    }
+
+    #[test]
+    fn remove_everything_in_order() {
+        let mut t = BPlusTree::with_order(4);
+        for i in 0..300u32 {
+            t.insert(i, i);
+        }
+        for i in 0..300u32 {
+            assert_eq!(t.remove(&i), Some(i), "removing {i}");
+            t.check_invariants();
+        }
+        assert!(t.is_empty());
+        assert_eq!(t.remove(&0), None);
+    }
+
+    #[test]
+    fn remove_everything_in_reverse() {
+        let mut t = BPlusTree::with_order(4);
+        for i in 0..300u32 {
+            t.insert(i, i);
+        }
+        for i in (0..300u32).rev() {
+            assert_eq!(t.remove(&i), Some(i));
+        }
+        t.check_invariants();
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn interleaved_insert_remove_matches_model() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut t = BPlusTree::with_order(4);
+        let mut model = BTreeMap::new();
+        for _ in 0..5000 {
+            let k: u32 = rng.random_range(0..400);
+            if rng.random_bool(0.5) {
+                assert_eq!(t.insert(k, k as u64), model.insert(k, k as u64));
+            } else {
+                assert_eq!(t.remove(&k), model.remove(&k));
+            }
+        }
+        t.check_invariants();
+        assert_eq!(t.len(), model.len());
+        let got: Vec<(u32, u64)> = t.iter().map(|(k, v)| (*k, *v)).collect();
+        let want: Vec<(u32, u64)> = model.iter().map(|(k, v)| (*k, *v)).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn node_reads_counted() {
+        let mut t = BPlusTree::with_order(4);
+        for i in 0..1000u32 {
+            t.insert(i, ());
+        }
+        t.reset_node_reads();
+        t.get(&512);
+        assert!(t.node_reads() >= 3, "a 1000-key order-4 tree is deep");
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t: BPlusTree<u32, ()> = BPlusTree::new();
+        assert!(t.is_empty());
+        assert_eq!(t.get(&1), None);
+        assert_eq!(t.iter().count(), 0);
+        let mut visited = false;
+        t.range(&0, &100, |_, _| visited = true);
+        assert!(!visited);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn prop_matches_btreemap(ops in proptest::collection::vec(
+            (0u32..200, proptest::bool::ANY), 1..400), order in 3usize..16) {
+            let mut t = BPlusTree::with_order(order);
+            let mut model = BTreeMap::new();
+            for (k, is_insert) in ops {
+                if is_insert {
+                    prop_assert_eq!(t.insert(k, k), model.insert(k, k));
+                } else {
+                    prop_assert_eq!(t.remove(&k), model.remove(&k));
+                }
+            }
+            t.check_invariants();
+            let got: Vec<u32> = t.iter().map(|(k, _)| *k).collect();
+            let want: Vec<u32> = model.keys().copied().collect();
+            prop_assert_eq!(got, want);
+        }
+
+        #[test]
+        fn prop_range_matches_btreemap(keys in proptest::collection::btree_set(0u32..500, 0..200),
+                                       lo in 0u32..500, hi in 0u32..500) {
+            let mut t = BPlusTree::with_order(6);
+            for &k in &keys {
+                t.insert(k, ());
+            }
+            let mut got = Vec::new();
+            t.range(&lo, &hi, |k, _| got.push(*k));
+            let want: Vec<u32> = keys.iter().copied().filter(|k| lo <= *k && *k <= hi).collect();
+            prop_assert_eq!(got, want);
+        }
+    }
+}

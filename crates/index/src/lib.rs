@@ -1,0 +1,31 @@
+//! Access methods — the indexing substrate of §3/§4.
+//!
+//! Three structures back the paper's algorithms:
+//!
+//! * [`rtree`] — an R-tree with STR bulk loading, quadratic-split inserts,
+//!   window queries and a *generic best-first traversal*. The generic
+//!   traversal is the work-horse: single-source nearest neighbour,
+//!   aggregate (multi-source) nearest neighbour, skyline-dominance-pruned
+//!   nearest neighbour (LBC step 1.1) and the BBS skyline search are all
+//!   thin closures over it. Objects and edge MBRs are both indexed with it
+//!   (§6.1: "The edges are indexed by an R-tree on edge MBRs ... The
+//!   objects are also indexed by an R-tree").
+//! * [`bptree`] — a B⁺-tree with inserts, point/range lookups and deletes,
+//!   used to key the middle layer by edge id (§3: "This middle layer can be
+//!   indexed using a B⁺-tree on edge ids").
+//! * [`midlayer`] — the middle layer itself: the partial materialisation of
+//!   the object-to-network mapping, storing for every object its edge and
+//!   the two pre-computed endpoint distances `d(u, p)`, `d(v, p)`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bptree;
+pub mod edgetree;
+pub mod midlayer;
+pub mod rtree;
+
+pub use bptree::BPlusTree;
+pub use edgetree::EdgeLocator;
+pub use midlayer::{MiddleLayer, ObjectOnEdge};
+pub use rtree::RTree;

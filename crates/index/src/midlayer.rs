@@ -1,0 +1,213 @@
+//! The middle layer — the partial materialisation of the object/network
+//! mapping (§3).
+//!
+//! "If an object `p` is on a network edge `e` between two adjacent nodes
+//! `v, v'`, the distances `d(v, p)` and `d(v', p)` are pre-computed, and the
+//! id of `e` is stored in the middle layer with the id of `p` and the two
+//! pre-computed distances. This middle layer can be indexed using a B⁺-tree
+//! on edge ids."
+//!
+//! The wavefront algorithms probe the middle layer once per visited edge to
+//! discover data objects; an object's network distance from a query point
+//! follows directly from the settled endpoint distances plus the
+//! pre-computed offsets.
+
+use crate::bptree::BPlusTree;
+use rn_geom::Point;
+use rn_graph::{EdgeId, NetPosition, ObjectId, RoadNetwork};
+
+/// One object's middle-layer record: the pre-computed distances from the
+/// object to the two endpoints of the edge it lies on.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ObjectOnEdge {
+    /// The object.
+    pub object: ObjectId,
+    /// Distance along the edge from the edge's `u` endpoint to the object.
+    pub d_u: f64,
+    /// Distance along the edge from the edge's `v` endpoint to the object.
+    pub d_v: f64,
+}
+
+/// The middle layer: a B⁺-tree keyed by edge id whose values are the
+/// objects on that edge (sorted by offset from the `u` endpoint).
+pub struct MiddleLayer {
+    tree: BPlusTree<u32, Vec<ObjectOnEdge>>,
+    /// Per object: its network position (dense by `ObjectId`).
+    positions: Vec<NetPosition>,
+    /// Per object: its planar coordinates (dense by `ObjectId`).
+    points: Vec<Point>,
+}
+
+impl MiddleLayer {
+    /// Builds the middle layer for `objects`, where `objects[i]` is the
+    /// position of `ObjectId(i)`.
+    ///
+    /// # Panics
+    /// Panics when an object's offset lies outside its edge's length.
+    pub fn build(network: &RoadNetwork, objects: &[NetPosition]) -> Self {
+        let mut tree: BPlusTree<u32, Vec<ObjectOnEdge>> = BPlusTree::new();
+        let mut points = Vec::with_capacity(objects.len());
+        for (i, pos) in objects.iter().enumerate() {
+            let edge = network.edge(pos.edge);
+            assert!(
+                pos.offset >= 0.0 && pos.offset <= edge.length + 1e-9,
+                "object {i} offset {} outside edge length {}",
+                pos.offset,
+                edge.length
+            );
+            let (d_u, d_v) = network.position_endpoint_dists(pos);
+            let rec = ObjectOnEdge {
+                object: ObjectId(i as u32),
+                d_u,
+                d_v,
+            };
+            match tree.get_mut(&pos.edge.0) {
+                Some(list) => {
+                    let at = list.partition_point(|o| o.d_u <= rec.d_u);
+                    list.insert(at, rec);
+                }
+                None => {
+                    tree.insert(pos.edge.0, vec![rec]);
+                }
+            }
+            points.push(network.position_point(pos));
+        }
+        MiddleLayer {
+            tree,
+            positions: objects.to_vec(),
+            points,
+        }
+    }
+
+    /// Number of objects in the layer.
+    pub fn object_count(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// The objects on `edge` (sorted by offset from the `u` endpoint), or an
+    /// empty slice. One B⁺-tree probe — this is the per-edge check the
+    /// wavefront performs.
+    pub fn objects_on_edge(&self, edge: EdgeId) -> &[ObjectOnEdge] {
+        self.tree
+            .get(&edge.0)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// The network position of `object`.
+    pub fn position(&self, object: ObjectId) -> NetPosition {
+        self.positions[object.idx()]
+    }
+
+    /// Planar coordinates of `object` (pre-computed at build time).
+    pub fn point(&self, object: ObjectId) -> Point {
+        self.points[object.idx()]
+    }
+
+    /// All object coordinates, dense by id — handy for building the object
+    /// R-tree without recomputing positions.
+    pub fn all_points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// B⁺-tree nodes visited by probes so far (index I/O accounting).
+    pub fn node_reads(&self) -> u64 {
+        self.tree.node_reads()
+    }
+
+    /// Resets the probe counter.
+    pub fn reset_node_reads(&self) {
+        self.tree.reset_node_reads();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rn_graph::NetworkBuilder;
+
+    fn line_net() -> RoadNetwork {
+        // 0 --10-- 1 --10-- 2
+        let mut b = NetworkBuilder::new();
+        let n0 = b.add_node(Point::new(0.0, 0.0));
+        let n1 = b.add_node(Point::new(10.0, 0.0));
+        let n2 = b.add_node(Point::new(20.0, 0.0));
+        b.add_straight_edge(n0, n1).unwrap();
+        b.add_straight_edge(n1, n2).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builds_and_probes() {
+        let g = line_net();
+        let objs = vec![
+            NetPosition::new(EdgeId(0), 3.0),
+            NetPosition::new(EdgeId(0), 7.0),
+            NetPosition::new(EdgeId(1), 5.0),
+        ];
+        let ml = MiddleLayer::build(&g, &objs);
+        assert_eq!(ml.object_count(), 3);
+
+        let e0 = ml.objects_on_edge(EdgeId(0));
+        assert_eq!(e0.len(), 2);
+        assert_eq!(e0[0].object, ObjectId(0));
+        assert!(rn_geom::approx_eq(e0[0].d_u, 3.0));
+        assert!(rn_geom::approx_eq(e0[0].d_v, 7.0));
+        assert_eq!(e0[1].object, ObjectId(1));
+
+        let e1 = ml.objects_on_edge(EdgeId(1));
+        assert_eq!(e1.len(), 1);
+        assert!(rn_geom::approx_eq(e1[0].d_u, 5.0));
+    }
+
+    #[test]
+    fn empty_edge_returns_empty_slice() {
+        let g = line_net();
+        let ml = MiddleLayer::build(&g, &[NetPosition::new(EdgeId(0), 1.0)]);
+        assert!(ml.objects_on_edge(EdgeId(1)).is_empty());
+    }
+
+    #[test]
+    fn objects_sorted_by_offset_regardless_of_insertion_order() {
+        let g = line_net();
+        let objs = vec![
+            NetPosition::new(EdgeId(0), 9.0),
+            NetPosition::new(EdgeId(0), 1.0),
+            NetPosition::new(EdgeId(0), 5.0),
+        ];
+        let ml = MiddleLayer::build(&g, &objs);
+        let on_edge = ml.objects_on_edge(EdgeId(0));
+        let offsets: Vec<f64> = on_edge.iter().map(|o| o.d_u).collect();
+        assert_eq!(offsets, vec![1.0, 5.0, 9.0]);
+    }
+
+    #[test]
+    fn points_are_interpolated() {
+        let g = line_net();
+        let ml = MiddleLayer::build(&g, &[NetPosition::new(EdgeId(1), 2.5)]);
+        let p = ml.point(ObjectId(0));
+        assert!(rn_geom::approx_eq(p.x, 12.5));
+        assert!(rn_geom::approx_eq(p.y, 0.0));
+        assert_eq!(ml.all_points().len(), 1);
+    }
+
+    #[test]
+    fn endpoint_distances_sum_to_edge_length() {
+        let g = line_net();
+        let objs = vec![
+            NetPosition::new(EdgeId(0), 0.0),
+            NetPosition::new(EdgeId(0), 10.0),
+        ];
+        let ml = MiddleLayer::build(&g, &objs);
+        for rec in ml.objects_on_edge(EdgeId(0)) {
+            assert!(rn_geom::approx_eq(rec.d_u + rec.d_v, 10.0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside edge length")]
+    fn rejects_out_of_range_offset() {
+        let g = line_net();
+        MiddleLayer::build(&g, &[NetPosition::new(EdgeId(0), 11.0)]);
+    }
+}

@@ -1,0 +1,826 @@
+//! An R-tree with STR bulk loading and a generic best-first traversal.
+//!
+//! The design goal is *one* priority-search engine that all of the paper's
+//! R-tree-based searches instantiate with closures:
+//!
+//! * nearest neighbour to a point — score = `mindist(mbr, q)`;
+//! * aggregate nearest neighbour to several query points (the Euclidean
+//!   skyline heap order of §4.2) — score = `Σ_i mindist(mbr, q_i)`;
+//! * skyline-dominance-constrained nearest neighbour (LBC step 1.1) —
+//!   same score, but the closure returns `None` (prune) for any entry whose
+//!   distance-vector lower bound is dominated by a known skyline point;
+//! * BBS-style skyline browsing (§2, Papadias et al.) — the caller pops
+//!   entries in `mindist` order and re-checks dominance on each pop.
+//!
+//! Returning `None` from the scoring closure prunes the subtree/entry —
+//! exactly the "do not insert an entry dominated by S into the heap" rule
+//! of the paper's Euclidean skyline algorithm.
+
+use rn_geom::{Mbr, OrdF64, Point};
+use std::cell::Cell;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Maximum entries per node (both internal and leaf) by default.
+///
+/// With ~40-byte leaf entries this models a 4 KB index page, matching the
+/// storage configuration of §6.1.
+pub const DEFAULT_MAX_ENTRIES: usize = 64;
+
+/// An R-tree over items of type `T`, each keyed by an [`Mbr`].
+///
+/// Point data (objects in `D`) is indexed with degenerate rectangles;
+/// edge data with real ones. Construction is either incremental
+/// ([`RTree::insert`], Guttman quadratic split) or bulk
+/// ([`RTree::bulk_load`], Sort-Tile-Recursive), and the two can be mixed.
+pub struct RTree<T> {
+    nodes: Vec<Node<T>>,
+    root: Option<usize>,
+    len: usize,
+    max_entries: usize,
+    min_entries: usize,
+    /// Number of tree nodes visited by queries since construction/reset;
+    /// the index-page-access analogue of the storage layer's fault counter.
+    node_reads: Cell<u64>,
+}
+
+struct Node<T> {
+    mbr: Mbr,
+    kind: Kind<T>,
+}
+
+enum Kind<T> {
+    /// Child node indexes into the arena.
+    Internal(Vec<usize>),
+    /// Leaf entries.
+    Leaf(Vec<(Mbr, T)>),
+}
+
+impl<T> RTree<T> {
+    /// An empty tree with the default node capacity.
+    pub fn new() -> Self {
+        RTree::with_max_entries(DEFAULT_MAX_ENTRIES)
+    }
+
+    /// An empty tree with `max_entries` per node (minimum fill is 40 %).
+    ///
+    /// # Panics
+    /// Panics when `max_entries < 4`.
+    pub fn with_max_entries(max_entries: usize) -> Self {
+        assert!(max_entries >= 4, "R-tree nodes need at least 4 entries");
+        RTree {
+            nodes: Vec::new(),
+            root: None,
+            len: 0,
+            max_entries,
+            min_entries: (max_entries * 2) / 5,
+            node_reads: Cell::new(0),
+        }
+    }
+
+    /// Number of indexed items.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bounding rectangle of everything indexed.
+    pub fn mbr(&self) -> Option<Mbr> {
+        self.root.map(|r| self.nodes[r].mbr)
+    }
+
+    /// Tree nodes visited by queries so far.
+    pub fn node_reads(&self) -> u64 {
+        self.node_reads.get()
+    }
+
+    /// Resets the node-visit counter.
+    pub fn reset_node_reads(&self) {
+        self.node_reads.set(0);
+    }
+
+    #[inline]
+    fn count_read(&self) {
+        self.node_reads.set(self.node_reads.get() + 1);
+    }
+
+    /// Bulk-loads a tree from items using Sort-Tile-Recursive packing.
+    pub fn bulk_load(items: Vec<(Mbr, T)>) -> Self {
+        Self::bulk_load_with_max_entries(items, DEFAULT_MAX_ENTRIES)
+    }
+
+    /// STR bulk load with an explicit node capacity.
+    pub fn bulk_load_with_max_entries(mut items: Vec<(Mbr, T)>, max_entries: usize) -> Self {
+        let mut tree = RTree::with_max_entries(max_entries);
+        tree.len = items.len();
+        if items.is_empty() {
+            return tree;
+        }
+        let m = tree.max_entries;
+
+        // --- leaf level ---
+        let leaf_count = items.len().div_ceil(m);
+        let slices = (leaf_count as f64).sqrt().ceil() as usize;
+        let slice_size = items.len().div_ceil(slices);
+        items.sort_by(|a, b| {
+            a.0.center()
+                .x
+                .partial_cmp(&b.0.center().x)
+                .expect("finite MBRs")
+        });
+        let mut level: Vec<usize> = Vec::with_capacity(leaf_count);
+        let mut rest = items;
+        while !rest.is_empty() {
+            let take = slice_size.min(rest.len());
+            let mut slice: Vec<(Mbr, T)> = rest.drain(..take).collect();
+            slice.sort_by(|a, b| {
+                a.0.center()
+                    .y
+                    .partial_cmp(&b.0.center().y)
+                    .expect("finite MBRs")
+            });
+            while !slice.is_empty() {
+                let take = m.min(slice.len());
+                let chunk: Vec<(Mbr, T)> = slice.drain(..take).collect();
+                let mbr = Self::entries_mbr(&chunk);
+                level.push(tree.push_node(Node {
+                    mbr,
+                    kind: Kind::Leaf(chunk),
+                }));
+            }
+        }
+
+        // --- internal levels ---
+        while level.len() > 1 {
+            let parent_count = level.len().div_ceil(m);
+            let slices = (parent_count as f64).sqrt().ceil() as usize;
+            let slice_size = level.len().div_ceil(slices);
+            level.sort_by(|&a, &b| {
+                tree.nodes[a]
+                    .mbr
+                    .center()
+                    .x
+                    .partial_cmp(&tree.nodes[b].mbr.center().x)
+                    .expect("finite MBRs")
+            });
+            let mut next: Vec<usize> = Vec::with_capacity(parent_count);
+            let mut rest = level;
+            while !rest.is_empty() {
+                let take = slice_size.min(rest.len());
+                let mut slice: Vec<usize> = rest.drain(..take).collect();
+                slice.sort_by(|&a, &b| {
+                    tree.nodes[a]
+                        .mbr
+                        .center()
+                        .y
+                        .partial_cmp(&tree.nodes[b].mbr.center().y)
+                        .expect("finite MBRs")
+                });
+                while !slice.is_empty() {
+                    let take = m.min(slice.len());
+                    let children: Vec<usize> = slice.drain(..take).collect();
+                    let mbr = tree.children_mbr(&children);
+                    next.push(tree.push_node(Node {
+                        mbr,
+                        kind: Kind::Internal(children),
+                    }));
+                }
+            }
+            level = next;
+        }
+        tree.root = Some(level[0]);
+        tree
+    }
+
+    fn push_node(&mut self, node: Node<T>) -> usize {
+        self.nodes.push(node);
+        self.nodes.len() - 1
+    }
+
+    fn entries_mbr(entries: &[(Mbr, T)]) -> Mbr {
+        let mut it = entries.iter();
+        let mut mbr = it.next().expect("non-empty entries").0;
+        for (m, _) in it {
+            mbr.expand_mbr(m);
+        }
+        mbr
+    }
+
+    fn children_mbr(&self, children: &[usize]) -> Mbr {
+        let mut it = children.iter();
+        let mut mbr = self.nodes[*it.next().expect("non-empty children")].mbr;
+        for &c in it {
+            mbr.expand_mbr(&self.nodes[c].mbr);
+        }
+        mbr
+    }
+
+    /// Inserts one item (Guttman: least-enlargement descent, quadratic
+    /// split on overflow).
+    pub fn insert(&mut self, mbr: Mbr, item: T) {
+        self.len += 1;
+        let Some(root) = self.root else {
+            let id = self.push_node(Node {
+                mbr,
+                kind: Kind::Leaf(vec![(mbr, item)]),
+            });
+            self.root = Some(id);
+            return;
+        };
+        if let Some((split_mbr, split_node)) = self.insert_at(root, mbr, item) {
+            // Root split: grow the tree by one level.
+            let old_root = self.root.expect("checked above");
+            let old_mbr = self.nodes[old_root].mbr;
+            let new_root = self.push_node(Node {
+                mbr: old_mbr.union(&split_mbr),
+                kind: Kind::Internal(vec![old_root, split_node]),
+            });
+            self.root = Some(new_root);
+        }
+    }
+
+    /// Recursive insert; returns the (mbr, node) of a split sibling if the
+    /// child overflowed.
+    fn insert_at(&mut self, node: usize, mbr: Mbr, item: T) -> Option<(Mbr, usize)> {
+        self.nodes[node].mbr.expand_mbr(&mbr);
+        match &mut self.nodes[node].kind {
+            Kind::Leaf(entries) => {
+                entries.push((mbr, item));
+                if entries.len() > self.max_entries {
+                    return Some(self.split_leaf(node));
+                }
+                None
+            }
+            Kind::Internal(children) => {
+                // Choose the child needing least enlargement (ties: area).
+                let mut best = children[0];
+                let mut best_enl = f64::INFINITY;
+                let mut best_area = f64::INFINITY;
+                let children = children.clone();
+                for &c in &children {
+                    let cm = self.nodes[c].mbr;
+                    let enl = cm.enlargement(&mbr);
+                    let area = cm.area();
+                    if enl < best_enl || (enl == best_enl && area < best_area) {
+                        best = c;
+                        best_enl = enl;
+                        best_area = area;
+                    }
+                }
+                if let Some((smbr, snode)) = self.insert_at(best, mbr, item) {
+                    if let Kind::Internal(ch) = &mut self.nodes[node].kind {
+                        ch.push(snode);
+                        let _ = smbr;
+                        if ch.len() > self.max_entries {
+                            return Some(self.split_internal(node));
+                        }
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// Quadratic split of an overflowing leaf; returns the new sibling.
+    fn split_leaf(&mut self, node: usize) -> (Mbr, usize) {
+        let entries = match &mut self.nodes[node].kind {
+            Kind::Leaf(e) => std::mem::take(e),
+            Kind::Internal(_) => unreachable!("split_leaf on internal node"),
+        };
+        let mbrs: Vec<Mbr> = entries.iter().map(|(m, _)| *m).collect();
+        let (ga, gb) = quadratic_partition(&mbrs, self.min_entries);
+        let mut ea = Vec::with_capacity(ga.len());
+        let mut eb = Vec::with_capacity(gb.len());
+        let mut take = entries.into_iter().enumerate();
+        let in_a: std::collections::HashSet<usize> = ga.into_iter().collect();
+        for (i, e) in take.by_ref() {
+            if in_a.contains(&i) {
+                ea.push(e);
+            } else {
+                eb.push(e);
+            }
+        }
+        let mbr_a = Self::entries_mbr(&ea);
+        let mbr_b = Self::entries_mbr(&eb);
+        self.nodes[node].mbr = mbr_a;
+        self.nodes[node].kind = Kind::Leaf(ea);
+        let sib = self.push_node(Node {
+            mbr: mbr_b,
+            kind: Kind::Leaf(eb),
+        });
+        (mbr_b, sib)
+    }
+
+    /// Quadratic split of an overflowing internal node.
+    fn split_internal(&mut self, node: usize) -> (Mbr, usize) {
+        let children = match &mut self.nodes[node].kind {
+            Kind::Internal(c) => std::mem::take(c),
+            Kind::Leaf(_) => unreachable!("split_internal on leaf"),
+        };
+        let mbrs: Vec<Mbr> = children.iter().map(|&c| self.nodes[c].mbr).collect();
+        let (ga, _) = quadratic_partition(&mbrs, self.min_entries);
+        let in_a: std::collections::HashSet<usize> = ga.into_iter().collect();
+        let mut ca = Vec::new();
+        let mut cb = Vec::new();
+        for (i, c) in children.into_iter().enumerate() {
+            if in_a.contains(&i) {
+                ca.push(c);
+            } else {
+                cb.push(c);
+            }
+        }
+        let mbr_a = self.children_mbr(&ca);
+        let mbr_b = self.children_mbr(&cb);
+        self.nodes[node].mbr = mbr_a;
+        self.nodes[node].kind = Kind::Internal(ca);
+        let sib = self.push_node(Node {
+            mbr: mbr_b,
+            kind: Kind::Internal(cb),
+        });
+        (mbr_b, sib)
+    }
+
+    /// Calls `visit` for every item whose MBR intersects `window`.
+    pub fn for_each_in_window<'a>(&'a self, window: &Mbr, mut visit: impl FnMut(&Mbr, &'a T)) {
+        self.traverse(|m| m.intersects(window), |m, t| {
+            if m.intersects(window) {
+                visit(m, t);
+            }
+        });
+    }
+
+    /// Collects references to all items intersecting `window`.
+    pub fn window(&self, window: &Mbr) -> Vec<&T> {
+        let mut out = Vec::new();
+        self.for_each_in_window(window, |_, t| out.push(t));
+        out
+    }
+
+    /// Generic depth-first traversal. `descend` decides whether a node's
+    /// subtree is explored from its MBR; `visit` receives every leaf entry
+    /// in subtrees that survive pruning (callers re-test entries
+    /// themselves — the entry MBR is passed along).
+    pub fn traverse<'a>(
+        &'a self,
+        mut descend: impl FnMut(&Mbr) -> bool,
+        mut visit: impl FnMut(&Mbr, &'a T),
+    ) {
+        let Some(root) = self.root else { return };
+        let mut stack = vec![root];
+        while let Some(n) = stack.pop() {
+            let node = &self.nodes[n];
+            if !descend(&node.mbr) {
+                continue;
+            }
+            self.count_read();
+            match &node.kind {
+                Kind::Internal(children) => stack.extend_from_slice(children),
+                Kind::Leaf(entries) => {
+                    for (m, t) in entries {
+                        visit(m, t);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Best-first search: yields items in ascending `score` order.
+    ///
+    /// `score(mbr, None)` must return an *optimistic* (lower-bound) score
+    /// for a subtree/entry MBR, or `None` to prune it; `score(mbr,
+    /// Some(item))` returns the exact score of a leaf item (or `None` to
+    /// drop it). The classic requirement applies: the bound must never
+    /// exceed the best exact score inside the subtree, or results arrive
+    /// out of order.
+    pub fn best_first<'a, F>(&'a self, score: F) -> BestFirst<'a, T, F>
+    where
+        F: FnMut(&Mbr, Option<&T>) -> Option<f64>,
+    {
+        let mut search = BestFirst {
+            tree: self,
+            score,
+            heap: BinaryHeap::new(),
+        };
+        if let Some(root) = self.root {
+            let mbr = self.nodes[root].mbr;
+            if let Some(s) = (search.score)(&mbr, None) {
+                search.heap.push(Reverse(HeapEntry {
+                    score: OrdF64::new(s),
+                    slot: Slot::Node(root),
+                }));
+            }
+        }
+        search
+    }
+
+    /// Convenience: items in ascending Euclidean distance from `q`.
+    /// (Works for point items; rectangle items are ordered by mindist.)
+    pub fn nearest_iter<'a>(
+        &'a self,
+        q: Point,
+    ) -> BestFirst<'a, T, impl FnMut(&Mbr, Option<&T>) -> Option<f64> + 'a> {
+        self.best_first(move |mbr, _| Some(mbr.min_dist(&q)))
+    }
+
+    /// Convenience: the single nearest item to `q` with its distance.
+    pub fn nearest(&self, q: Point) -> Option<(f64, &T)> {
+        self.nearest_iter(q).next().map(|(d, _, t)| (d, t))
+    }
+}
+
+impl<T> Default for RTree<T> {
+    fn default() -> Self {
+        RTree::new()
+    }
+}
+
+/// Guttman's quadratic partition over a set of rectangles: picks the two
+/// seeds wasting the most area together, then greedily assigns the entry
+/// with the strongest preference, respecting the minimum fill `min`.
+/// Returns the index sets of the two groups.
+fn quadratic_partition(mbrs: &[Mbr], min: usize) -> (Vec<usize>, Vec<usize>) {
+    debug_assert!(mbrs.len() >= 2);
+    // Seed selection.
+    let (mut sa, mut sb, mut worst) = (0usize, 1usize, f64::NEG_INFINITY);
+    for i in 0..mbrs.len() {
+        for j in i + 1..mbrs.len() {
+            let waste = mbrs[i].union(&mbrs[j]).area() - mbrs[i].area() - mbrs[j].area();
+            if waste > worst {
+                worst = waste;
+                sa = i;
+                sb = j;
+            }
+        }
+    }
+    let mut ga = vec![sa];
+    let mut gb = vec![sb];
+    let mut mbr_a = mbrs[sa];
+    let mut mbr_b = mbrs[sb];
+    let mut rest: Vec<usize> = (0..mbrs.len()).filter(|&i| i != sa && i != sb).collect();
+
+    while !rest.is_empty() {
+        let remaining = rest.len();
+        // Force-assign to meet minimum fill.
+        if ga.len() + remaining == min {
+            for i in rest.drain(..) {
+                mbr_a.expand_mbr(&mbrs[i]);
+                ga.push(i);
+            }
+            break;
+        }
+        if gb.len() + remaining == min {
+            for i in rest.drain(..) {
+                mbr_b.expand_mbr(&mbrs[i]);
+                gb.push(i);
+            }
+            break;
+        }
+        // Pick the entry with the largest |d_a - d_b| preference.
+        let (k, _) = rest
+            .iter()
+            .enumerate()
+            .map(|(k, &i)| {
+                let da = mbr_a.enlargement(&mbrs[i]);
+                let db = mbr_b.enlargement(&mbrs[i]);
+                (k, (da - db).abs())
+            })
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite areas"))
+            .expect("rest is non-empty");
+        let i = rest.swap_remove(k);
+        let da = mbr_a.enlargement(&mbrs[i]);
+        let db = mbr_b.enlargement(&mbrs[i]);
+        if da < db || (da == db && ga.len() <= gb.len()) {
+            mbr_a.expand_mbr(&mbrs[i]);
+            ga.push(i);
+        } else {
+            mbr_b.expand_mbr(&mbrs[i]);
+            gb.push(i);
+        }
+    }
+    (ga, gb)
+}
+
+#[derive(PartialEq, Eq)]
+struct HeapEntry {
+    score: OrdF64,
+    slot: Slot,
+}
+
+#[derive(PartialEq, Eq)]
+enum Slot {
+    Node(usize),
+    /// Leaf item: (node index, entry index) — indices stay valid because
+    /// the tree is borrowed immutably for the iterator's lifetime.
+    Item(usize, usize),
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.score.cmp(&other.score).then_with(|| {
+            // Deterministic tie-break so equal-score pops are stable.
+            let k = |s: &Slot| match s {
+                Slot::Node(n) => (0usize, *n, 0usize),
+                Slot::Item(n, e) => (1usize, *n, *e),
+            };
+            k(&self.slot).cmp(&k(&other.slot))
+        })
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Iterator produced by [`RTree::best_first`]: yields
+/// `(score, entry_mbr, item)` in ascending score order.
+pub struct BestFirst<'a, T, F>
+where
+    F: FnMut(&Mbr, Option<&T>) -> Option<f64>,
+{
+    tree: &'a RTree<T>,
+    score: F,
+    heap: BinaryHeap<Reverse<HeapEntry>>,
+}
+
+impl<'a, T, F> Iterator for BestFirst<'a, T, F>
+where
+    F: FnMut(&Mbr, Option<&T>) -> Option<f64>,
+{
+    type Item = (f64, Mbr, &'a T);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while let Some(Reverse(HeapEntry { score, slot })) = self.heap.pop() {
+            match slot {
+                Slot::Item(n, e) => {
+                    let (mbr, item) = match &self.tree.nodes[n].kind {
+                        Kind::Leaf(entries) => &entries[e],
+                        Kind::Internal(_) => unreachable!("item slot in internal node"),
+                    };
+                    return Some((score.get(), *mbr, item));
+                }
+                Slot::Node(n) => {
+                    self.tree.count_read();
+                    match &self.tree.nodes[n].kind {
+                        Kind::Internal(children) => {
+                            for &c in children {
+                                let mbr = self.tree.nodes[c].mbr;
+                                if let Some(s) = (self.score)(&mbr, None) {
+                                    self.heap.push(Reverse(HeapEntry {
+                                        score: OrdF64::new(s),
+                                        slot: Slot::Node(c),
+                                    }));
+                                }
+                            }
+                        }
+                        Kind::Leaf(entries) => {
+                            for (e, (mbr, item)) in entries.iter().enumerate() {
+                                if let Some(s) = (self.score)(mbr, Some(item)) {
+                                    self.heap.push(Reverse(HeapEntry {
+                                        score: OrdF64::new(s),
+                                        slot: Slot::Item(n, e),
+                                    }));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+
+    fn pts(n: usize, seed: u64) -> Vec<Point> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point::new(rng.random_range(0.0..1000.0), rng.random_range(0.0..1000.0)))
+            .collect()
+    }
+
+    fn tree_of(points: &[Point]) -> RTree<usize> {
+        RTree::bulk_load(
+            points
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (Mbr::from_point(*p), i))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn bulk_load_indexes_everything() {
+        let points = pts(500, 1);
+        let t = tree_of(&points);
+        assert_eq!(t.len(), 500);
+        let all = t.window(&t.mbr().unwrap());
+        assert_eq!(all.len(), 500);
+    }
+
+    #[test]
+    fn window_query_matches_brute_force() {
+        let points = pts(400, 2);
+        let t = tree_of(&points);
+        let w = Mbr::new(Point::new(100.0, 100.0), Point::new(400.0, 300.0));
+        let mut got: Vec<usize> = t.window(&w).into_iter().copied().collect();
+        got.sort_unstable();
+        let want: Vec<usize> = points
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| w.contains_point(p))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn nearest_matches_brute_force() {
+        let points = pts(300, 3);
+        let t = tree_of(&points);
+        for q in pts(20, 99) {
+            let (d, &i) = t.nearest(q).unwrap();
+            let (bi, bd) = points
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (i, p.distance(&q)))
+                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                .unwrap();
+            assert_eq!(i, bi);
+            assert!(rn_geom::approx_eq(d, bd));
+        }
+    }
+
+    #[test]
+    fn nearest_iter_is_sorted_and_complete() {
+        let points = pts(200, 4);
+        let t = tree_of(&points);
+        let q = Point::new(500.0, 500.0);
+        let seq: Vec<(f64, usize)> = t.nearest_iter(q).map(|(d, _, &i)| (d, i)).collect();
+        assert_eq!(seq.len(), 200);
+        for w in seq.windows(2) {
+            assert!(w[0].0 <= w[1].0 + 1e-12);
+        }
+        let mut ids: Vec<usize> = seq.iter().map(|&(_, i)| i).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..200).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn incremental_insert_matches_brute_force() {
+        let points = pts(300, 5);
+        let mut t = RTree::with_max_entries(8); // small fanout -> many splits
+        for (i, p) in points.iter().enumerate() {
+            t.insert(Mbr::from_point(*p), i);
+        }
+        assert_eq!(t.len(), 300);
+        let w = Mbr::new(Point::new(0.0, 0.0), Point::new(250.0, 999.0));
+        let mut got: Vec<usize> = t.window(&w).into_iter().copied().collect();
+        got.sort_unstable();
+        let want: Vec<usize> = points
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| w.contains_point(p))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn mixed_bulk_and_insert() {
+        let points = pts(100, 6);
+        let mut t = tree_of(&points[..50]);
+        for (i, p) in points[50..].iter().enumerate() {
+            t.insert(Mbr::from_point(*p), 50 + i);
+        }
+        assert_eq!(t.len(), 100);
+        assert_eq!(t.window(&t.mbr().unwrap()).len(), 100);
+    }
+
+    #[test]
+    fn aggregate_score_orders_by_sum_of_distances() {
+        let points = pts(150, 7);
+        let t = tree_of(&points);
+        let qs = [Point::new(0.0, 0.0), Point::new(1000.0, 1000.0)];
+        let seq: Vec<(f64, usize)> = t
+            .best_first(|mbr, _| Some(qs.iter().map(|q| mbr.min_dist(q)).sum()))
+            .map(|(d, _, &i)| (d, i))
+            .collect();
+        assert_eq!(seq.len(), 150);
+        for w in seq.windows(2) {
+            assert!(w[0].0 <= w[1].0 + 1e-12);
+        }
+        // The first result minimises the aggregate distance.
+        let best_brute = points
+            .iter()
+            .map(|p| qs.iter().map(|q| q.distance(p)).sum::<f64>())
+            .fold(f64::INFINITY, f64::min);
+        assert!(rn_geom::approx_eq(seq[0].0, best_brute));
+    }
+
+    #[test]
+    fn pruning_score_prunes() {
+        let points = pts(150, 8);
+        let t = tree_of(&points);
+        let q = Point::new(0.0, 0.0);
+        // Prune everything farther than 300 from q.
+        let got: Vec<usize> = t
+            .best_first(|mbr, _| {
+                let d = mbr.min_dist(&q);
+                (d <= 300.0).then_some(d)
+            })
+            .map(|(_, _, &i)| i)
+            .collect();
+        let want = points.iter().filter(|p| p.distance(&q) <= 300.0).count();
+        assert_eq!(got.len(), want);
+    }
+
+    #[test]
+    fn empty_tree_behaviour() {
+        let t: RTree<usize> = RTree::new();
+        assert!(t.is_empty());
+        assert!(t.mbr().is_none());
+        assert!(t.nearest(Point::ORIGIN).is_none());
+        assert!(t.window(&Mbr::from_point(Point::ORIGIN)).is_empty());
+    }
+
+    #[test]
+    fn node_reads_are_counted() {
+        let t = tree_of(&pts(500, 9));
+        t.reset_node_reads();
+        let _ = t.nearest(Point::new(1.0, 1.0));
+        assert!(t.node_reads() > 0);
+    }
+
+    #[test]
+    fn rectangle_items_window() {
+        // Index rectangles (edge MBRs), not points.
+        let mut items = Vec::new();
+        for i in 0..100 {
+            let x = (i % 10) as f64 * 10.0;
+            let y = (i / 10) as f64 * 10.0;
+            items.push((
+                Mbr::new(Point::new(x, y), Point::new(x + 8.0, y + 8.0)),
+                i,
+            ));
+        }
+        let t = RTree::bulk_load_with_max_entries(items, 8);
+        let w = Mbr::new(Point::new(5.0, 5.0), Point::new(15.0, 15.0));
+        let got = t.window(&w);
+        // Rectangles (0,0), (10,0), (0,10), (10,10) intersect.
+        assert_eq!(got.len(), 4);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn prop_window_matches_brute(seed in 0u64..1000, n in 1usize..200) {
+            let points = pts(n, seed);
+            let t = tree_of(&points);
+            let w = Mbr::new(Point::new(200.0, 200.0), Point::new(700.0, 600.0));
+            let mut got: Vec<usize> = t.window(&w).into_iter().copied().collect();
+            got.sort_unstable();
+            let want: Vec<usize> = points
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| w.contains_point(p))
+                .map(|(i, _)| i)
+                .collect();
+            prop_assert_eq!(got, want);
+        }
+
+        #[test]
+        fn prop_nn_matches_brute(seed in 0u64..1000, n in 1usize..150,
+                                 qx in 0.0..1000.0f64, qy in 0.0..1000.0f64) {
+            let points = pts(n, seed);
+            let t = tree_of(&points);
+            let q = Point::new(qx, qy);
+            let (d, _) = t.nearest(q).unwrap();
+            let bd = points.iter().map(|p| p.distance(&q)).fold(f64::INFINITY, f64::min);
+            prop_assert!(rn_geom::approx_eq(d, bd));
+        }
+
+        #[test]
+        fn prop_insert_then_query(seed in 0u64..500, n in 1usize..120) {
+            let points = pts(n, seed);
+            let mut t = RTree::with_max_entries(4);
+            for (i, p) in points.iter().enumerate() {
+                t.insert(Mbr::from_point(*p), i);
+            }
+            let all = t.window(&t.mbr().unwrap());
+            prop_assert_eq!(all.len(), n);
+        }
+    }
+}

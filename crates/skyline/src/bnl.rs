@@ -1,0 +1,79 @@
+//! Block-Nested-Loops skyline (Börzsönyi, Kossmann, Stocker — ICDE 2001).
+//!
+//! The original baseline: stream every row against a window of current
+//! skyline candidates. Rows dominated by a window entry are dropped; rows
+//! dominating window entries evict them. In this in-memory setting the
+//! "window" is unbounded, so a single pass suffices (no temp-file rounds).
+
+use crate::dominance::dominates;
+
+/// Indices of the skyline rows, in first-seen order.
+pub fn bnl_skyline(rows: &[Vec<f64>]) -> Vec<usize> {
+    let mut window: Vec<usize> = Vec::new();
+    'next: for (i, row) in rows.iter().enumerate() {
+        let mut k = 0;
+        while k < window.len() {
+            let w = &rows[window[k]];
+            if dominates(w, row) {
+                continue 'next; // row is dominated; drop it
+            }
+            if dominates(row, w) {
+                window.swap_remove(k); // row evicts a window entry
+            } else {
+                k += 1;
+            }
+        }
+        window.push(i);
+    }
+    window.sort_unstable();
+    window
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dominance::brute_force_skyline;
+    use proptest::prelude::*;
+
+    #[test]
+    fn simple_case() {
+        let rows = vec![
+            vec![3.0, 3.0],
+            vec![1.0, 5.0],
+            vec![2.0, 2.0], // dominates (3,3)
+            vec![5.0, 1.0],
+        ];
+        assert_eq!(bnl_skyline(&rows), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(bnl_skyline(&[]).is_empty());
+        assert_eq!(bnl_skyline(&[vec![1.0, 2.0]]), vec![0]);
+    }
+
+    #[test]
+    fn all_duplicates_survive() {
+        let rows = vec![vec![1.0, 1.0]; 5];
+        assert_eq!(bnl_skyline(&rows), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn dominated_chain_collapses_to_minimum() {
+        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64, i as f64]).collect();
+        assert_eq!(bnl_skyline(&rows), vec![0]);
+    }
+
+    proptest! {
+        #[test]
+        fn matches_brute_force(rows in proptest::collection::vec(
+            proptest::collection::vec(0.0..8.0f64, 1..5), 0..60)) {
+            // Only rectangular inputs make sense.
+            let arity = rows.first().map(|r| r.len()).unwrap_or(2);
+            let rows: Vec<Vec<f64>> = rows.into_iter()
+                .map(|mut r| { r.resize(arity, 0.0); r })
+                .collect();
+            prop_assert_eq!(bnl_skyline(&rows), brute_force_skyline(&rows));
+        }
+    }
+}

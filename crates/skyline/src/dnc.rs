@@ -1,0 +1,103 @@
+//! Divide-and-conquer skyline (the "Extended Divide-and-Conquer" baseline
+//! of Börzsönyi et al. cited in §2).
+//!
+//! Rows are split by the median of the first attribute; the two halves'
+//! skylines are computed recursively and merged, with the right half (worse
+//! first attribute) filtered against the left skyline. Matches the brute
+//! force on every input; included as a third baseline for the substrate
+//! benchmarks.
+
+use crate::dominance::dominates;
+
+/// Indices of the skyline rows, ascending by row index.
+pub fn dnc_skyline(rows: &[Vec<f64>]) -> Vec<usize> {
+    if rows.is_empty() {
+        return Vec::new();
+    }
+    let idx: Vec<usize> = (0..rows.len()).collect();
+    let mut out = solve(rows, idx);
+    out.sort_unstable();
+    out
+}
+
+fn solve(rows: &[Vec<f64>], mut idx: Vec<usize>) -> Vec<usize> {
+    if idx.len() <= 8 {
+        // Small base case: quadratic filter.
+        return idx
+            .iter()
+            .copied()
+            .filter(|&i| {
+                idx.iter()
+                    .all(|&j| j == i || !dominates(&rows[j], &rows[i]))
+            })
+            .collect();
+    }
+    // Split by the first attribute's median.
+    idx.sort_by(|&a, &b| {
+        rows[a][0]
+            .partial_cmp(&rows[b][0])
+            .expect("finite attributes")
+    });
+    let mid = idx.len() / 2;
+    let right = idx.split_off(mid);
+    let left_sky = solve(rows, idx);
+    let right_sky = solve(rows, right);
+
+    // Left entries have first-attribute <= every right entry, so no right
+    // entry can dominate a left one through that attribute alone; the left
+    // skyline is final. Right survivors must also escape the left skyline.
+    let mut merged = left_sky.clone();
+    for r in right_sky {
+        if !left_sky.iter().any(|&l| dominates(&rows[l], &rows[r])) {
+            merged.push(r);
+        }
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dominance::brute_force_skyline;
+    use proptest::prelude::*;
+
+    #[test]
+    fn simple_case() {
+        let rows = vec![
+            vec![3.0, 3.0],
+            vec![1.0, 5.0],
+            vec![2.0, 2.0],
+            vec![5.0, 1.0],
+        ];
+        assert_eq!(dnc_skyline(&rows), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn handles_larger_than_base_case() {
+        let rows: Vec<Vec<f64>> = (0..100)
+            .map(|i| {
+                let x = (i * 37 % 100) as f64;
+                vec![x, 100.0 - x]
+            })
+            .collect();
+        // A perfect anti-chain: everything is on the skyline.
+        assert_eq!(dnc_skyline(&rows).len(), 100);
+    }
+
+    #[test]
+    fn empty() {
+        assert!(dnc_skyline(&[]).is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn matches_brute_force(rows in proptest::collection::vec(
+            proptest::collection::vec(0.0..6.0f64, 2..4), 0..80)) {
+            let arity = rows.first().map(|r| r.len()).unwrap_or(2);
+            let rows: Vec<Vec<f64>> = rows.into_iter()
+                .map(|mut r| { r.resize(arity, 0.0); r })
+                .collect();
+            prop_assert_eq!(dnc_skyline(&rows), brute_force_skyline(&rows));
+        }
+    }
+}

@@ -1,0 +1,339 @@
+//! Multi-source Euclidean skyline on the R-tree — §4.2's "Step 1" engine.
+//!
+//! The paper extends BBS (Papadias et al., SIGMOD 2003) to multiple query
+//! points: browse the R-tree best-first ordered by *mindist* — "the sum of
+//! its Euclidean distances to all query points" for an object, "the sum of
+//! the minimum distances from each query point" for an intermediate entry —
+//! and report a popped object as a skyline point unless it is dominated by
+//! one already found. Subtrees whose per-query mindist vector is dominated
+//! are pruned at insertion time.
+//!
+//! The incremental form ([`EuclideanSkylineIter`]) additionally accepts
+//! *external dominators*: n-dimensional vectors (in EDC's case, the network
+//! distance vectors of already-confirmed network skyline points) that prune
+//! the remaining search. This is sound because an entry whose Euclidean
+//! vector is dominated by a network vector is *a fortiori* dominated in
+//! network space (`d_N >= d_E` component-wise).
+
+use rn_geom::Point;
+use rn_index::RTree;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::dominance::dominates;
+
+/// Shared dominator set: skyline vectors found so far plus any injected
+/// external vectors. `Rc<RefCell>` because the scoring closure captured by
+/// the R-tree iterator and the iterator's own pop loop both update it.
+type Dominators = Rc<RefCell<Vec<Vec<f64>>>>;
+
+/// The boxed scoring closure handed to the R-tree's best-first search.
+type ScoreFn<'a, T> = Box<dyn FnMut(&rn_geom::Mbr, Option<&T>) -> Option<f64> + 'a>;
+
+/// Per-item static-attribute accessor.
+type AttrFn<'a, T> = Rc<dyn Fn(&T) -> Vec<f64> + 'a>;
+
+/// Incremental multi-source Euclidean skyline.
+///
+/// Yields `(item, vector)` pairs where `vector[i]` is the item's Euclidean
+/// distance to `queries[i]`, in ascending distance-sum order, skipping
+/// dominated items. Callers may inject extra dominator vectors between
+/// pulls with [`EuclideanSkylineIter::add_dominator`].
+pub struct EuclideanSkylineIter<'a, T> {
+    inner: rn_index::rtree::BestFirst<'a, T, ScoreFn<'a, T>>,
+    queries: Vec<Point>,
+    found: Dominators,
+    /// Per-item static attribute accessor plus the global per-dimension
+    /// lower bounds used for internal entries (§4.3's non-spatial
+    /// attribute extension); `None` for purely spatial skylines.
+    statics: Option<StaticAttrs<'a, T>>,
+}
+
+/// Static (non-spatial) attribute plumbing for the skyline browse.
+struct StaticAttrs<'a, T> {
+    /// Exact static attribute values of one item.
+    of_item: AttrFn<'a, T>,
+    /// Component-wise lower bounds over the whole dataset — the sound
+    /// stand-in for subtrees, whose member attributes are unknown.
+    lower: Vec<f64>,
+}
+
+impl<'a, T> EuclideanSkylineIter<'a, T> {
+    /// Begins a skyline browse of `tree` relative to `queries`.
+    ///
+    /// # Panics
+    /// Panics when `queries` is empty — a skyline needs at least one
+    /// dimension.
+    pub fn new(tree: &'a RTree<T>, queries: &[Point]) -> Self {
+        Self::build(tree, queries, None)
+    }
+
+    /// Begins a skyline browse whose vectors are the per-query Euclidean
+    /// distances *extended with static attribute dimensions* (§4.3's
+    /// closing remark: non-spatial attributes such as price behave as
+    /// pre-computed distances). `of_item` returns an item's attribute
+    /// values; `lower` gives the component-wise minimum over the whole
+    /// dataset (used as the bound for internal entries).
+    pub fn with_static_attrs(
+        tree: &'a RTree<T>,
+        queries: &[Point],
+        of_item: impl Fn(&T) -> Vec<f64> + 'a,
+        lower: Vec<f64>,
+    ) -> Self {
+        Self::build(
+            tree,
+            queries,
+            Some(StaticAttrs {
+                of_item: Rc::new(of_item),
+                lower,
+            }),
+        )
+    }
+
+    fn build(tree: &'a RTree<T>, queries: &[Point], statics: Option<StaticAttrs<'a, T>>) -> Self {
+        assert!(!queries.is_empty(), "skyline needs at least one query point");
+        let found: Dominators = Rc::new(RefCell::new(Vec::new()));
+        let qs = queries.to_vec();
+        let score_qs = qs.clone();
+        let score_found = Rc::clone(&found);
+        let score_statics = statics
+            .as_ref()
+            .map(|s| (Rc::clone(&s.of_item), s.lower.clone()));
+        // Insertion-time pruning: drop any entry whose lower-bound vector
+        // is already dominated. The heap key is the sum over *all*
+        // dimensions (spatial mindists plus static values/lower bounds):
+        // a dominator's sum is strictly smaller, so BBS's
+        // dominators-pop-first invariant survives the extra dimensions.
+        let score: ScoreFn<'a, T> = Box::new(move |mbr, item| {
+                let mut vec: Vec<f64> = score_qs.iter().map(|q| mbr.min_dist(q)).collect();
+                if let Some((of_item, lower)) = &score_statics {
+                    match item {
+                        Some(t) => vec.extend(of_item(t)),
+                        None => vec.extend_from_slice(lower),
+                    }
+                }
+                let pruned = score_found
+                    .borrow()
+                    .iter()
+                    .any(|s| dominates(s, &vec));
+                (!pruned).then_some(vec.iter().sum())
+            });
+        EuclideanSkylineIter {
+            inner: tree.best_first(score),
+            queries: qs,
+            found,
+            statics,
+        }
+    }
+
+    /// Injects an external dominator vector (same arity as the skyline,
+    /// i.e. query points plus static dimensions): any remaining entry
+    /// dominated by it is pruned. EDC's incremental variant feeds
+    /// confirmed *network* skyline vectors in here.
+    ///
+    /// # Panics
+    /// Panics on arity mismatch.
+    pub fn add_dominator(&mut self, v: Vec<f64>) {
+        assert_eq!(v.len(), self.arity(), "dominator arity mismatch");
+        self.found.borrow_mut().push(v);
+    }
+
+    /// The skyline arity: query points plus static dimensions.
+    pub fn arity(&self) -> usize {
+        self.queries.len() + self.statics.as_ref().map_or(0, |s| s.lower.len())
+    }
+}
+
+impl<'a, T> Iterator for EuclideanSkylineIter<'a, T> {
+    type Item = (&'a T, Vec<f64>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        // Pop-time re-check: entries enqueued before a dominator appeared
+        // must be filtered now.
+        for (_, mbr, item) in self.inner.by_ref() {
+            let mut vec: Vec<f64> = self.queries.iter().map(|q| mbr.min_dist(q)).collect();
+            if let Some(s) = &self.statics {
+                vec.extend((s.of_item)(item));
+            }
+            let dominated = self.found.borrow().iter().any(|s| dominates(s, &vec));
+            if !dominated {
+                self.found.borrow_mut().push(vec.clone());
+                return Some((item, vec));
+            }
+        }
+        None
+    }
+}
+
+/// Batch multi-source Euclidean skyline: all skyline items with their
+/// distance vectors, in ascending distance-sum order.
+pub fn multi_source_euclidean_skyline<'a, T>(
+    tree: &'a RTree<T>,
+    queries: &[Point],
+) -> Vec<(&'a T, Vec<f64>)> {
+    EuclideanSkylineIter::new(tree, queries).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dominance::brute_force_skyline;
+    use proptest::prelude::*;
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+    use rn_geom::Mbr;
+
+    fn pts(n: usize, seed: u64) -> Vec<Point> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point::new(rng.random_range(0.0..100.0), rng.random_range(0.0..100.0)))
+            .collect()
+    }
+
+    fn tree_of(points: &[Point]) -> RTree<usize> {
+        RTree::bulk_load_with_max_entries(
+            points
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (Mbr::from_point(*p), i))
+                .collect(),
+            8,
+        )
+    }
+
+    fn vectors(points: &[Point], qs: &[Point]) -> Vec<Vec<f64>> {
+        points
+            .iter()
+            .map(|p| qs.iter().map(|q| q.distance(p)).collect())
+            .collect()
+    }
+
+    #[test]
+    fn matches_brute_force_two_queries() {
+        for seed in 0..5u64 {
+            let points = pts(120, seed);
+            let qs = pts(2, seed + 500);
+            let tree = tree_of(&points);
+            let mut got: Vec<usize> = multi_source_euclidean_skyline(&tree, &qs)
+                .into_iter()
+                .map(|(&i, _)| i)
+                .collect();
+            got.sort_unstable();
+            let want = brute_force_skyline(&vectors(&points, &qs));
+            assert_eq!(got, want, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_many_queries() {
+        let points = pts(150, 42);
+        for nq in [1usize, 3, 5, 8] {
+            let qs = pts(nq, 1000 + nq as u64);
+            let tree = tree_of(&points);
+            let mut got: Vec<usize> = multi_source_euclidean_skyline(&tree, &qs)
+                .into_iter()
+                .map(|(&i, _)| i)
+                .collect();
+            got.sort_unstable();
+            assert_eq!(got, brute_force_skyline(&vectors(&points, &qs)), "|Q|={nq}");
+        }
+    }
+
+    #[test]
+    fn yields_in_ascending_sum_order() {
+        let points = pts(80, 7);
+        let qs = pts(3, 70);
+        let tree = tree_of(&points);
+        let sums: Vec<f64> = multi_source_euclidean_skyline(&tree, &qs)
+            .iter()
+            .map(|(_, v)| v.iter().sum())
+            .collect();
+        for w in sums.windows(2) {
+            assert!(w[0] <= w[1] + 1e-9);
+        }
+    }
+
+    #[test]
+    fn vectors_are_exact_distances() {
+        let points = pts(60, 8);
+        let qs = pts(2, 80);
+        let tree = tree_of(&points);
+        for (&i, v) in multi_source_euclidean_skyline(&tree, &qs) {
+            for (k, q) in qs.iter().enumerate() {
+                assert!(rn_geom::approx_eq(v[k], q.distance(&points[i])));
+            }
+        }
+    }
+
+    #[test]
+    fn external_dominator_prunes_everything_it_covers() {
+        let points = pts(100, 9);
+        let qs = pts(2, 90);
+        let tree = tree_of(&points);
+        let mut iter = EuclideanSkylineIter::new(&tree, &qs);
+        // A dominator at the origin of distance space prunes every object
+        // except exact ties at distance zero (none here).
+        iter.add_dominator(vec![0.0, 0.0]);
+        assert!(iter.next().is_none());
+    }
+
+    #[test]
+    fn external_dominator_midway_stops_later_results() {
+        let points = pts(100, 10);
+        let qs = pts(2, 91);
+        let tree = tree_of(&points);
+        let full: Vec<Vec<f64>> = EuclideanSkylineIter::new(&tree, &qs)
+            .map(|(_, v)| v)
+            .collect();
+        assert!(full.len() >= 2, "need a non-trivial skyline for this test");
+
+        let mut iter = EuclideanSkylineIter::new(&tree, &qs);
+        let (_, first) = iter.next().unwrap();
+        // Inject a vector that dominates every remaining skyline point.
+        iter.add_dominator(vec![0.0, 0.0]);
+        assert!(iter.next().is_none());
+        // The first result was unaffected.
+        assert_eq!(first, full[0].clone());
+    }
+
+    #[test]
+    fn single_query_point_degenerates_to_nn() {
+        // With one query point the skyline is exactly the nearest
+        // neighbour(s) at minimal distance.
+        let points = pts(50, 11);
+        let qs = vec![Point::new(50.0, 50.0)];
+        let tree = tree_of(&points);
+        let sky = multi_source_euclidean_skyline(&tree, &qs);
+        assert_eq!(sky.len(), 1);
+        let (_, v) = &sky[0];
+        let min = points
+            .iter()
+            .map(|p| p.distance(&qs[0]))
+            .fold(f64::INFINITY, f64::min);
+        assert!(rn_geom::approx_eq(v[0], min));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one query point")]
+    fn empty_query_set_panics() {
+        let tree = tree_of(&pts(5, 1));
+        let _ = EuclideanSkylineIter::new(&tree, &[]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn prop_matches_brute(seed in 0u64..300, n in 1usize..80, nq in 1usize..5) {
+            let points = pts(n, seed);
+            let qs = pts(nq, seed + 9999);
+            let tree = tree_of(&points);
+            let mut got: Vec<usize> = multi_source_euclidean_skyline(&tree, &qs)
+                .into_iter()
+                .map(|(&i, _)| i)
+                .collect();
+            got.sort_unstable();
+            prop_assert_eq!(got, brute_force_skyline(&vectors(&points, &qs)));
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Sort-Filter-Skyline (Chomicki, Godfrey, Gryz, Liang — ICDE 2003).
+//!
+//! Pre-sorting by a monotone preference function (here: the attribute sum)
+//! guarantees that no later row can dominate an earlier one, so a row that
+//! survives comparison against the current skyline *is* a skyline point and
+//! can be reported progressively — the property the paper cites as SFS's
+//! advantage over BNL.
+
+use crate::dominance::dominates;
+
+/// Indices of the skyline rows, ascending by row index.
+pub fn sfs_skyline(rows: &[Vec<f64>]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..rows.len()).collect();
+    order.sort_by(|&a, &b| {
+        let sa: f64 = rows[a].iter().sum();
+        let sb: f64 = rows[b].iter().sum();
+        sa.partial_cmp(&sb).expect("finite attributes")
+    });
+    let mut skyline: Vec<usize> = Vec::new();
+    for i in order {
+        if !skyline.iter().any(|&s| dominates(&rows[s], &rows[i])) {
+            skyline.push(i);
+        }
+    }
+    skyline.sort_unstable();
+    skyline
+}
+
+/// Progressive SFS: calls `report` with each skyline index as soon as it is
+/// confirmed (i.e. in ascending attribute-sum order), demonstrating the
+/// online behaviour the paper discusses in §2.
+pub fn sfs_skyline_progressive(rows: &[Vec<f64>], mut report: impl FnMut(usize)) {
+    let mut order: Vec<usize> = (0..rows.len()).collect();
+    order.sort_by(|&a, &b| {
+        let sa: f64 = rows[a].iter().sum();
+        let sb: f64 = rows[b].iter().sum();
+        sa.partial_cmp(&sb).expect("finite attributes")
+    });
+    let mut skyline: Vec<usize> = Vec::new();
+    for i in order {
+        if !skyline.iter().any(|&s| dominates(&rows[s], &rows[i])) {
+            skyline.push(i);
+            report(i);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dominance::brute_force_skyline;
+    use proptest::prelude::*;
+
+    #[test]
+    fn simple_case() {
+        let rows = vec![
+            vec![3.0, 3.0],
+            vec![1.0, 5.0],
+            vec![2.0, 2.0],
+            vec![5.0, 1.0],
+        ];
+        assert_eq!(sfs_skyline(&rows), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn progressive_reports_in_sum_order() {
+        let rows = vec![
+            vec![5.0, 0.0], // sum 5
+            vec![0.0, 1.0], // sum 1 -> reported first
+            vec![1.0, 0.5], // sum 1.5 -> second
+        ];
+        let mut seen = Vec::new();
+        sfs_skyline_progressive(&rows, |i| seen.push(i));
+        assert_eq!(seen, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn first_report_is_the_sum_minimiser() {
+        // The 1st aggregate NN is always a skyline point (§2 of the paper):
+        // SFS surfaces it first.
+        let rows = vec![vec![4.0, 4.0], vec![1.0, 1.0], vec![0.5, 9.0]];
+        let mut first = None;
+        sfs_skyline_progressive(&rows, |i| {
+            if first.is_none() {
+                first = Some(i);
+            }
+        });
+        assert_eq!(first, Some(1));
+    }
+
+    proptest! {
+        #[test]
+        fn matches_brute_force(rows in proptest::collection::vec(
+            proptest::collection::vec(0.0..8.0f64, 3), 0..60)) {
+            prop_assert_eq!(sfs_skyline(&rows), brute_force_skyline(&rows));
+        }
+
+        #[test]
+        fn progressive_matches_batch(rows in proptest::collection::vec(
+            proptest::collection::vec(0.0..8.0f64, 2), 0..50)) {
+            let mut seen = Vec::new();
+            sfs_skyline_progressive(&rows, |i| seen.push(i));
+            seen.sort_unstable();
+            prop_assert_eq!(seen, sfs_skyline(&rows));
+        }
+    }
+}

@@ -1,0 +1,460 @@
+//! Resumable, retarget-able A\* with path-distance lower bounds.
+//!
+//! This is the paper's work-horse for EDC and LBC:
+//!
+//! * **Consistent heuristic.** Edge lengths are at least the Euclidean
+//!   distance between their endpoints (a [`rn_graph::NetworkBuilder`]
+//!   invariant), so `h(v) = d_E(v, target)` is consistent. Consequently a
+//!   popped node's `g` is its exact network distance — which makes the
+//!   settled hash table *target-independent* and reusable when the same
+//!   source is pointed at a new destination (§6.1: "each query point keeps
+//!   a hash table to store the intermediate nodes visited, together with
+//!   their network distances to the query point").
+//! * **Path-distance lower bound (`plb`, §4.3).** At any moment,
+//!   `min(best known path to the target, min over the frontier of g + h)`
+//!   lower-bounds the network distance to the current target, and it only
+//!   grows as the wavefront expands. LBC leans on exactly this: it advances
+//!   the query point whose `plb` to a candidate is smallest and abandons
+//!   the candidate as soon as every `plb` proves it dominated.
+//!
+//! Retargeting keeps the settled map and the frontier's `g` values and
+//! merely re-keys the frontier heap under the new heuristic.
+
+use crate::ctx::NetCtx;
+use rn_geom::{OrdF64, Point};
+use rn_graph::{NetPosition, NodeId};
+use rn_storage::AdjRecord;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Per-target state.
+struct Target {
+    pos: NetPosition,
+    point: Point,
+    /// Best *known* (upper-bound) path to the target: same-edge direct
+    /// path or via a settled endpoint of the target edge.
+    known: f64,
+    /// Monotone lower bound on the network distance to the target.
+    plb: f64,
+}
+
+/// A single-source A\* engine whose settled state survives retargeting.
+pub struct AStar<'a> {
+    ctx: &'a NetCtx<'a>,
+    source: NetPosition,
+    source_point: Point,
+    /// Settled nodes: exact network distance from the source.
+    dist: HashMap<NodeId, f64>,
+    /// Frontier: best tentative distance and coordinates.
+    open: HashMap<NodeId, (f64, Point)>,
+    /// Min-heap keyed by `g + h(current target)`; entries carry `g` so
+    /// stale ones can be skipped after relaxations or retargets.
+    heap: BinaryHeap<Reverse<(OrdF64, OrdF64, NodeId)>>,
+    target: Option<Target>,
+    rec: AdjRecord,
+    expansions: u64,
+}
+
+impl<'a> AStar<'a> {
+    /// Starts an A\* engine at `source`.
+    pub fn new(ctx: &'a NetCtx<'a>, source: NetPosition) -> Self {
+        let mut a = AStar {
+            ctx,
+            source,
+            source_point: ctx.net.position_point(&source),
+            dist: HashMap::new(),
+            open: HashMap::new(),
+            heap: BinaryHeap::new(),
+            target: None,
+            rec: AdjRecord::default(),
+            expansions: 0,
+        };
+        let edge = ctx.net.edge(source.edge);
+        let (du, dv) = ctx.net.position_endpoint_dists(&source);
+        a.open.insert(edge.u, (du, ctx.net.point(edge.u)));
+        a.open.insert(edge.v, (dv, ctx.net.point(edge.v)));
+        // The heap stays empty until a target defines the heuristic.
+        a
+    }
+
+    /// The source position.
+    pub fn source(&self) -> NetPosition {
+        self.source
+    }
+
+    /// The source's planar coordinates.
+    pub fn source_point(&self) -> Point {
+        self.source_point
+    }
+
+    /// Nodes expanded (adjacency reads) so far, across all targets.
+    pub fn expansions(&self) -> u64 {
+        self.expansions
+    }
+
+    /// Exact distance of `n` if it has been settled by any past target run.
+    pub fn settled_distance(&self, n: NodeId) -> Option<f64> {
+        self.dist.get(&n).copied()
+    }
+
+    /// Points the engine at a new target, re-keying the frontier under the
+    /// new heuristic and seeding the best-known path from state already
+    /// settled. Any previous target is abandoned.
+    pub fn set_target(&mut self, pos: NetPosition) {
+        let point = self.ctx.net.position_point(&pos);
+        let mut known = f64::INFINITY;
+        if pos.edge == self.source.edge {
+            known = (pos.offset - self.source.offset).abs();
+        }
+        let edge = self.ctx.net.edge(pos.edge);
+        let (tu, tv) = self.ctx.net.position_endpoint_dists(&pos);
+        if let Some(&du) = self.dist.get(&edge.u) {
+            known = known.min(du + tu);
+        }
+        if let Some(&dv) = self.dist.get(&edge.v) {
+            known = known.min(dv + tv);
+        }
+        // Rebuild the frontier heap with the new heuristic.
+        self.heap.clear();
+        for (&n, &(g, p)) in &self.open {
+            let key = g + p.distance(&point);
+            self.heap
+                .push(Reverse((OrdF64::new(key), OrdF64::new(g), n)));
+        }
+        let plb = known.min(self.frontier_key().unwrap_or(f64::INFINITY));
+        self.target = Some(Target {
+            pos,
+            point,
+            known,
+            plb,
+        });
+    }
+
+    /// The current target position, if any.
+    pub fn target(&self) -> Option<NetPosition> {
+        self.target.as_ref().map(|t| t.pos)
+    }
+
+    /// Current key at the top of the frontier heap (skipping stale
+    /// entries), i.e. the cheapest `g + h` of any unsettled node.
+    fn frontier_key(&mut self) -> Option<f64> {
+        while let Some(Reverse((key, g, n))) = self.heap.peek().copied() {
+            match self.open.get(&n) {
+                Some(&(cur, _)) if cur == g.get() => return Some(key.get()),
+                _ => {
+                    self.heap.pop();
+                }
+            }
+        }
+        None
+    }
+
+    /// The path-distance lower bound to the current target. Monotone
+    /// non-decreasing across [`AStar::advance`] calls; equals the network
+    /// distance once the target is resolved.
+    ///
+    /// # Panics
+    /// Panics when no target is set.
+    pub fn plb(&mut self) -> f64 {
+        let frontier = self.frontier_key();
+        let t = self.target.as_mut().expect("plb requires a target");
+        let now = t.known.min(frontier.unwrap_or(f64::INFINITY));
+        t.plb = t.plb.max(now);
+        t.plb
+    }
+
+    /// `true` when the current target's distance is final: no frontier
+    /// continuation can beat the best known path.
+    pub fn is_resolved(&mut self) -> bool {
+        let frontier = self.frontier_key();
+        let t = self.target.as_ref().expect("is_resolved requires a target");
+        match frontier {
+            None => true,
+            Some(f) => t.known <= f,
+        }
+    }
+
+    /// The network distance to the current target; only meaningful once
+    /// [`AStar::is_resolved`] returns `true` (infinite if unreachable).
+    pub fn result(&self) -> f64 {
+        self.target.as_ref().expect("result requires a target").known
+    }
+
+    /// Performs one expansion step towards the current target. Returns
+    /// `false` when the target is already resolved (no step performed).
+    pub fn advance(&mut self) -> bool {
+        if self.is_resolved() {
+            return false;
+        }
+        // Pop the cheapest live frontier node. is_resolved() just cleaned
+        // stale heads, so the top is live.
+        let Some(Reverse((_key, g, n))) = self.heap.pop() else {
+            return false;
+        };
+        let g = g.get();
+        debug_assert_eq!(self.open.get(&n).map(|&(d, _)| d), Some(g));
+        self.open.remove(&n);
+        self.dist.insert(n, g);
+        self.expansions += 1;
+
+        // If we settled an endpoint of the target edge, a concrete path to
+        // the target is now known.
+        {
+            let t = self.target.as_mut().expect("advance requires a target");
+            let edge = self.ctx.net.edge(t.pos.edge);
+            let (tu, tv) = self.ctx.net.position_endpoint_dists(&t.pos);
+            if n == edge.u {
+                t.known = t.known.min(g + tu);
+            }
+            if n == edge.v {
+                t.known = t.known.min(g + tv);
+            }
+        }
+
+        // Expand: one counted page access.
+        self.ctx.store.read_adjacency_into(n, &mut self.rec);
+        let tpoint = self.target.as_ref().expect("target set").point;
+        for i in 0..self.rec.entries.len() {
+            let ent = self.rec.entries[i];
+            if self.dist.contains_key(&ent.node) {
+                continue;
+            }
+            let ng = g + ent.length;
+            let better = match self.open.get(&ent.node) {
+                Some(&(cur, _)) => ng < cur,
+                None => true,
+            };
+            if better {
+                self.open.insert(ent.node, (ng, ent.point));
+                let key = ng + ent.point.distance(&tpoint);
+                self.heap
+                    .push(Reverse((OrdF64::new(key), OrdF64::new(ng), ent.node)));
+            }
+        }
+        true
+    }
+
+    /// Resolves the current target completely and returns its distance.
+    pub fn run(&mut self) -> f64 {
+        while self.advance() {}
+        self.result()
+    }
+
+    /// Convenience: set a target, resolve it, return the distance.
+    pub fn distance_to(&mut self, pos: NetPosition) -> f64 {
+        self.set_target(pos);
+        self.run()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra::Dijkstra;
+    use rn_geom::approx_eq;
+    use rn_graph::{EdgeId, NetworkBuilder, RoadNetwork};
+    use rn_index::MiddleLayer;
+    use rn_storage::NetworkStore;
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+
+    /// Random connected planar-ish network for oracle comparisons.
+    fn random_net(n: usize, seed: u64) -> RoadNetwork {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut b = NetworkBuilder::new();
+        let pts: Vec<Point> = (0..n)
+            .map(|_| Point::new(rng.random_range(0.0..100.0), rng.random_range(0.0..100.0)))
+            .collect();
+        for p in &pts {
+            b.add_node(*p);
+        }
+        // Spanning chain keeps it connected; extra random edges add cycles.
+        for i in 1..n {
+            let j = rng.random_range(0..i);
+            let len = pts[i].distance(&pts[j]) * rng.random_range(1.0..1.5);
+            b.add_weighted_edge(NodeId(i as u32), NodeId(j as u32), len)
+                .unwrap();
+        }
+        for _ in 0..n {
+            let i = rng.random_range(0..n);
+            let j = rng.random_range(0..n);
+            if i != j {
+                let len = pts[i].distance(&pts[j]) * rng.random_range(1.0..1.3);
+                let _ = b.add_weighted_edge(NodeId(i as u32), NodeId(j as u32), len);
+            }
+        }
+        b.build().unwrap()
+    }
+
+    fn rand_pos(g: &RoadNetwork, rng: &mut StdRng) -> NetPosition {
+        let e = EdgeId(rng.random_range(0..g.edge_count() as u32));
+        let off = rng.random_range(0.0..g.edge(e).length);
+        NetPosition::new(e, off)
+    }
+
+    #[test]
+    fn matches_dijkstra_on_random_networks() {
+        for seed in 0..5u64 {
+            let g = random_net(60, seed);
+            let store = NetworkStore::build(&g);
+            let mid = MiddleLayer::build(&g, &[]);
+            let ctx = NetCtx::new(&g, &store, &mid);
+            let mut rng = StdRng::seed_from_u64(seed + 1000);
+            let src = rand_pos(&g, &mut rng);
+            let mut astar = AStar::new(&ctx, src);
+            for _ in 0..10 {
+                let dst = rand_pos(&g, &mut rng);
+                let da = astar.distance_to(dst);
+                let mut dij = Dijkstra::new(&ctx, src);
+                let dd = dij.distance_to_position(&dst);
+                assert!(
+                    approx_eq(da, dd),
+                    "seed {seed}: A*={da} Dijkstra={dd} src={src:?} dst={dst:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn retargeting_reuses_settled_state() {
+        let g = random_net(80, 7);
+        let store = NetworkStore::build(&g);
+        let mid = MiddleLayer::build(&g, &[]);
+        let ctx = NetCtx::new(&g, &store, &mid);
+        let mut rng = StdRng::seed_from_u64(99);
+        let src = rand_pos(&g, &mut rng);
+        let dst1 = rand_pos(&g, &mut rng);
+        let dst2 = rand_pos(&g, &mut rng);
+
+        let mut reused = AStar::new(&ctx, src);
+        reused.distance_to(dst1);
+        let before = reused.expansions();
+        let d2_reused = reused.distance_to(dst2);
+        let extra = reused.expansions() - before;
+
+        let mut fresh = AStar::new(&ctx, src);
+        let d2_fresh = fresh.distance_to(dst2);
+        assert!(approx_eq(d2_reused, d2_fresh));
+        assert!(
+            extra <= fresh.expansions(),
+            "retarget must never expand more than a fresh search"
+        );
+    }
+
+    #[test]
+    fn plb_is_monotone_and_converges() {
+        let g = random_net(70, 11);
+        let store = NetworkStore::build(&g);
+        let mid = MiddleLayer::build(&g, &[]);
+        let ctx = NetCtx::new(&g, &store, &mid);
+        let mut rng = StdRng::seed_from_u64(5);
+        let src = rand_pos(&g, &mut rng);
+        let dst = rand_pos(&g, &mut rng);
+
+        let mut astar = AStar::new(&ctx, src);
+        astar.set_target(dst);
+        let src_pt = ctx.net.position_point(&src);
+        let dst_pt = ctx.net.position_point(&dst);
+        let mut prev = astar.plb();
+        assert!(
+            prev + 1e-9 >= src_pt.distance(&dst_pt) || prev == 0.0,
+            "initial plb {prev} below Euclidean {}",
+            src_pt.distance(&dst_pt)
+        );
+        while astar.advance() {
+            let now = astar.plb();
+            assert!(now + 1e-9 >= prev, "plb regressed: {prev} -> {now}");
+            prev = now;
+        }
+        let d = astar.result();
+        assert!(approx_eq(astar.plb(), d), "final plb equals the distance");
+        // And it is never above the true distance on the way up.
+        assert!(prev <= d + 1e-9);
+    }
+
+    #[test]
+    fn expansions_bounded_by_dijkstra_region() {
+        // §5's argument: any node A* visits satisfies
+        // d(q,v) + dE(v,p) <= dN(q,p), hence d(q,v) <= dN(q,p) — i.e. it
+        // lies inside the Dijkstra region. Check expansion counts agree.
+        let g = random_net(120, 3);
+        let store = NetworkStore::build(&g);
+        let mid = MiddleLayer::build(&g, &[]);
+        let ctx = NetCtx::new(&g, &store, &mid);
+        let mut rng = StdRng::seed_from_u64(77);
+        for _ in 0..5 {
+            let src = rand_pos(&g, &mut rng);
+            let dst = rand_pos(&g, &mut rng);
+            let mut astar = AStar::new(&ctx, src);
+            let d = astar.distance_to(dst);
+            let mut dij = Dijkstra::new(&ctx, src);
+            let dd = dij.distance_to_position(&dst);
+            assert!(approx_eq(d, dd));
+            // CE's Dijkstra keeps expanding until the wavefront radius
+            // reaches the object (that is how INE "visits" it); every node
+            // A* expands satisfies g + h < d_N, hence g < d_N, and lies in
+            // that region.
+            let mut region = Dijkstra::new(&ctx, src);
+            let mut settled_in_region = 0u64;
+            while let Some((_, dr)) = region.settle_next() {
+                if dr >= dd {
+                    break;
+                }
+                settled_in_region += 1;
+            }
+            assert!(
+                astar.expansions() <= settled_in_region + 1,
+                "A* expanded {} nodes, Dijkstra region holds {}",
+                astar.expansions(),
+                settled_in_region
+            );
+        }
+    }
+
+    #[test]
+    fn same_edge_target() {
+        let g = random_net(30, 21);
+        let store = NetworkStore::build(&g);
+        let mid = MiddleLayer::build(&g, &[]);
+        let ctx = NetCtx::new(&g, &store, &mid);
+        let e = EdgeId(0);
+        let len = g.edge(e).length;
+        let mut astar = AStar::new(&ctx, NetPosition::new(e, 0.1 * len));
+        let d = astar.distance_to(NetPosition::new(e, 0.9 * len));
+        // Direct along-edge path is 0.8*len; a shortcut around could in
+        // principle be shorter, so compare against Dijkstra.
+        let mut dij = Dijkstra::new(&ctx, NetPosition::new(e, 0.1 * len));
+        let dd = dij.distance_to_position(&NetPosition::new(e, 0.9 * len));
+        assert!(approx_eq(d, dd));
+        assert!(d <= 0.8 * len + 1e-9);
+    }
+
+    #[test]
+    fn unreachable_target_is_infinite() {
+        let mut b = NetworkBuilder::new();
+        let n0 = b.add_node(Point::new(0.0, 0.0));
+        let n1 = b.add_node(Point::new(1.0, 0.0));
+        let n2 = b.add_node(Point::new(5.0, 0.0));
+        let n3 = b.add_node(Point::new(6.0, 0.0));
+        b.add_straight_edge(n0, n1).unwrap();
+        b.add_straight_edge(n2, n3).unwrap();
+        let g = b.build().unwrap();
+        let store = NetworkStore::build(&g);
+        let mid = MiddleLayer::build(&g, &[]);
+        let ctx = NetCtx::new(&g, &store, &mid);
+        let mut astar = AStar::new(&ctx, NetPosition::new(EdgeId(0), 0.5));
+        let d = astar.distance_to(NetPosition::new(EdgeId(1), 0.5));
+        assert!(d.is_infinite());
+    }
+
+    #[test]
+    fn zero_distance_to_self() {
+        let g = random_net(20, 2);
+        let store = NetworkStore::build(&g);
+        let mid = MiddleLayer::build(&g, &[]);
+        let ctx = NetCtx::new(&g, &store, &mid);
+        let pos = NetPosition::new(EdgeId(3), 0.4 * g.edge(EdgeId(3)).length);
+        let mut astar = AStar::new(&ctx, pos);
+        assert!(approx_eq(astar.distance_to(pos), 0.0));
+    }
+}

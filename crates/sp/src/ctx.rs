@@ -1,0 +1,82 @@
+//! The shared query context: network metadata, counted storage, and the
+//! object middle layer, bundled so algorithm signatures stay small.
+
+use rn_geom::Point;
+use rn_graph::{NetPosition, RoadNetwork};
+use rn_index::MiddleLayer;
+use rn_storage::NetworkStore;
+
+/// Borrowed bundle of everything a network query touches.
+///
+/// Division of labour:
+///
+/// * `store` — **all wavefront traversal**. Every adjacency read during
+///   Dijkstra/A* expansion is a buffered, counted page access; this is the
+///   "network disk pages" metric of the evaluation.
+/// * `net` — static metadata resolved at query-setup time (mapping a
+///   [`NetPosition`] to coordinates, finding the endpoints of the one edge
+///   a query point or object lies on). The paper performs this mapping
+///   through the edge R-tree / middle layer before the search proper; it is
+///   not part of the per-expansion I/O it measures.
+/// * `mid` — the object middle layer, probed once per wavefront-crossed
+///   edge (a B⁺-tree access, counted by the middle layer itself).
+pub struct NetCtx<'a> {
+    /// Static network metadata (edge endpoints, lengths, geometry).
+    pub net: &'a RoadNetwork,
+    /// Counted, buffered adjacency storage.
+    pub store: &'a NetworkStore,
+    /// Edge-id-keyed object directory.
+    pub mid: &'a MiddleLayer,
+}
+
+impl<'a> NetCtx<'a> {
+    /// Bundles the three substrate references.
+    pub fn new(net: &'a RoadNetwork, store: &'a NetworkStore, mid: &'a MiddleLayer) -> Self {
+        NetCtx { net, store, mid }
+    }
+
+    /// Resolves a network position to planar coordinates.
+    pub fn point_of(&self, pos: &NetPosition) -> Point {
+        self.net.position_point(pos)
+    }
+}
+
+/// A query point: a network position plus its (pre-resolved) coordinates.
+///
+/// Resolving the coordinates once at query registration keeps the planar
+/// point available for Euclidean lower bounds without repeated geometry
+/// interpolation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct QueryPoint {
+    /// Where the query point sits on the network.
+    pub pos: NetPosition,
+    /// Its planar coordinates.
+    pub point: Point,
+}
+
+impl QueryPoint {
+    /// Builds a query point, resolving its coordinates from the network.
+    pub fn on_network(net: &RoadNetwork, pos: NetPosition) -> Self {
+        QueryPoint {
+            pos,
+            point: net.position_point(&pos),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rn_graph::{EdgeId, NetworkBuilder};
+
+    #[test]
+    fn query_point_resolves_coordinates() {
+        let mut b = NetworkBuilder::new();
+        let n0 = b.add_node(Point::new(0.0, 0.0));
+        let n1 = b.add_node(Point::new(10.0, 0.0));
+        b.add_straight_edge(n0, n1).unwrap();
+        let g = b.build().unwrap();
+        let q = QueryPoint::on_network(&g, NetPosition::new(EdgeId(0), 4.0));
+        assert_eq!(q.point, Point::new(4.0, 0.0));
+    }
+}

@@ -1,0 +1,362 @@
+//! Resumable Dijkstra wavefront expansion.
+//!
+//! §3: "Dijkstra's algorithm can compute the shortest paths from a source
+//! node to multiple destination nodes", and §6.1: "the frontier nodes on
+//! the wavefront are maintained such that the expansion can continue from a
+//! previous state". [`Dijkstra`] is exactly that: a parked wavefront that
+//! settles one node per [`Dijkstra::settle_next`] call, reading each
+//! expanded node's adjacency record through the counted buffer pool.
+
+use crate::ctx::NetCtx;
+use rn_geom::OrdF64;
+use rn_graph::{NetPosition, NodeId};
+use rn_storage::AdjRecord;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// A resumable single-source Dijkstra expansion.
+///
+/// The source is a [`NetPosition`] (a point partway along an edge); its two
+/// edge endpoints seed the frontier with the pre-computed offsets, exactly
+/// as the middle-layer storage scheme intends.
+pub struct Dijkstra<'a> {
+    ctx: &'a NetCtx<'a>,
+    /// Finalised distances.
+    dist: HashMap<NodeId, f64>,
+    /// Best tentative distance of not-yet-settled (frontier) nodes.
+    open: HashMap<NodeId, f64>,
+    /// Lazy min-heap over tentative distances (stale entries skipped).
+    heap: BinaryHeap<Reverse<(OrdF64, NodeId)>>,
+    /// Distance of the most recently settled node — the wavefront radius.
+    radius: f64,
+    /// The source position.
+    source: NetPosition,
+    /// Scratch adjacency record (reused to avoid per-step allocation).
+    rec: AdjRecord,
+    /// Nodes settled so far (expansion count statistic).
+    settled_count: u64,
+}
+
+impl<'a> Dijkstra<'a> {
+    /// Starts a wavefront at `source`.
+    pub fn new(ctx: &'a NetCtx<'a>, source: NetPosition) -> Self {
+        let mut d = Dijkstra {
+            ctx,
+            dist: HashMap::new(),
+            open: HashMap::new(),
+            heap: BinaryHeap::new(),
+            radius: 0.0,
+            source,
+            rec: AdjRecord::default(),
+            settled_count: 0,
+        };
+        let edge = ctx.net.edge(source.edge);
+        let (du, dv) = ctx.net.position_endpoint_dists(&source);
+        d.relax(edge.u, du);
+        d.relax(edge.v, dv);
+        d
+    }
+
+    /// The source position this wavefront was started from.
+    pub fn source(&self) -> NetPosition {
+        self.source
+    }
+
+    /// Wavefront radius: the distance of the last settled node. Every node
+    /// with `d_N < radius` is settled; every unsettled node is at least
+    /// `radius` away.
+    pub fn radius(&self) -> f64 {
+        self.radius
+    }
+
+    /// Number of nodes settled so far.
+    pub fn settled_count(&self) -> u64 {
+        self.settled_count
+    }
+
+    /// `true` once the whole reachable component has been settled.
+    pub fn is_exhausted(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Finalised distance of `n`, if it has been settled.
+    pub fn distance(&self, n: NodeId) -> Option<f64> {
+        self.dist.get(&n).copied()
+    }
+
+    /// The adjacency record of the node settled by the most recent
+    /// [`Dijkstra::settle_next`] call. Callers (e.g. the INE object finder)
+    /// use this to inspect the edges just crossed without a second counted
+    /// page access.
+    pub fn last_adjacency(&self) -> &AdjRecord {
+        &self.rec
+    }
+
+    fn relax(&mut self, n: NodeId, d: f64) {
+        if self.dist.contains_key(&n) {
+            return;
+        }
+        let better = match self.open.get(&n) {
+            Some(&cur) => d < cur,
+            None => true,
+        };
+        if better {
+            self.open.insert(n, d);
+            self.heap.push(Reverse((OrdF64::new(d), n)));
+        }
+    }
+
+    /// Settles the next nearest node and expands it; returns `(node,
+    /// distance)`, or `None` when the reachable component is exhausted.
+    pub fn settle_next(&mut self) -> Option<(NodeId, f64)> {
+        loop {
+            let Reverse((d, n)) = self.heap.pop()?;
+            let d = d.get();
+            // Skip stale heap entries.
+            match self.open.get(&n) {
+                Some(&cur) if cur == d => {}
+                _ => continue,
+            }
+            self.open.remove(&n);
+            self.dist.insert(n, d);
+            self.radius = d;
+            self.settled_count += 1;
+
+            // Expand: one counted page access.
+            let store = self.ctx.store;
+            store.read_adjacency_into(n, &mut self.rec);
+            // `rec` is borrowed for iteration; collect relaxations first to
+            // appease the borrow checker without cloning the record.
+            for i in 0..self.rec.entries.len() {
+                let ent = self.rec.entries[i];
+                let nd = d + ent.length;
+                self.relax(ent.node, nd);
+            }
+            return Some((n, d));
+        }
+    }
+
+    /// Runs the wavefront until `n` is settled and returns its distance, or
+    /// `None` when `n` is unreachable.
+    pub fn run_until_settled(&mut self, n: NodeId) -> Option<f64> {
+        if let Some(d) = self.distance(n) {
+            return Some(d);
+        }
+        while let Some((m, d)) = self.settle_next() {
+            if m == n {
+                return Some(d);
+            }
+        }
+        None
+    }
+
+    /// Network distance from the source to an arbitrary position, computed
+    /// by settling both endpoints of the target edge (plus the direct
+    /// along-edge path when the target shares the source's edge).
+    pub fn distance_to_position(&mut self, target: &NetPosition) -> f64 {
+        let edge = self.ctx.net.edge(target.edge);
+        let (tu, tv) = self.ctx.net.position_endpoint_dists(target);
+        let mut best = f64::INFINITY;
+        if target.edge == self.source.edge {
+            best = (target.offset - self.source.offset).abs();
+        }
+        if let Some(du) = self.run_until_settled(edge.u) {
+            best = best.min(du + tu);
+        }
+        if let Some(dv) = self.run_until_settled(edge.v) {
+            best = best.min(dv + tv);
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rn_geom::{approx_eq, Point};
+    use rn_graph::{EdgeId, NetworkBuilder, RoadNetwork};
+    use rn_index::MiddleLayer;
+    use rn_storage::NetworkStore;
+
+    /// 3x3 grid with unit spacing:
+    /// ```text
+    /// 6 7 8
+    /// 3 4 5
+    /// 0 1 2
+    /// ```
+    fn grid3() -> RoadNetwork {
+        let mut b = NetworkBuilder::new();
+        for i in 0..3 {
+            for j in 0..3 {
+                b.add_node(Point::new(j as f64, i as f64));
+            }
+        }
+        for i in 0..3u32 {
+            for j in 0..3u32 {
+                let id = i * 3 + j;
+                if j + 1 < 3 {
+                    b.add_straight_edge(NodeId(id), NodeId(id + 1)).unwrap();
+                }
+                if i + 1 < 3 {
+                    b.add_straight_edge(NodeId(id), NodeId(id + 3)).unwrap();
+                }
+            }
+        }
+        b.build().unwrap()
+    }
+
+    fn with_ctx<R>(g: &RoadNetwork, f: impl FnOnce(&NetCtx) -> R) -> R {
+        let store = NetworkStore::build(g);
+        let mid = MiddleLayer::build(g, &[]);
+        let ctx = NetCtx::new(g, &store, &mid);
+        f(&ctx)
+    }
+
+    /// Edge id of the edge between nodes a and b in the grid.
+    fn edge_between(g: &RoadNetwork, a: NodeId, b: NodeId) -> EdgeId {
+        g.adjacent(a)
+            .iter()
+            .find(|(_, nb)| *nb == b)
+            .map(|&(e, _)| e)
+            .expect("edge exists")
+    }
+
+    #[test]
+    fn settles_in_ascending_order() {
+        let g = grid3();
+        with_ctx(&g, |ctx| {
+            // Source at node 0 (offset 0 of edge 0-1).
+            let e = edge_between(&g, NodeId(0), NodeId(1));
+            let src = if g.edge(e).u == NodeId(0) {
+                NetPosition::new(e, 0.0)
+            } else {
+                NetPosition::new(e, g.edge(e).length)
+            };
+            let mut dij = Dijkstra::new(ctx, src);
+            let mut prev = 0.0;
+            let mut settled = Vec::new();
+            while let Some((n, d)) = dij.settle_next() {
+                assert!(d + 1e-12 >= prev, "distances must be non-decreasing");
+                prev = d;
+                settled.push((n, d));
+            }
+            assert_eq!(settled.len(), 9, "all grid nodes reachable");
+            // Manhattan distances from corner node 0.
+            for (n, d) in settled {
+                let p = g.point(n);
+                assert!(approx_eq(d, p.x + p.y), "node {n:?}");
+            }
+        });
+    }
+
+    #[test]
+    fn source_mid_edge_seeds_both_endpoints() {
+        let g = grid3();
+        with_ctx(&g, |ctx| {
+            let e = edge_between(&g, NodeId(0), NodeId(1));
+            let mut dij = Dijkstra::new(ctx, NetPosition::new(e, 0.25));
+            let (u, v) = (g.edge(e).u, g.edge(e).v);
+            let du = dij.run_until_settled(u).unwrap();
+            let dv = dij.run_until_settled(v).unwrap();
+            assert!(approx_eq(du + dv, 1.0));
+        });
+    }
+
+    #[test]
+    fn distance_to_position_same_edge() {
+        let g = grid3();
+        with_ctx(&g, |ctx| {
+            let e = edge_between(&g, NodeId(0), NodeId(1));
+            let mut dij = Dijkstra::new(ctx, NetPosition::new(e, 0.2));
+            let d = dij.distance_to_position(&NetPosition::new(e, 0.9));
+            assert!(approx_eq(d, 0.7));
+        });
+    }
+
+    #[test]
+    fn distance_to_position_across_grid() {
+        let g = grid3();
+        with_ctx(&g, |ctx| {
+            let e01 = edge_between(&g, NodeId(0), NodeId(1));
+            let e78 = edge_between(&g, NodeId(7), NodeId(8));
+            let mut dij = Dijkstra::new(ctx, NetPosition::new(e01, 0.0));
+            // From node 0 (or 1) to midpoint of 7-8.
+            let src_offset_node = g.edge(e01).u; // offset 0 is at u
+            let d = dij.distance_to_position(&NetPosition::new(e78, 0.5));
+            // Manhattan from the u endpoint of edge 0-1.
+            let pu = g.point(src_offset_node);
+            let target = g.position_point(&NetPosition::new(e78, 0.5));
+            let expect = (target.x - pu.x).abs() + (target.y - pu.y).abs();
+            assert!(approx_eq(d, expect), "got {d}, want {expect}");
+        });
+    }
+
+    #[test]
+    fn unreachable_returns_none() {
+        // Two disconnected segments.
+        let mut b = NetworkBuilder::new();
+        let n0 = b.add_node(Point::new(0.0, 0.0));
+        let n1 = b.add_node(Point::new(1.0, 0.0));
+        let n2 = b.add_node(Point::new(10.0, 0.0));
+        let n3 = b.add_node(Point::new(11.0, 0.0));
+        b.add_straight_edge(n0, n1).unwrap();
+        b.add_straight_edge(n2, n3).unwrap();
+        let g = b.build().unwrap();
+        with_ctx(&g, |ctx| {
+            let mut dij = Dijkstra::new(ctx, NetPosition::new(EdgeId(0), 0.0));
+            assert_eq!(dij.run_until_settled(NodeId(2)), None);
+            assert!(dij.is_exhausted());
+            let d = dij.distance_to_position(&NetPosition::new(EdgeId(1), 0.5));
+            assert!(d.is_infinite());
+        });
+    }
+
+    #[test]
+    fn resumable_between_calls() {
+        let g = grid3();
+        with_ctx(&g, |ctx| {
+            let e = edge_between(&g, NodeId(0), NodeId(1));
+            let mut dij = Dijkstra::new(ctx, NetPosition::new(e, 0.0));
+            // Settle a couple of nodes, note the radius, then continue.
+            dij.settle_next().unwrap();
+            dij.settle_next().unwrap();
+            let r = dij.radius();
+            let (_, d) = dij.settle_next().unwrap();
+            assert!(d >= r);
+            assert_eq!(dij.settled_count(), 3);
+        });
+    }
+
+    #[test]
+    fn io_is_counted_per_settle() {
+        let g = grid3();
+        let store = NetworkStore::build(&g);
+        let mid = MiddleLayer::build(&g, &[]);
+        let ctx = NetCtx::new(&g, &store, &mid);
+        let e = edge_between(&g, NodeId(0), NodeId(1));
+        let before = store.stats().snapshot();
+        let mut dij = Dijkstra::new(&ctx, NetPosition::new(e, 0.0));
+        while dij.settle_next().is_some() {}
+        let after = store.stats().snapshot();
+        assert_eq!(after.since(&before).logical, 9, "one read per settled node");
+    }
+
+    #[test]
+    fn weighted_edges_respected() {
+        // Triangle where the direct edge is longer than the detour.
+        let mut b = NetworkBuilder::new();
+        let n0 = b.add_node(Point::new(0.0, 0.0));
+        let n1 = b.add_node(Point::new(4.0, 0.0));
+        let n2 = b.add_node(Point::new(2.0, 1.0));
+        b.add_weighted_edge(n0, n1, 10.0).unwrap(); // direct but slow
+        b.add_straight_edge(n0, n2).unwrap();
+        b.add_straight_edge(n2, n1).unwrap();
+        let g = b.build().unwrap();
+        with_ctx(&g, |ctx| {
+            let mut dij = Dijkstra::new(ctx, NetPosition::new(EdgeId(0), 0.0));
+            let d = dij.run_until_settled(NodeId(1)).unwrap();
+            let via = g.edges()[1].length + g.edges()[2].length;
+            assert!(approx_eq(d, via), "detour {via} beats direct 10");
+        });
+    }
+}

@@ -1,0 +1,101 @@
+//! Fixed-size disk pages.
+
+use bytes::Bytes;
+
+/// Page size in bytes. §6.1: "The disk page size is set to 4KB".
+pub const PAGE_SIZE: usize = 4096;
+
+/// Identifier of a disk page within one store.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct PageId(pub u32);
+
+impl PageId {
+    /// The id as a usize index.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A simulated disk: an append-only sequence of immutable pages.
+///
+/// Pages are built once (when a store is constructed) and never mutated;
+/// all query-time state lives in the algorithms, matching the paper's
+/// read-only evaluation setting.
+#[derive(Clone, Debug, Default)]
+pub struct Disk {
+    pages: Vec<Bytes>,
+}
+
+impl Disk {
+    /// An empty disk.
+    pub fn new() -> Self {
+        Disk::default()
+    }
+
+    /// Appends a page image and returns its id.
+    ///
+    /// # Panics
+    /// Panics when `data` exceeds [`PAGE_SIZE`]; writers must split records
+    /// across pages themselves (records never span pages in this store).
+    pub fn append(&mut self, data: Bytes) -> PageId {
+        assert!(
+            data.len() <= PAGE_SIZE,
+            "page overflow: {} > {PAGE_SIZE}",
+            data.len()
+        );
+        let id = PageId(self.pages.len() as u32);
+        self.pages.push(data);
+        id
+    }
+
+    /// Reads a page image. This is the *physical* read; callers should go
+    /// through [`crate::BufferPool`] so the access is cached and counted.
+    #[inline]
+    pub fn read(&self, id: PageId) -> Bytes {
+        self.pages[id.idx()].clone()
+    }
+
+    /// Number of pages on the disk.
+    #[inline]
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Total bytes occupied (actual record bytes, not padded capacity).
+    pub fn used_bytes(&self) -> usize {
+        self.pages.iter().map(Bytes::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_and_read() {
+        let mut d = Disk::new();
+        let a = d.append(Bytes::from_static(b"alpha"));
+        let b = d.append(Bytes::from_static(b"beta"));
+        assert_eq!(a, PageId(0));
+        assert_eq!(b, PageId(1));
+        assert_eq!(&d.read(a)[..], b"alpha");
+        assert_eq!(&d.read(b)[..], b"beta");
+        assert_eq!(d.page_count(), 2);
+        assert_eq!(d.used_bytes(), 9);
+    }
+
+    #[test]
+    fn accepts_full_page() {
+        let mut d = Disk::new();
+        d.append(Bytes::from(vec![0u8; PAGE_SIZE]));
+        assert_eq!(d.page_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "page overflow")]
+    fn rejects_oversized_page() {
+        let mut d = Disk::new();
+        d.append(Bytes::from(vec![0u8; PAGE_SIZE + 1]));
+    }
+}

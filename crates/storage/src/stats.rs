@@ -1,0 +1,133 @@
+//! Shared I/O accounting.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Cumulative I/O counters for one store.
+///
+/// Cheap to clone (an `Arc`), so an experiment harness keeps one handle
+/// while the query engine holds another. `Relaxed` ordering suffices:
+/// counters are monotonic tallies, never used for synchronisation.
+#[derive(Clone, Debug, Default)]
+pub struct IoStats {
+    inner: Arc<Counters>,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    logical: AtomicU64,
+    faults: AtomicU64,
+}
+
+/// A point-in-time copy of the counters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct IoSnapshot {
+    /// Page requests issued (buffer hits + faults).
+    pub logical: u64,
+    /// Buffer misses that had to touch the simulated disk — the paper's
+    /// "disk pages accessed".
+    pub faults: u64,
+}
+
+impl IoSnapshot {
+    /// Counter-wise difference `self - earlier`; saturates at zero so a
+    /// stale snapshot can never produce bogus negative deltas.
+    pub fn since(&self, earlier: &IoSnapshot) -> IoSnapshot {
+        IoSnapshot {
+            logical: self.logical.saturating_sub(earlier.logical),
+            faults: self.faults.saturating_sub(earlier.faults),
+        }
+    }
+
+    /// Buffer hit ratio in `[0, 1]`; 1.0 when no requests were issued.
+    pub fn hit_ratio(&self) -> f64 {
+        if self.logical == 0 {
+            1.0
+        } else {
+            1.0 - self.faults as f64 / self.logical as f64
+        }
+    }
+}
+
+impl IoStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        IoStats::default()
+    }
+
+    /// Records one page request that was served from the buffer.
+    #[inline]
+    pub fn record_hit(&self) {
+        self.inner.logical.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one page request that missed the buffer and hit the disk.
+    #[inline]
+    pub fn record_fault(&self) {
+        self.inner.logical.fetch_add(1, Ordering::Relaxed);
+        self.inner.faults.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copies the current counter values.
+    pub fn snapshot(&self) -> IoSnapshot {
+        IoSnapshot {
+            logical: self.inner.logical.load(Ordering::Relaxed),
+            faults: self.inner.faults.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets both counters to zero.
+    pub fn reset(&self) {
+        self.inner.logical.store(0, Ordering::Relaxed);
+        self.inner.faults.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_hits_and_faults() {
+        let s = IoStats::new();
+        s.record_hit();
+        s.record_hit();
+        s.record_fault();
+        let snap = s.snapshot();
+        assert_eq!(snap.logical, 3);
+        assert_eq!(snap.faults, 1);
+        assert!((snap.hit_ratio() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clones_share_counters() {
+        let a = IoStats::new();
+        let b = a.clone();
+        a.record_fault();
+        b.record_hit();
+        assert_eq!(a.snapshot(), b.snapshot());
+        assert_eq!(a.snapshot().logical, 2);
+    }
+
+    #[test]
+    fn since_computes_deltas() {
+        let s = IoStats::new();
+        s.record_fault();
+        let early = s.snapshot();
+        s.record_hit();
+        s.record_fault();
+        let late = s.snapshot();
+        let d = late.since(&early);
+        assert_eq!(d.logical, 2);
+        assert_eq!(d.faults, 1);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let s = IoStats::new();
+        s.record_fault();
+        s.reset();
+        assert_eq!(s.snapshot(), IoSnapshot::default());
+        assert_eq!(s.snapshot().hit_ratio(), 1.0);
+    }
+}

@@ -1,0 +1,250 @@
+//! Synthetic road-network generator.
+//!
+//! Construction recipe (all driven by one seed):
+//!
+//! 1. place `cols x rows` junctions on a jittered grid;
+//! 2. connect them with a random spanning tree drawn from the grid
+//!    adjacency (4-neighbourhood plus diagonals) — guarantees one
+//!    connected component;
+//! 3. add random extra grid-adjacent edges until the edge target is met;
+//! 4. bend a fraction of edges into polyline detours, stretching their
+//!    network length by a factor drawn from `detour_stretch` — this is the
+//!    δ = d_N/d_E control knob;
+//! 5. normalise everything into the 1 km x 1 km evaluation square.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use rn_geom::{Point, Polyline};
+use rn_graph::{normalize, NetworkBuilder, NodeId, RoadNetwork};
+
+/// Parameters of the synthetic network.
+#[derive(Clone, Debug)]
+pub struct NetGenConfig {
+    /// Grid columns (junctions per row).
+    pub cols: usize,
+    /// Grid rows.
+    pub rows: usize,
+    /// Total edges to create. Clamped to `[nodes - 1, available grid
+    /// adjacencies]`.
+    pub edges: usize,
+    /// Junction jitter as a fraction of the cell size (`0.0..0.5`).
+    pub jitter: f64,
+    /// Fraction of edges turned into polyline detours.
+    pub detour_prob: f64,
+    /// Stretch-factor range for detoured edges (`>= 1.0`).
+    pub detour_stretch: (f64, f64),
+    /// RNG seed; equal configs with equal seeds generate identical
+    /// networks.
+    pub seed: u64,
+}
+
+impl NetGenConfig {
+    /// Number of junctions this configuration produces.
+    pub fn node_count(&self) -> usize {
+        self.cols * self.rows
+    }
+}
+
+/// Generates a connected road network per `config`, normalised to the
+/// paper's 1 km square.
+///
+/// # Panics
+/// Panics when the grid is degenerate (fewer than 2x2 junctions).
+pub fn generate_network(config: &NetGenConfig) -> RoadNetwork {
+    assert!(
+        config.cols >= 2 && config.rows >= 2,
+        "grid must be at least 2x2"
+    );
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let (cols, rows) = (config.cols, config.rows);
+    let n = cols * rows;
+
+    // 1. Jittered junctions on a unit-spaced grid.
+    let mut b = NetworkBuilder::with_capacity(n, config.edges);
+    let jitter = config.jitter.clamp(0.0, 0.49);
+    for r in 0..rows {
+        for c in 0..cols {
+            let dx = rng.random_range(-jitter..=jitter);
+            let dy = rng.random_range(-jitter..=jitter);
+            b.add_node(Point::new(c as f64 + dx, r as f64 + dy));
+        }
+    }
+    let at = |r: usize, c: usize| (r * cols + c) as u32;
+
+    // Candidate adjacencies: right, up, and the two diagonals.
+    let mut candidates: Vec<(u32, u32)> = Vec::with_capacity(4 * n);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                candidates.push((at(r, c), at(r, c + 1)));
+            }
+            if r + 1 < rows {
+                candidates.push((at(r, c), at(r + 1, c)));
+                if c + 1 < cols {
+                    candidates.push((at(r, c), at(r + 1, c + 1)));
+                }
+                if c > 0 {
+                    candidates.push((at(r, c), at(r + 1, c - 1)));
+                }
+            }
+        }
+    }
+    candidates.shuffle(&mut rng);
+
+    // 2. Random spanning tree via union-find over the shuffled candidates
+    //    (Kruskal on random order = uniform-ish random spanning structure).
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    fn find(parent: &mut [u32], mut x: u32) -> u32 {
+        while parent[x as usize] != x {
+            parent[x as usize] = parent[parent[x as usize] as usize];
+            x = parent[x as usize];
+        }
+        x
+    }
+    let mut chosen: Vec<(u32, u32)> = Vec::with_capacity(config.edges);
+    let mut extra_pool: Vec<(u32, u32)> = Vec::new();
+    for (u, v) in candidates {
+        let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
+        if ru != rv {
+            parent[ru as usize] = rv;
+            chosen.push((u, v));
+        } else {
+            extra_pool.push((u, v));
+        }
+    }
+    debug_assert_eq!(chosen.len(), n - 1, "spanning tree covers the grid");
+
+    // 3. Extra edges up to the target.
+    let target = config.edges.clamp(n - 1, chosen.len() + extra_pool.len());
+    for e in extra_pool {
+        if chosen.len() >= target {
+            break;
+        }
+        chosen.push(e);
+    }
+
+    // 4. Geometry: straight or detoured.
+    for (u, v) in chosen {
+        let (u, v) = (NodeId(u), NodeId(v));
+        if rng.random_bool(config.detour_prob.clamp(0.0, 1.0)) {
+            let stretch = rng.random_range(config.detour_stretch.0..=config.detour_stretch.1);
+            let geom = detour(b.node_point(u), b.node_point(v), stretch.max(1.0));
+            b.add_polyline_edge(u, v, geom)
+                .expect("generated geometry is valid");
+        } else {
+            b.add_straight_edge(u, v)
+                .expect("distinct jittered junctions");
+        }
+    }
+
+    let net = b.build().expect("generator invariants hold");
+    // 5. Fit the paper's evaluation square.
+    normalize::normalize_to_region(&net)
+}
+
+/// A three-vertex polyline from `a` to `b` whose arc length is `stretch`
+/// times the chord: the midpoint is displaced perpendicularly by
+/// `h = (L/2) * sqrt(stretch^2 - 1)`.
+fn detour(a: Point, b: Point, stretch: f64) -> Polyline {
+    let chord = a.distance(&b);
+    if chord == 0.0 || stretch <= 1.0 {
+        return Polyline::straight(a, b);
+    }
+    let h = 0.5 * chord * (stretch * stretch - 1.0).sqrt();
+    let mid = a.midpoint(&b);
+    // Unit perpendicular of the chord.
+    let dir = b - a;
+    let perp = Point::new(-dir.y / chord, dir.x / chord);
+    Polyline::new(vec![a, mid + perp * h, b])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rn_graph::connectivity::is_connected;
+
+    fn small() -> NetGenConfig {
+        NetGenConfig {
+            cols: 12,
+            rows: 10,
+            edges: 160,
+            jitter: 0.3,
+            detour_prob: 0.4,
+            detour_stretch: (1.05, 1.4),
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn exact_counts_and_connected() {
+        let cfg = small();
+        let g = generate_network(&cfg);
+        assert_eq!(g.node_count(), 120);
+        assert_eq!(g.edge_count(), 160);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = small();
+        let a = generate_network(&cfg);
+        let b = generate_network(&cfg);
+        assert_eq!(a.node_count(), b.node_count());
+        for (ea, eb) in a.edges().iter().zip(b.edges()) {
+            assert_eq!(ea.u, eb.u);
+            assert_eq!(ea.v, eb.v);
+            assert!(rn_geom::approx_eq(ea.length, eb.length));
+        }
+        let mut cfg2 = cfg.clone();
+        cfg2.seed = 8;
+        let c = generate_network(&cfg2);
+        // Same shape, different wiring (lengths differ essentially surely).
+        let la: f64 = a.total_length();
+        let lc: f64 = c.total_length();
+        assert!((la - lc).abs() > 1e-9);
+    }
+
+    #[test]
+    fn fits_the_square() {
+        let g = generate_network(&small());
+        let m = g.mbr().unwrap();
+        assert!(m.max.x <= normalize::REGION_SIDE + 1e-6);
+        assert!(m.max.y <= normalize::REGION_SIDE + 1e-6);
+        assert!(m.min.x >= -1e-6);
+        assert!(m.min.y >= -1e-6);
+    }
+
+    #[test]
+    fn detours_raise_delta() {
+        let mut straight = small();
+        straight.detour_prob = 0.0;
+        let mut bent = small();
+        bent.detour_prob = 1.0;
+        bent.detour_stretch = (1.3, 1.5);
+        let g0 = generate_network(&straight);
+        let g1 = generate_network(&bent);
+        assert!(rn_geom::approx_eq(g0.edge_delta(), 1.0));
+        assert!(g1.edge_delta() > 1.25);
+    }
+
+    #[test]
+    fn edge_target_clamped_to_tree_minimum() {
+        let mut cfg = small();
+        cfg.edges = 1; // impossible: below n-1
+        let g = generate_network(&cfg);
+        assert_eq!(g.edge_count(), g.node_count() - 1);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn detour_geometry_has_requested_stretch() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, 0.0);
+        for stretch in [1.1, 1.5, 2.0] {
+            let p = detour(a, b, stretch);
+            assert!(rn_geom::approx_eq(p.length(), stretch * 10.0));
+            assert_eq!(p.start(), a);
+            assert_eq!(p.end(), b);
+        }
+    }
+}

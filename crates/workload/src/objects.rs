@@ -1,0 +1,165 @@
+//! Data-object sampling — §6.1's object sets.
+//!
+//! "The data object set D consists of the points extracted uniformly from
+//! the edges ... Thus, a dense road network in an area means more objects
+//! in the area. The size of D is a percentage of |E| ... the ratio
+//! ω = |D|/|E| is called the object density."
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use rn_graph::{EdgeId, NetPosition, RoadNetwork};
+
+/// Samples `round(omega * |E|)` objects, each on a uniformly chosen edge at
+/// a uniformly chosen offset.
+///
+/// `omega` is the paper's object density (e.g. `0.5` for ω = 50 %); values
+/// above 1.0 place several objects per edge on average (the ω = 200 %
+/// configuration).
+pub fn generate_objects(net: &RoadNetwork, omega: f64, seed: u64) -> Vec<NetPosition> {
+    assert!(omega >= 0.0, "object density cannot be negative");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e3779b97f4a7c15);
+    let count = (omega * net.edge_count() as f64).round() as usize;
+    (0..count)
+        .map(|_| {
+            let e = EdgeId(rng.random_range(0..net.edge_count() as u32));
+            let len = net.edge(e).length;
+            NetPosition::new(e, rng.random_range(0.0..len))
+        })
+        .collect()
+}
+
+/// Serialises positions (objects or query points) as `p <edge> <offset>`
+/// lines — the companion of [`rn_graph::io`]'s network format.
+pub fn write_positions<W: std::io::Write>(
+    positions: &[NetPosition],
+    mut w: W,
+) -> std::io::Result<()> {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(24 * positions.len());
+    for p in positions {
+        writeln!(out, "p {} {}", p.edge.0, p.offset).expect("string write");
+    }
+    w.write_all(out.as_bytes())
+}
+
+/// Parses positions written by [`write_positions`], validating them
+/// against `net` (edge must exist, offset within its length).
+pub fn read_positions<R: std::io::Read>(
+    net: &RoadNetwork,
+    reader: R,
+) -> Result<Vec<NetPosition>, String> {
+    use std::io::BufRead;
+    let mut out = Vec::new();
+    for (lineno, line) in std::io::BufReader::new(reader).lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = line.map_err(|e| format!("line {lineno}: {e}"))?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut tok = line.split_whitespace();
+        if tok.next() != Some("p") {
+            return Err(format!("line {lineno}: expected 'p <edge> <offset>'"));
+        }
+        let edge: u32 = tok
+            .next()
+            .ok_or_else(|| format!("line {lineno}: missing edge id"))?
+            .parse()
+            .map_err(|e| format!("line {lineno}: bad edge id: {e}"))?;
+        let offset: f64 = tok
+            .next()
+            .ok_or_else(|| format!("line {lineno}: missing offset"))?
+            .parse()
+            .map_err(|e| format!("line {lineno}: bad offset: {e}"))?;
+        if edge as usize >= net.edge_count() {
+            return Err(format!("line {lineno}: edge {edge} does not exist"));
+        }
+        let len = net.edge(EdgeId(edge)).length;
+        if !(0.0..=len + 1e-9).contains(&offset) {
+            return Err(format!(
+                "line {lineno}: offset {offset} outside edge length {len}"
+            ));
+        }
+        out.push(NetPosition::new(EdgeId(edge), offset.min(len)));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netgen::{generate_network, NetGenConfig};
+
+    fn net() -> RoadNetwork {
+        generate_network(&NetGenConfig {
+            cols: 10,
+            rows: 10,
+            edges: 140,
+            jitter: 0.3,
+            detour_prob: 0.2,
+            detour_stretch: (1.05, 1.3),
+            seed: 5,
+        })
+    }
+
+    #[test]
+    fn count_tracks_omega() {
+        let g = net();
+        assert_eq!(generate_objects(&g, 0.5, 1).len(), 70);
+        assert_eq!(generate_objects(&g, 2.0, 1).len(), 280);
+        assert_eq!(generate_objects(&g, 0.0, 1).len(), 0);
+    }
+
+    #[test]
+    fn offsets_are_on_their_edges() {
+        let g = net();
+        for pos in generate_objects(&g, 1.0, 2) {
+            let len = g.edge(pos.edge).length;
+            assert!(pos.offset >= 0.0 && pos.offset <= len);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = net();
+        let a = generate_objects(&g, 0.5, 9);
+        let b = generate_objects(&g, 0.5, 9);
+        assert_eq!(a, b);
+        let c = generate_objects(&g, 0.5, 10);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn rejects_negative_density() {
+        let g = net();
+        generate_objects(&g, -0.1, 0);
+    }
+
+    #[test]
+    fn positions_round_trip() {
+        let g = net();
+        let objs = generate_objects(&g, 0.5, 3);
+        let mut buf = Vec::new();
+        write_positions(&objs, &mut buf).unwrap();
+        let back = read_positions(&g, buf.as_slice()).unwrap();
+        assert_eq!(objs.len(), back.len());
+        for (a, b) in objs.iter().zip(&back) {
+            assert_eq!(a.edge, b.edge);
+            assert!(rn_geom::approx_eq(a.offset, b.offset));
+        }
+    }
+
+    #[test]
+    fn read_rejects_bad_edges_and_offsets() {
+        let g = net();
+        assert!(read_positions(&g, "p 999999 0.5\n".as_bytes()).is_err());
+        let len = g.edge(EdgeId(0)).length;
+        let too_far = format!("p 0 {}\n", len + 1.0);
+        assert!(read_positions(&g, too_far.as_bytes()).is_err());
+        assert!(read_positions(&g, "x 0 0.5\n".as_bytes()).is_err());
+        // Comments and blanks are fine.
+        let ok = read_positions(&g, "# hi\n\np 0 0.0\n".as_bytes()).unwrap();
+        assert_eq!(ok.len(), 1);
+    }
+}

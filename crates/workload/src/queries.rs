@@ -1,0 +1,121 @@
+//! Query-point sampling — §6.1's query sets.
+//!
+//! "For a more accurate performance comparison, the query points ranging
+//! from 1 to 15 are selected within a relative small region (10%) of the
+//! network such that the maximum search region will not go beyond the
+//! given network."
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use rn_geom::Mbr;
+use rn_graph::{EdgeId, NetPosition, RoadNetwork};
+
+/// Samples `count` query points on edges whose bounding box intersects a
+/// random square sub-region covering `region_frac` of each axis (the
+/// paper's 10 % region corresponds to `region_frac = 0.1`).
+///
+/// Falls back to the whole network when the chosen region contains no
+/// edges (possible on pathological inputs, not on the presets).
+pub fn generate_queries(
+    net: &RoadNetwork,
+    count: usize,
+    region_frac: f64,
+    seed: u64,
+) -> Vec<NetPosition> {
+    assert!(count > 0, "need at least one query point");
+    assert!(
+        (0.0..=1.0).contains(&region_frac),
+        "region fraction must be in (0, 1]"
+    );
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xd1b54a32d192ed03);
+    let bounds = net.mbr().expect("network is non-empty");
+
+    // Anchor the sub-region uniformly inside the network extent.
+    let rw = bounds.width() * region_frac;
+    let rh = bounds.height() * region_frac;
+    let x0 = bounds.min.x + rng.random_range(0.0..=(bounds.width() - rw).max(0.0));
+    let y0 = bounds.min.y + rng.random_range(0.0..=(bounds.height() - rh).max(0.0));
+    let region = Mbr::new(
+        rn_geom::Point::new(x0, y0),
+        rn_geom::Point::new(x0 + rw, y0 + rh),
+    );
+
+    // Candidate edges: those whose geometry bbox touches the region.
+    let mut in_region: Vec<EdgeId> = net
+        .edge_ids()
+        .filter(|&e| net.edge(e).geometry.mbr().intersects(&region))
+        .collect();
+    if in_region.is_empty() {
+        in_region = net.edge_ids().collect();
+    }
+
+    (0..count)
+        .map(|_| {
+            let e = in_region[rng.random_range(0..in_region.len())];
+            let len = net.edge(e).length;
+            NetPosition::new(e, rng.random_range(0.0..len))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netgen::{generate_network, NetGenConfig};
+
+    fn net() -> RoadNetwork {
+        generate_network(&NetGenConfig {
+            cols: 20,
+            rows: 20,
+            edges: 600,
+            jitter: 0.3,
+            detour_prob: 0.2,
+            detour_stretch: (1.05, 1.3),
+            seed: 11,
+        })
+    }
+
+    #[test]
+    fn produces_requested_count() {
+        let g = net();
+        assert_eq!(generate_queries(&g, 15, 0.1, 1).len(), 15);
+        assert_eq!(generate_queries(&g, 1, 0.1, 1).len(), 1);
+    }
+
+    #[test]
+    fn queries_cluster_in_a_small_region() {
+        let g = net();
+        let qs = generate_queries(&g, 10, 0.1, 3);
+        let pts: Vec<rn_geom::Point> = qs.iter().map(|q| g.position_point(q)).collect();
+        let mbr = rn_geom::Mbr::from_points(&pts).unwrap();
+        let net_mbr = g.mbr().unwrap();
+        // Query spread stays well under the full extent. Edges straddling
+        // the region boundary can poke out, hence the slack factor.
+        assert!(mbr.width() <= net_mbr.width() * 0.35);
+        assert!(mbr.height() <= net_mbr.height() * 0.35);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = net();
+        assert_eq!(
+            generate_queries(&g, 4, 0.1, 7),
+            generate_queries(&g, 4, 0.1, 7)
+        );
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let g = net();
+        assert_ne!(
+            generate_queries(&g, 4, 0.1, 7),
+            generate_queries(&g, 4, 0.1, 8)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_count_panics() {
+        generate_queries(&net(), 0, 0.1, 1);
+    }
+}

@@ -1,0 +1,155 @@
+//! Radial ("ring road") city generator.
+//!
+//! European-style cities are rings plus radials rather than grids; their
+//! shortest paths bend around the centre, which stresses the A\* heuristic
+//! and the Euclidean/network duality differently from the perturbed grid
+//! of [`crate::netgen`]. The cross-validation suite runs the algorithms on
+//! both topologies.
+//!
+//! Construction: `spokes` radial roads from a central junction out to
+//! `rings` concentric rings; ring roads connect angularly adjacent
+//! junctions on the same ring. A fraction of ring segments is dropped
+//! (rings are rarely complete in real cities) — connectivity survives
+//! because every junction keeps its radial link to the centre.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use rn_geom::Point;
+use rn_graph::{normalize, NetworkBuilder, NodeId, RoadNetwork};
+
+/// Parameters of the radial city.
+#[derive(Clone, Debug)]
+pub struct RadialConfig {
+    /// Number of radial roads (at least 3).
+    pub spokes: usize,
+    /// Number of concentric rings (at least 1).
+    pub rings: usize,
+    /// Probability that a ring segment is *kept* (`0.0..=1.0`).
+    pub ring_keep: f64,
+    /// Angular jitter of junctions, as a fraction of the spoke spacing.
+    pub jitter: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Generates a connected radial network, normalised to the 1 km square.
+///
+/// # Panics
+/// Panics for fewer than 3 spokes or zero rings.
+pub fn generate_radial_network(config: &RadialConfig) -> RoadNetwork {
+    assert!(config.spokes >= 3, "need at least 3 spokes");
+    assert!(config.rings >= 1, "need at least 1 ring");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut b = NetworkBuilder::new();
+
+    let center = b.add_node(Point::new(0.0, 0.0));
+    let two_pi = std::f64::consts::TAU;
+    let sector = two_pi / config.spokes as f64;
+    let jitter = config.jitter.clamp(0.0, 0.45);
+
+    // ids[r][s] = junction on ring r (0-based), spoke s.
+    let mut ids: Vec<Vec<NodeId>> = Vec::with_capacity(config.rings);
+    for r in 0..config.rings {
+        let radius = (r + 1) as f64;
+        let mut ring = Vec::with_capacity(config.spokes);
+        for s in 0..config.spokes {
+            let angle = s as f64 * sector + rng.random_range(-jitter..=jitter) * sector;
+            let rad = radius + rng.random_range(-jitter..=jitter) * 0.5;
+            ring.push(b.add_node(Point::new(rad * angle.cos(), rad * angle.sin())));
+        }
+        ids.push(ring);
+    }
+
+    // Radials: centre -> ring 0, then ring r -> ring r+1 along each spoke.
+    for s in 0..config.spokes {
+        b.add_straight_edge(center, ids[0][s])
+            .expect("distinct jittered junctions");
+        for r in 0..config.rings - 1 {
+            b.add_straight_edge(ids[r][s], ids[r + 1][s])
+                .expect("distinct jittered junctions");
+        }
+    }
+    // Rings: angularly adjacent junctions, kept with probability ring_keep.
+    for (r, ring) in ids.iter().enumerate() {
+        let _ = r;
+        for s in 0..config.spokes {
+            if rng.random_bool(config.ring_keep.clamp(0.0, 1.0)) {
+                let next = (s + 1) % config.spokes;
+                let _ = b.add_straight_edge(ring[s], ring[next]);
+            }
+        }
+    }
+
+    normalize::normalize_to_region(&b.build().expect("construction is valid"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rn_graph::connectivity::is_connected;
+
+    fn cfg(seed: u64) -> RadialConfig {
+        RadialConfig {
+            spokes: 12,
+            rings: 5,
+            ring_keep: 0.7,
+            jitter: 0.2,
+            seed,
+        }
+    }
+
+    #[test]
+    fn counts_and_connectivity() {
+        let g = generate_radial_network(&cfg(1));
+        assert_eq!(g.node_count(), 1 + 12 * 5);
+        assert!(is_connected(&g), "radials guarantee connectivity");
+        // At least all radial edges exist.
+        assert!(g.edge_count() >= 12 * 5);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate_radial_network(&cfg(2));
+        let b = generate_radial_network(&cfg(2));
+        assert_eq!(a.edge_count(), b.edge_count());
+        assert!(rn_geom::approx_eq(a.total_length(), b.total_length()));
+    }
+
+    #[test]
+    fn fully_kept_rings() {
+        let mut c = cfg(3);
+        c.ring_keep = 1.0;
+        let g = generate_radial_network(&c);
+        // radials: spokes * rings; rings: spokes per ring.
+        assert_eq!(g.edge_count(), 12 * 5 + 12 * 5);
+    }
+
+    #[test]
+    fn no_rings_kept_is_a_star_of_chains() {
+        let mut c = cfg(4);
+        c.ring_keep = 0.0;
+        let g = generate_radial_network(&c);
+        assert_eq!(g.edge_count(), 12 * 5);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn normalised_extent() {
+        let g = generate_radial_network(&cfg(5));
+        let m = g.mbr().unwrap();
+        assert!(m.max.x <= normalize::REGION_SIDE + 1e-6);
+        assert!(m.min.x >= -1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3 spokes")]
+    fn too_few_spokes() {
+        generate_radial_network(&RadialConfig {
+            spokes: 2,
+            rings: 1,
+            ring_keep: 1.0,
+            jitter: 0.0,
+            seed: 0,
+        });
+    }
+}

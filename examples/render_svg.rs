@@ -1,0 +1,131 @@
+//! Renders a skyline query as an SVG map: the road network in grey, data
+//! objects as dots, query points as crosses, skyline members highlighted,
+//! and the shortest route from the first query point to the most balanced
+//! skyline object.
+//!
+//! ```text
+//! cargo run --release --example render_svg -- out.svg
+//! ```
+//!
+//! No plotting dependencies — SVG is plain text.
+
+use msq_core::{Algorithm, SkylineEngine};
+use rn_geom::Point;
+use rn_workload::{ca_like, generate_objects, generate_queries};
+use std::fmt::Write as _;
+
+const W: f64 = 1000.0;
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "skyline.svg".into());
+
+    let network = ca_like(23);
+    let objects = generate_objects(&network, 0.15, 2300);
+    let engine = SkylineEngine::build(network, objects);
+    let queries = generate_queries(engine.network(), 3, 0.316, 23000);
+    let result = engine.run_cold(Algorithm::Lbc, &queries);
+    eprintln!(
+        "{} skyline objects of {}; rendering ...",
+        result.skyline.len(),
+        engine.object_count()
+    );
+
+    // SVG uses a y-down coordinate system; flip.
+    let y = |v: f64| W - v;
+    let mut svg = String::with_capacity(1 << 20);
+    writeln!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" viewBox="-10 -10 {} {}" width="820" height="820">"#,
+        W + 20.0,
+        W + 20.0
+    )
+    .unwrap();
+    writeln!(svg, r##"<rect x="-10" y="-10" width="{}" height="{}" fill="#fcfcf8"/>"##, W + 20.0, W + 20.0).unwrap();
+
+    // Roads.
+    writeln!(svg, r##"<g stroke="#c8c8c0" stroke-width="1.2" fill="none">"##).unwrap();
+    for e in engine.network().edges() {
+        let verts = e.geometry.vertices();
+        let mut d = String::new();
+        for (i, p) in verts.iter().enumerate() {
+            let cmd = if i == 0 { 'M' } else { 'L' };
+            write!(d, "{cmd}{:.1} {:.1} ", p.x, y(p.y)).unwrap();
+        }
+        writeln!(svg, r#"<path d="{d}"/>"#).unwrap();
+    }
+    writeln!(svg, "</g>").unwrap();
+
+    // Route from query 0 to the skyline object with the smallest distance
+    // sum, drawn under the markers.
+    if let Some(best) = result.skyline.iter().min_by(|a, b| {
+        let sa: f64 = a.vector.iter().sum();
+        let sb: f64 = b.vector.iter().sum();
+        sa.partial_cmp(&sb).expect("finite")
+    }) {
+        if let Some(path) = engine.shortest_path(queries[0], engine.object_position(best.object))
+        {
+            writeln!(
+                svg,
+                r##"<g stroke="#2a6fdb" stroke-width="3" fill="none" stroke-linecap="round" opacity="0.75">"##
+            )
+            .unwrap();
+            for eid in &path.edges {
+                let e = engine.network().edge(*eid);
+                let mut d = String::new();
+                for (i, p) in e.geometry.vertices().iter().enumerate() {
+                    let cmd = if i == 0 { 'M' } else { 'L' };
+                    write!(d, "{cmd}{:.1} {:.1} ", p.x, y(p.y)).unwrap();
+                }
+                writeln!(svg, r#"<path d="{d}"/>"#).unwrap();
+            }
+            writeln!(svg, "</g>").unwrap();
+            eprintln!(
+                "route to {:?}: {:.0} m over {} segments",
+                best.object,
+                path.length,
+                path.edges.len()
+            );
+        }
+    }
+
+    // Ordinary objects.
+    let skyline_ids: Vec<_> = result.ids();
+    writeln!(svg, r##"<g fill="#b0b0a8">"##).unwrap();
+    for i in 0..engine.object_count() {
+        let id = rn_graph::ObjectId(i as u32);
+        if skyline_ids.contains(&id) {
+            continue;
+        }
+        let p = engine.network().position_point(&engine.object_position(id));
+        writeln!(svg, r#"<circle cx="{:.1}" cy="{:.1}" r="2.6"/>"#, p.x, y(p.y)).unwrap();
+    }
+    writeln!(svg, "</g>").unwrap();
+
+    // Skyline objects.
+    writeln!(svg, r##"<g fill="#e4572e" stroke="#7a2410" stroke-width="1">"##).unwrap();
+    for p in &result.skyline {
+        let pt = engine
+            .network()
+            .position_point(&engine.object_position(p.object));
+        writeln!(svg, r#"<circle cx="{:.1}" cy="{:.1}" r="5.5"/>"#, pt.x, y(pt.y)).unwrap();
+    }
+    writeln!(svg, "</g>").unwrap();
+
+    // Query points as crosses.
+    writeln!(
+        svg,
+        r##"<g stroke="#14213d" stroke-width="3.4" stroke-linecap="round">"##
+    )
+    .unwrap();
+    for q in &queries {
+        let p: Point = engine.network().position_point(q);
+        let (cx, cy) = (p.x, y(p.y));
+        writeln!(svg, r#"<line x1="{:.1}" y1="{:.1}" x2="{:.1}" y2="{:.1}"/>"#, cx - 7.0, cy - 7.0, cx + 7.0, cy + 7.0).unwrap();
+        writeln!(svg, r#"<line x1="{:.1}" y1="{:.1}" x2="{:.1}" y2="{:.1}"/>"#, cx - 7.0, cy + 7.0, cx + 7.0, cy - 7.0).unwrap();
+    }
+    writeln!(svg, "</g>").unwrap();
+    writeln!(svg, "</svg>").unwrap();
+
+    std::fs::write(&out_path, svg).expect("write SVG");
+    eprintln!("wrote {out_path}");
+}

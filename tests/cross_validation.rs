@@ -1,0 +1,178 @@
+//! Cross-validation: CE, EDC, LBC (with and without plb) and the brute
+//! oracle must return exactly the same skyline on every input.
+//!
+//! This is the load-bearing correctness suite of the reproduction: the
+//! three paper algorithms share no code path beyond the substrates, so
+//! agreement across dozens of random networks, object densities and query
+//! arities is strong evidence each is individually correct.
+
+use msq_core::{Algorithm, SkylineEngine};
+use rn_graph::NetPosition;
+use rn_workload::{generate_network, generate_objects, generate_queries, NetGenConfig};
+
+#[allow(clippy::too_many_arguments)]
+fn workload(
+    seed: u64,
+    cols: usize,
+    rows: usize,
+    edges: usize,
+    omega: f64,
+    nq: usize,
+    detour_prob: f64,
+    detour_max: f64,
+) -> (SkylineEngine, Vec<NetPosition>) {
+    let net = generate_network(&NetGenConfig {
+        cols,
+        rows,
+        edges,
+        jitter: 0.3,
+        detour_prob,
+        detour_stretch: (1.05, detour_max.max(1.05)),
+        seed,
+    });
+    let objects = generate_objects(&net, omega, seed + 1);
+    let queries = generate_queries(&net, nq, 0.2, seed + 2);
+    (SkylineEngine::build(net, objects), queries)
+}
+
+fn assert_all_agree(engine: &SkylineEngine, queries: &[NetPosition], label: &str) {
+    let brute = engine.run(Algorithm::Brute, queries);
+    for algo in [
+        Algorithm::Ce,
+        Algorithm::Edc,
+        Algorithm::EdcBatch,
+        Algorithm::Lbc,
+        Algorithm::LbcNoPlb,
+    ] {
+        let r = engine.run(algo, queries);
+        assert_eq!(
+            r.ids(),
+            brute.ids(),
+            "{label}: {} disagrees with brute force",
+            algo.name()
+        );
+        // Vectors must agree too, not just membership.
+        for p in &r.skyline {
+            let want = brute.vector_of(p.object).expect("object in brute skyline");
+            for (a, b) in p.vector.iter().zip(want) {
+                assert!(
+                    rn_geom::approx_eq(*a, *b),
+                    "{label}: {} vector mismatch for {:?}: {a} vs {b}",
+                    algo.name(),
+                    p.object
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn agreement_across_seeds_two_queries() {
+    for seed in 0..8 {
+        let (engine, queries) = workload(seed, 12, 12, 200, 0.5, 2, 0.3, 1.4);
+        assert_all_agree(&engine, &queries, &format!("seed {seed}"));
+    }
+}
+
+#[test]
+fn agreement_across_arity() {
+    for nq in [1, 3, 4, 6, 9] {
+        let (engine, queries) = workload(100 + nq as u64, 12, 12, 220, 0.6, nq, 0.3, 1.4);
+        assert_all_agree(&engine, &queries, &format!("|Q| = {nq}"));
+    }
+}
+
+#[test]
+fn agreement_across_object_density() {
+    for (i, omega) in [0.05, 0.2, 0.5, 1.0, 2.0].into_iter().enumerate() {
+        let (engine, queries) = workload(200 + i as u64, 12, 12, 220, omega, 3, 0.3, 1.4);
+        assert_all_agree(&engine, &queries, &format!("omega = {omega}"));
+    }
+}
+
+#[test]
+fn agreement_with_extreme_detours() {
+    // Large delta is the regime where EDC's paper-level candidate logic is
+    // weakest; the closure fetch must keep it exact.
+    for seed in 0..6 {
+        let (engine, queries) = workload(300 + seed, 10, 10, 150, 0.7, 3, 0.9, 2.5);
+        assert_all_agree(&engine, &queries, &format!("detour seed {seed}"));
+    }
+}
+
+#[test]
+fn agreement_with_no_detours() {
+    // Straight-line edges: delta == 1 per edge, A* heuristic is tight.
+    for seed in 0..4 {
+        let (engine, queries) = workload(400 + seed, 12, 12, 240, 0.5, 3, 0.0, 1.0);
+        assert_all_agree(&engine, &queries, &format!("straight seed {seed}"));
+    }
+}
+
+#[test]
+fn agreement_on_sparse_tree_networks() {
+    // Exactly a spanning tree: unique paths, worst case for detour-free
+    // lower bounds.
+    for seed in 0..4 {
+        let (engine, queries) = workload(500 + seed, 10, 10, 99, 0.8, 3, 0.4, 1.5);
+        assert_all_agree(&engine, &queries, &format!("tree seed {seed}"));
+    }
+}
+
+#[test]
+fn agreement_with_many_queries_small_world() {
+    let (engine, queries) = workload(600, 8, 8, 110, 1.5, 12, 0.3, 1.4);
+    assert_all_agree(&engine, &queries, "12 queries");
+}
+
+#[test]
+fn agreement_with_coincident_query_points() {
+    // Duplicate query points produce duplicated vector dimensions.
+    let (engine, mut queries) = workload(700, 10, 10, 150, 0.5, 2, 0.3, 1.4);
+    let dup = queries[0];
+    queries.push(dup);
+    assert_all_agree(&engine, &queries, "duplicate query point");
+}
+
+#[test]
+fn agreement_on_radial_city_topology() {
+    // Ring-road cities bend shortest paths around the centre, stressing
+    // the Euclidean lower bounds very differently from grids.
+    use rn_workload::{generate_radial_network, RadialConfig};
+    for seed in 0..4 {
+        let net = generate_radial_network(&RadialConfig {
+            spokes: 14,
+            rings: 6,
+            ring_keep: 0.6,
+            jitter: 0.25,
+            seed: 900 + seed,
+        });
+        let objects = generate_objects(&net, 0.6, 901 + seed);
+        let queries = generate_queries(&net, 3, 0.4, 902 + seed);
+        let engine = SkylineEngine::build(net, objects);
+        assert_all_agree(&engine, &queries, &format!("radial seed {seed}"));
+    }
+}
+
+#[test]
+fn agreement_with_single_object() {
+    let net = generate_network(&NetGenConfig {
+        cols: 8,
+        rows: 8,
+        edges: 100,
+        jitter: 0.3,
+        detour_prob: 0.3,
+        detour_stretch: (1.05, 1.4),
+        seed: 800,
+    });
+    let objects = generate_objects(&net, 1.0, 801)
+        .into_iter()
+        .take(1)
+        .collect();
+    let queries = generate_queries(&net, 4, 0.3, 802);
+    let engine = SkylineEngine::build(net, objects);
+    assert_all_agree(&engine, &queries, "single object");
+    // That lone object is necessarily the whole skyline.
+    let r = engine.run(Algorithm::Lbc, &queries);
+    assert_eq!(r.skyline.len(), 1);
+}

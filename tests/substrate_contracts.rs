@@ -1,0 +1,164 @@
+//! Cross-crate contracts between the substrates, checked on generated
+//! workloads (not the hand-built fixtures the unit tests use):
+//!
+//! * the disk-resident adjacency equals the in-memory network;
+//! * A\*, Dijkstra and the Floyd–Warshall oracle agree on distances;
+//! * INE emits exactly the oracle's distances in ascending order;
+//! * the Euclidean skyline over the object R-tree equals brute force;
+//! * the middle layer's pre-computed offsets match the geometry.
+
+use rn_geom::Mbr;
+use rn_graph::{NetPosition, ObjectId};
+use rn_index::{MiddleLayer, RTree};
+use rn_sp::{oracle, AStar, Dijkstra, IncrementalExpansion, NetCtx};
+use rn_storage::NetworkStore;
+use rn_workload::{generate_network, generate_objects, generate_queries, NetGenConfig};
+
+fn small_net(seed: u64) -> rn_graph::RoadNetwork {
+    generate_network(&NetGenConfig {
+        cols: 12,
+        rows: 10,
+        edges: 190,
+        jitter: 0.3,
+        detour_prob: 0.5,
+        detour_stretch: (1.1, 1.6),
+        seed,
+    })
+}
+
+#[test]
+fn store_matches_network_on_generated_workloads() {
+    for seed in 0..3 {
+        let net = small_net(seed);
+        let store = NetworkStore::build(&net);
+        for n in net.node_ids() {
+            let rec = store.read_adjacency(n);
+            assert_eq!(rec.point, net.point(n));
+            assert_eq!(rec.entries.len(), net.degree(n));
+            for e in &rec.entries {
+                assert_eq!(net.edge(e.edge).other(n), e.node);
+                assert!(rn_geom::approx_eq(e.length, net.edge(e.edge).length));
+            }
+        }
+    }
+}
+
+#[test]
+fn astar_dijkstra_oracle_agree() {
+    for seed in 0..3 {
+        let net = small_net(10 + seed);
+        let store = NetworkStore::build(&net);
+        let mid = MiddleLayer::build(&net, &[]);
+        let ctx = NetCtx::new(&net, &store, &mid);
+        let reference = oracle::position_distance_oracle(&net);
+        let probes = generate_objects(&net, 0.1, 99 + seed);
+        let src = generate_queries(&net, 1, 0.5, 7 + seed)[0];
+        let mut astar = AStar::new(&ctx, src);
+        for p in &probes {
+            let want = reference(&src, p);
+            let got_a = astar.distance_to(*p);
+            let mut dij = Dijkstra::new(&ctx, src);
+            let got_d = dij.distance_to_position(p);
+            assert!(rn_geom::approx_eq(got_a, want), "A* {got_a} vs oracle {want}");
+            assert!(rn_geom::approx_eq(got_d, want), "Dijkstra {got_d} vs {want}");
+        }
+    }
+}
+
+#[test]
+fn ine_matches_oracle_in_order_and_value() {
+    for seed in 0..3 {
+        let net = small_net(20 + seed);
+        let objects = generate_objects(&net, 0.4, 321 + seed);
+        let store = NetworkStore::build(&net);
+        let mid = MiddleLayer::build(&net, &objects);
+        let ctx = NetCtx::new(&net, &store, &mid);
+        let reference = oracle::position_distance_oracle(&net);
+        let src = generate_queries(&net, 1, 0.5, 77 + seed)[0];
+
+        let mut ine = IncrementalExpansion::new(&ctx, src);
+        let emitted = ine.drain();
+        assert_eq!(emitted.len(), objects.len());
+        let mut prev = 0.0;
+        for (obj, d) in emitted {
+            assert!(d + 1e-9 >= prev, "ascending order violated");
+            prev = d;
+            let want = reference(&src, &objects[obj.idx()]);
+            assert!(rn_geom::approx_eq(d, want), "INE {d} vs oracle {want}");
+        }
+    }
+}
+
+#[test]
+fn euclidean_skyline_on_rtree_matches_brute_force() {
+    let net = small_net(30);
+    let objects = generate_objects(&net, 0.8, 55);
+    let mid = MiddleLayer::build(&net, &objects);
+    let tree = RTree::bulk_load(
+        mid.all_points()
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (Mbr::from_point(*p), ObjectId(i as u32)))
+            .collect(),
+    );
+    let qs: Vec<rn_geom::Point> = generate_queries(&net, 3, 0.5, 555)
+        .iter()
+        .map(|q| net.position_point(q))
+        .collect();
+
+    let mut got: Vec<u32> = rn_skyline::multi_source_euclidean_skyline(&tree, &qs)
+        .into_iter()
+        .map(|(o, _)| o.0)
+        .collect();
+    got.sort_unstable();
+
+    let rows: Vec<Vec<f64>> = mid
+        .all_points()
+        .iter()
+        .map(|p| qs.iter().map(|q| q.distance(p)).collect())
+        .collect();
+    let want: Vec<u32> = rn_skyline::brute_force_skyline(&rows)
+        .into_iter()
+        .map(|i| i as u32)
+        .collect();
+    assert_eq!(got, want);
+}
+
+#[test]
+fn middle_layer_offsets_match_geometry() {
+    let net = small_net(40);
+    let objects = generate_objects(&net, 0.6, 66);
+    let mid = MiddleLayer::build(&net, &objects);
+    for (i, pos) in objects.iter().enumerate() {
+        let obj = ObjectId(i as u32);
+        assert_eq!(mid.position(obj), *pos);
+        let edge = net.edge(pos.edge);
+        let recs = mid.objects_on_edge(pos.edge);
+        let rec = recs
+            .iter()
+            .find(|r| r.object == obj)
+            .expect("object listed on its edge");
+        assert!(rn_geom::approx_eq(rec.d_u + rec.d_v, edge.length));
+        assert!(rn_geom::approx_eq(rec.d_u, pos.offset));
+        // The pre-resolved point sits on the edge geometry.
+        let (dist, _) = edge.geometry.closest_offset(&mid.point(obj));
+        assert!(dist < 1e-6);
+    }
+}
+
+#[test]
+fn page_accounting_is_exact_for_full_scans() {
+    // A Dijkstra that settles the whole component performs exactly one
+    // logical adjacency read per node.
+    let net = small_net(50);
+    let store = NetworkStore::build(&net);
+    let mid = MiddleLayer::build(&net, &[]);
+    let ctx = NetCtx::new(&net, &store, &mid);
+    let src = NetPosition::new(rn_graph::EdgeId(0), 0.0);
+    let before = store.stats().snapshot();
+    let mut dij = Dijkstra::new(&ctx, src);
+    while dij.settle_next().is_some() {}
+    let delta = store.stats().snapshot().since(&before);
+    assert_eq!(delta.logical as usize, net.node_count());
+    assert!(delta.faults as usize <= store.page_count());
+}
