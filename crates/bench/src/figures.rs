@@ -51,7 +51,10 @@ pub fn fig4_candidates() {
     {
         let preset = sweep_preset();
         print_header(
-            &format!("Fig 4(a)  candidate ratio |C|/|D| vs |Q|  (w=50%, {})", preset.name()),
+            &format!(
+                "Fig 4(a)  candidate ratio |C|/|D| vs |Q|  (w=50%, {})",
+                preset.name()
+            ),
             &algo_columns(),
         );
         let engine = build_engine(&Setting {
@@ -77,7 +80,10 @@ pub fn fig4_candidates() {
     {
         let preset = sweep_preset();
         print_header(
-            &format!("Fig 4(b)  candidate ratio |C|/|D| vs w  (|Q|=4, {})", preset.name()),
+            &format!(
+                "Fig 4(b)  candidate ratio |C|/|D| vs w  (|Q|=4, {})",
+                preset.name()
+            ),
             &algo_columns(),
         );
         for omega in [0.05, 0.2, 0.5, 1.0, 2.0] {
@@ -191,17 +197,26 @@ pub fn fig6_queries() {
 
     for (title, pick, prec) in [
         (
-            format!("Fig 6(a)  network disk pages vs |Q|  (w=50%, {})", preset.name()),
+            format!(
+                "Fig 6(a)  network disk pages vs |Q|  (w=50%, {})",
+                preset.name()
+            ),
             0usize,
             1usize,
         ),
         (
-            format!("Fig 6(b)  total response time (ms) vs |Q|  (w=50%, {})", preset.name()),
+            format!(
+                "Fig 6(b)  total response time (ms) vs |Q|  (w=50%, {})",
+                preset.name()
+            ),
             1,
             2,
         ),
         (
-            format!("Fig 6(c)  initial response time (ms) vs |Q|  (w=50%, {})", preset.name()),
+            format!(
+                "Fig 6(c)  initial response time (ms) vs |Q|  (w=50%, {})",
+                preset.name()
+            ),
             2,
             2,
         ),
@@ -216,7 +231,10 @@ pub fn fig6_queries() {
                     _ => m.initial_response_ms,
                 })
                 .collect();
-            println!("{}", crate::harness::format_row(&nq.to_string(), &vals, prec));
+            println!(
+                "{}",
+                crate::harness::format_row(&nq.to_string(), &vals, prec)
+            );
         }
     }
 }
@@ -242,17 +260,26 @@ pub fn fig6_density() {
 
     for (title, pick, prec) in [
         (
-            format!("Fig 6(d)  network disk pages vs w  (|Q|=4, {})", preset.name()),
+            format!(
+                "Fig 6(d)  network disk pages vs w  (|Q|=4, {})",
+                preset.name()
+            ),
             0usize,
             1usize,
         ),
         (
-            format!("Fig 6(e)  total response time (ms) vs w  (|Q|=4, {})", preset.name()),
+            format!(
+                "Fig 6(e)  total response time (ms) vs w  (|Q|=4, {})",
+                preset.name()
+            ),
             1,
             2,
         ),
         (
-            format!("Fig 6(f)  initial response time (ms) vs w  (|Q|=4, {})", preset.name()),
+            format!(
+                "Fig 6(f)  initial response time (ms) vs w  (|Q|=4, {})",
+                preset.name()
+            ),
             2,
             2,
         ),
@@ -292,7 +319,10 @@ pub fn ablation_analysis() {
     // A1: C(LBC) <= C(EDC) and N(LBC) <= N(CE) — §5's containments, as
     // measured averages.
     print_header(
-        &format!("A1  §5 analysis: candidates & expansions ({}, |Q|=4, w=50%)", preset.name()),
+        &format!(
+            "A1  §5 analysis: candidates & expansions ({}, |Q|=4, w=50%)",
+            preset.name()
+        ),
         &["CE", "EDC", "LBC"],
     );
     let ms: Vec<_> = ALGOS
@@ -344,7 +374,10 @@ pub fn ablation_analysis() {
 
     // A3: EDC incremental vs batch — what progressive reporting buys.
     print_header(
-        &format!("A3  EDC incremental vs batch ({}, |Q|=4, w=50%)", preset.name()),
+        &format!(
+            "A3  EDC incremental vs batch ({}, |Q|=4, w=50%)",
+            preset.name()
+        ),
         &["EDC", "EDC-batch"],
     );
     let incr = run_setting(&engine, &setting, Algorithm::Edc, seeds);
@@ -359,10 +392,6 @@ pub fn ablation_analysis() {
     );
     println!(
         "{}",
-        crate::harness::format_row(
-            "total ms",
-            &[incr.response_ms, batch.response_ms],
-            2
-        )
+        crate::harness::format_row("total ms", &[incr.response_ms, batch.response_ms], 2)
     );
 }

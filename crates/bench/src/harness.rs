@@ -104,8 +104,7 @@ pub fn run_setting(
         acc.total_ms += wall;
         acc.initial_ms += first_wall;
         acc.response_ms += wall + r.stats.network_pages as f64 * io;
-        acc.initial_response_ms +=
-            first_wall + r.stats.initial_pages.unwrap_or(0) as f64 * io;
+        acc.initial_response_ms += first_wall + r.stats.initial_pages.unwrap_or(0) as f64 * io;
         acc.skyline += r.skyline.len() as f64;
         acc.expanded += r.stats.nodes_expanded as f64;
     }

@@ -15,6 +15,6 @@ pub mod figures;
 pub mod harness;
 
 pub use harness::{
-    average, build_engine, format_row, print_header, run_setting, seed_count, AvgMetrics,
-    Setting, DEFAULT_SEEDS,
+    average, build_engine, format_row, print_header, run_setting, seed_count, AvgMetrics, Setting,
+    DEFAULT_SEEDS,
 };

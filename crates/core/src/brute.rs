@@ -91,16 +91,16 @@ mod tests {
         let e = SkylineEngine::build(net, objects);
         let r = e.run(
             Algorithm::Brute,
-            &[NetPosition::new(EdgeId(0), 30.0), NetPosition::new(EdgeId(0), 70.0)],
+            &[
+                NetPosition::new(EdgeId(0), 30.0),
+                NetPosition::new(EdgeId(0), 70.0),
+            ],
         );
         // Objects between the queries dominate the ones outside:
         // obj1 (40): vector (10, 30); obj2 (60): vector (30, 10);
         // obj0 (10): (20, 60) dominated by obj1; obj3 (95): (65, 25)
         // dominated by obj2.
         let ids = r.ids();
-        assert_eq!(
-            ids,
-            vec![rn_graph::ObjectId(1), rn_graph::ObjectId(2)]
-        );
+        assert_eq!(ids, vec![rn_graph::ObjectId(1), rn_graph::ObjectId(2)]);
     }
 }

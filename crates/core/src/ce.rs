@@ -29,7 +29,7 @@ use rn_graph::ObjectId;
 use rn_skyline::dominance::dominates;
 use rn_sp::IncrementalExpansion;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap};
 
 #[derive(Clone, Copy, PartialEq)]
 enum State {
@@ -95,7 +95,9 @@ pub(crate) fn run(input: &QueryInput<'_>, reporter: &mut Reporter) -> AlgoOutput
         .map(|q| IncrementalExpansion::new(&input.ctx, q.pos))
         .collect();
     let mut exhausted = vec![false; n];
-    let mut objs: HashMap<ObjectId, Obj> = HashMap::new();
+    // Ordered map: prune_open and finalize iterate this, and the query
+    // path must behave identically run to run.
+    let mut objs: BTreeMap<ObjectId, Obj> = BTreeMap::new();
     let mut skyline: Vec<(ObjectId, Vec<f64>)> = Vec::new();
     // Per query point: completed objects waiting for its radius to pass,
     // keyed by their distance in that dimension.
@@ -165,12 +167,9 @@ pub(crate) fn run(input: &QueryInput<'_>, reporter: &mut Reporter) -> AlgoOutput
                 if entry.visited == n && entry.state == State::Open {
                     // Vector complete: enter the classification pipeline.
                     entry.state = State::Waiting;
-                    let bounds: Vec<f64> =
-                        ines.iter().map(|i| i.emission_bound()).collect();
+                    let bounds: Vec<f64> = ines.iter().map(|i| i.emission_bound()).collect();
                     let mut blocked = 0;
-                    for (j, (&dj, heap)) in
-                        entry.dists.iter().zip(waiting.iter_mut()).enumerate()
-                    {
+                    for (j, (&dj, heap)) in entry.dists.iter().zip(waiting.iter_mut()).enumerate() {
                         let passed = exhausted[j] || bounds[j] > dj;
                         if !passed {
                             heap.push(Reverse((OrdF64::new(dj), id)));
@@ -187,10 +186,7 @@ pub(crate) fn run(input: &QueryInput<'_>, reporter: &mut Reporter) -> AlgoOutput
                         frozen_candidates = objs.len();
                         open = objs
                             .values()
-                            .filter(|o| {
-                                o.in_c
-                                    && matches!(o.state, State::Open | State::Waiting)
-                            })
+                            .filter(|o| o.in_c && matches!(o.state, State::Open | State::Waiting))
                             .count();
                     }
                 }
@@ -238,6 +234,28 @@ pub(crate) fn run(input: &QueryInput<'_>, reporter: &mut Reporter) -> AlgoOutput
         frozen_candidates = objs.len();
     }
 
+    // Contract (refinement completeness, §4.1): every object CE touched
+    // ends classified, and the emitted skyline is an antichain — no member
+    // dominates another. A gap here means the strict-radius gate released
+    // something too early or the group certificate fired prematurely.
+    #[cfg(feature = "invariant-checks")]
+    {
+        for (id, o) in &objs {
+            assert!(
+                matches!(o.state, State::Skyline | State::Pruned),
+                "CE refinement incomplete: object {id:?} never classified"
+            );
+        }
+        for (i, (ida, va)) in skyline.iter().enumerate() {
+            for (idb, vb) in skyline.iter().skip(i + 1) {
+                assert!(
+                    !dominates(va, vb) && !dominates(vb, va),
+                    "CE skyline not an antichain: {ida:?} vs {idb:?}"
+                );
+            }
+        }
+    }
+
     AlgoOutput {
         candidates: frozen_candidates,
         nodes_expanded: ines.iter().map(|i| i.wavefront().settled_count()).sum(),
@@ -246,7 +264,7 @@ pub(crate) fn run(input: &QueryInput<'_>, reporter: &mut Reporter) -> AlgoOutput
 
 /// One dimension's gate passed for `obj`; move it to `ready` when fully
 /// unblocked.
-fn release(objs: &mut HashMap<ObjectId, Obj>, obj: ObjectId, ready: &mut Vec<ObjectId>) {
+fn release(objs: &mut BTreeMap<ObjectId, Obj>, obj: ObjectId, ready: &mut Vec<ObjectId>) {
     if let Some(o) = objs.get_mut(&obj) {
         if o.state == State::Waiting {
             o.blocked -= 1;
@@ -263,7 +281,7 @@ fn release(objs: &mut HashMap<ObjectId, Obj>, obj: ObjectId, ready: &mut Vec<Obj
 fn classify_ready(
     input: &QueryInput<'_>,
     ready: &mut Vec<ObjectId>,
-    objs: &mut HashMap<ObjectId, Obj>,
+    objs: &mut BTreeMap<ObjectId, Obj>,
     skyline: &mut Vec<(ObjectId, Vec<f64>)>,
     ines: &[IncrementalExpansion<'_>],
     reporter: &mut Reporter,
@@ -276,7 +294,7 @@ fn classify_ready(
     // Ascending sum over the *full* vector (distances plus static
     // attributes): a dominator's sum is strictly smaller, so it always
     // classifies before anything it dominates.
-    let full_sum = |objs: &HashMap<ObjectId, Obj>, id: &ObjectId| -> f64 {
+    let full_sum = |objs: &BTreeMap<ObjectId, Obj>, id: &ObjectId| -> f64 {
         let mut s = objs[id].sum();
         if let Some(a) = input.attrs {
             s += a.row(*id).iter().sum::<f64>();
@@ -286,7 +304,7 @@ fn classify_ready(
     ready.sort_by(|a, b| {
         let sa = full_sum(objs, a);
         let sb = full_sum(objs, b);
-        sa.partial_cmp(&sb).expect("finite sums").then(a.cmp(b))
+        rn_geom::cmp_f64(sa, sb).then(a.cmp(b))
     });
     for id in ready.drain(..) {
         let o = objs.get_mut(&id).expect("ready object exists");
@@ -320,7 +338,7 @@ fn classify_ready(
 /// vector is dominated by the new skyline vector can never recover.
 fn prune_open(
     input: &QueryInput<'_>,
-    objs: &mut HashMap<ObjectId, Obj>,
+    objs: &mut BTreeMap<ObjectId, Obj>,
     ines: &[IncrementalExpansion<'_>],
     v: &[f64],
     open: &mut usize,
@@ -348,7 +366,7 @@ fn prune_open(
 /// dimensions become infinite distances).
 fn finalize_after_exhaustion(
     input: &QueryInput<'_>,
-    objs: &mut HashMap<ObjectId, Obj>,
+    objs: &mut BTreeMap<ObjectId, Obj>,
     skyline: &mut Vec<(ObjectId, Vec<f64>)>,
     reporter: &mut Reporter,
 ) {

@@ -39,7 +39,7 @@ use rn_graph::ObjectId;
 use rn_skyline::dominance::{dominates, dominates_or_equal};
 use rn_skyline::EuclideanSkylineIter;
 use rn_sp::AStar;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 pub(crate) fn run(input: &QueryInput<'_>, reporter: &mut Reporter) -> AlgoOutput {
     run_mode(input, reporter, false)
@@ -60,10 +60,11 @@ fn run_mode(input: &QueryInput<'_>, reporter: &mut Reporter, batch: bool) -> Alg
         .map(|q| AStar::new(&input.ctx, q.pos))
         .collect();
 
-    // Network vectors of every candidate we have paid to compute.
-    let mut computed: HashMap<ObjectId, Vec<f64>> = HashMap::new();
+    // Network vectors of every candidate we have paid to compute. Ordered
+    // maps keep the ready/rest iteration deterministic across runs.
+    let mut computed: BTreeMap<ObjectId, Vec<f64>> = BTreeMap::new();
     // Computed but neither confirmed skyline nor discarded yet.
-    let mut undetermined: HashSet<ObjectId> = HashSet::new();
+    let mut undetermined: BTreeSet<ObjectId> = BTreeSet::new();
     // Confirmed network skyline vectors (reported as they are found).
     let mut confirmed: Vec<(ObjectId, Vec<f64>)> = Vec::new();
 
@@ -111,9 +112,7 @@ fn run_mode(input: &QueryInput<'_>, reporter: &mut Reporter, batch: bool) -> Alg
         ready.sort_by(|a, b| {
             let sa: f64 = computed[a].iter().sum();
             let sb: f64 = computed[b].iter().sum();
-            sa.partial_cmp(&sb)
-                .expect("finite sums")
-                .then(a.cmp(b))
+            rn_geom::cmp_f64(sa, sb).then(a.cmp(b))
         });
         for o in ready {
             let vec = computed[&o].clone();
@@ -138,9 +137,7 @@ fn run_mode(input: &QueryInput<'_>, reporter: &mut Reporter, batch: bool) -> Alg
     // could still be a skyline point.
     loop {
         let sky_vecs: Vec<Vec<f64>> = {
-            let idx = rn_skyline::bnl::bnl_skyline(
-                &computed.values().cloned().collect::<Vec<_>>(),
-            );
+            let idx = rn_skyline::bnl::bnl_skyline(&computed.values().cloned().collect::<Vec<_>>());
             let all: Vec<&Vec<f64>> = computed.values().collect();
             idx.into_iter().map(|i| all[i].clone()).collect()
         };
@@ -194,7 +191,7 @@ fn fetch_hypercube(
     input: &QueryInput<'_>,
     qpts: &[Point],
     shifted: &[f64],
-    computed: &HashMap<ObjectId, Vec<f64>>,
+    computed: &BTreeMap<ObjectId, Vec<f64>>,
 ) -> Vec<ObjectId> {
     let n = qpts.len();
     let (spatial, statics) = shifted.split_at(n);
@@ -204,24 +201,15 @@ fn fetch_hypercube(
         .map_or(true, |a| a.lower().iter().zip(statics).all(|(l, s)| l <= s));
     let mut out = Vec::new();
     input.obj_tree.traverse(
-        |mbr| {
-            lower_ok
-                && qpts
-                    .iter()
-                    .zip(spatial)
-                    .all(|(q, s)| mbr.min_dist(q) <= *s)
-        },
+        |mbr| lower_ok && qpts.iter().zip(spatial).all(|(q, s)| mbr.min_dist(q) <= *s),
         |mbr, obj| {
             if computed.contains_key(obj) {
                 return;
             }
-            let spatial_ok = qpts
-                .iter()
-                .zip(spatial)
-                .all(|(q, s)| mbr.min_dist(q) <= *s);
-            let statics_ok = input
-                .attrs
-                .map_or(true, |a| a.row(*obj).iter().zip(statics).all(|(v, s)| v <= s));
+            let spatial_ok = qpts.iter().zip(spatial).all(|(q, s)| mbr.min_dist(q) <= *s);
+            let statics_ok = input.attrs.map_or(true, |a| {
+                a.row(*obj).iter().zip(statics).all(|(v, s)| v <= s)
+            });
             if spatial_ok && statics_ok {
                 out.push(*obj);
             }
@@ -236,7 +224,7 @@ fn fetch_undominated(
     input: &QueryInput<'_>,
     qpts: &[Point],
     sky: &[Vec<f64>],
-    computed: &HashMap<ObjectId, Vec<f64>>,
+    computed: &BTreeMap<ObjectId, Vec<f64>>,
 ) -> Vec<ObjectId> {
     let mut out = Vec::new();
     input.obj_tree.traverse(
@@ -298,7 +286,7 @@ mod tests {
         let n1 = b.add_node(Point::new(100.0, 0.0));
         let n2 = b.add_node(Point::new(50.0, 10.0));
         b.add_straight_edge(n0, n1).unwrap(); // edge 0, length 100
-        // Branch to n2 whose road length is far above its chord.
+                                              // Branch to n2 whose road length is far above its chord.
         b.add_weighted_edge(n0, n2, 400.0).unwrap(); // edge 1
         b.add_weighted_edge(n1, n2, 400.0).unwrap(); // edge 2
         let net = b.build().unwrap();

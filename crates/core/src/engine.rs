@@ -371,7 +371,7 @@ impl SourceStrategy {
                     .min_by(|&a, &b| {
                         let sa: f64 = pts.iter().map(|p| pts[a].distance(p)).sum();
                         let sb: f64 = pts.iter().map(|p| pts[b].distance(p)).sum();
-                        sa.partial_cmp(&sb).expect("finite").then(a.cmp(&b))
+                        rn_geom::cmp_f64(sa, sb).then(a.cmp(&b))
                     })
                     .unwrap_or(0)
             }
@@ -469,7 +469,10 @@ mod tests {
         let n1 = b.add_node(Point::new(100.0, 0.0));
         b.add_straight_edge(n0, n1).unwrap();
         let e = SkylineEngine::build(b.build().unwrap(), Vec::new());
-        let qs = vec![NetPosition::new(EdgeId(0), 10.0), NetPosition::new(EdgeId(0), 90.0)];
+        let qs = vec![
+            NetPosition::new(EdgeId(0), 10.0),
+            NetPosition::new(EdgeId(0), 90.0),
+        ];
         for algo in [
             Algorithm::Ce,
             Algorithm::Edc,

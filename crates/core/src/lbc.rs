@@ -131,8 +131,7 @@ pub(crate) fn run(input: &QueryInput<'_>, reporter: &mut Reporter, use_plb: bool
                 loop {
                     match stream.next() {
                         Some((de, mbr, &obj)) => {
-                            let mut vec: Vec<f64> =
-                                qpts.iter().map(|q| mbr.min_dist(q)).collect();
+                            let mut vec: Vec<f64> = qpts.iter().map(|q| mbr.min_dist(q)).collect();
                             input.extend_with_attrs(obj, &mut vec);
                             if pruning.borrow().iter().any(|s| dominates(s, &vec)) {
                                 continue; // pop-time re-check
@@ -213,14 +212,8 @@ pub(crate) fn run(input: &QueryInput<'_>, reporter: &mut Reporter, use_plb: bool
                         // A tying bound that is not yet exact: resolve it
                         // before the batch can be adjudicated.
                         pending_inexact = true;
-                        let end = session(
-                            &mut slab[i2],
-                            &mut engines,
-                            &skyline,
-                            dn0,
-                            false,
-                            use_plb,
-                        );
+                        let end =
+                            session(&mut slab[i2], &mut engines, &skyline, dn0, false, use_plb);
                         if !matches!(end, SessionEnd::Discarded) {
                             requeue!(slab, frontier, i2);
                         } else {
@@ -251,8 +244,14 @@ pub(crate) fn run(input: &QueryInput<'_>, reporter: &mut Reporter, use_plb: bool
             // discarding early), then filter the batch pairwise.
             let mut confirmed: Vec<(usize, Vec<f64>)> = Vec::new();
             for i in batch {
-                let end =
-                    session(&mut slab[i], &mut engines, &skyline, f64::INFINITY, true, use_plb);
+                let end = session(
+                    &mut slab[i],
+                    &mut engines,
+                    &skyline,
+                    f64::INFINITY,
+                    true,
+                    use_plb,
+                );
                 match end {
                     SessionEnd::Discarded => slab[i].dead = true,
                     _ => {
@@ -285,7 +284,14 @@ pub(crate) fn run(input: &QueryInput<'_>, reporter: &mut Reporter, use_plb: bool
             }
         } else {
             // ---- Processing session: tighten bounds up to the horizon ----
-            let end = session(&mut slab[idx], &mut engines, &skyline, horizon, false, use_plb);
+            let end = session(
+                &mut slab[idx],
+                &mut engines,
+                &skyline,
+                horizon,
+                false,
+                use_plb,
+            );
             match end {
                 SessionEnd::Discarded => slab[idx].dead = true,
                 SessionEnd::Postponed | SessionEnd::SourceExact => {
@@ -356,12 +362,7 @@ fn session(
         // extended to include the source dimension).
         let j = (0..cand.lb.len())
             .filter(|&j| !cand.exact[j])
-            .min_by(|&a, &b| {
-                cand.lb[a]
-                    .partial_cmp(&cand.lb[b])
-                    .expect("finite bounds")
-                    .then(a.cmp(&b))
-            })
+            .min_by(|&a, &b| rn_geom::cmp_f64(cand.lb[a], cand.lb[b]).then(a.cmp(&b)))
             .expect("some dimension is inexact");
 
         let engine = &mut engines[j];
@@ -372,11 +373,29 @@ fn session(
             engine.advance();
             cand.lb[j] = cand.lb[j].max(engine.plb());
             if engine.is_resolved() {
-                cand.lb[j] = engine.result();
+                let exact = engine.result();
+                // Contract (Theorem 1's premise): every certified lower
+                // bound must be admissible — at confirmation the plb can
+                // never exceed the exact network distance it bounded.
+                #[cfg(feature = "invariant-checks")]
+                assert!(
+                    cand.lb[j] <= exact + rn_geom::EPSILON,
+                    "LBC lower-bound admissibility violated: plb {} > d_N {exact} in dim {j}",
+                    cand.lb[j]
+                );
+                cand.lb[j] = exact;
                 cand.exact[j] = true;
             }
         } else {
-            cand.lb[j] = engine.run();
+            let exact = engine.run();
+            // Same admissibility contract for the Euclidean seed bound.
+            #[cfg(feature = "invariant-checks")]
+            assert!(
+                cand.lb[j] <= exact + rn_geom::EPSILON,
+                "LBC lower-bound admissibility violated: bound {} > d_N {exact} in dim {j}",
+                cand.lb[j]
+            );
+            cand.lb[j] = exact;
             cand.exact[j] = true;
         }
     }

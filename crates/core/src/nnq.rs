@@ -77,22 +77,16 @@ impl SkylineEngine {
         assert!(!queries.is_empty(), "need at least one query point");
         assert!(k > 0, "k must be positive");
         let ctx = self.net_ctx();
-        let qpts: Vec<Point> = queries
-            .iter()
-            .map(|q| ctx.net.position_point(q))
-            .collect();
-        let mut engines: Vec<AStar<'_>> = queries
-            .iter()
-            .map(|q| AStar::new(&ctx, *q))
-            .collect();
+        let qpts: Vec<Point> = queries.iter().map(|q| ctx.net.position_point(q)).collect();
+        let mut engines: Vec<AStar<'_>> = queries.iter().map(|q| AStar::new(&ctx, *q)).collect();
 
         // Confirmed results, max-heap on the aggregate so the k-th best is
         // at the top.
         let mut best: BinaryHeap<(OrdF64, ObjectId)> = BinaryHeap::new();
         let stream_qpts = qpts.clone();
-        let stream = self.object_tree().best_first(move |mbr, _| {
-            Some(agg.fold(stream_qpts.iter().map(|q| mbr.min_dist(q))))
-        });
+        let stream = self
+            .object_tree()
+            .best_first(move |mbr, _| Some(agg.fold(stream_qpts.iter().map(|q| mbr.min_dist(q)))));
         for (lower, _, &obj) in stream {
             if best.len() == k {
                 let kth = best.peek().expect("k results present").0.get();
@@ -109,11 +103,8 @@ impl SkylineEngine {
                 }
             }
         }
-        let mut out: Vec<(ObjectId, f64)> = best
-            .into_iter()
-            .map(|(d, o)| (o, d.get()))
-            .collect();
-        out.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite").then(a.0.cmp(&b.0)));
+        let mut out: Vec<(ObjectId, f64)> = best.into_iter().map(|(d, o)| (o, d.get())).collect();
+        out.sort_by(|a, b| rn_geom::cmp_f64(a.1, b.1).then(a.0.cmp(&b.0)));
         out
     }
 
@@ -168,9 +159,13 @@ mod tests {
         let mut dists: Vec<f64> = (0..e.object_count())
             .map(|i| reference(&q, &e.object_position(rn_graph::ObjectId(i as u32))))
             .collect();
-        dists.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        dists.sort_by(|a, b| rn_geom::cmp_f64(*a, *b));
         for (k, (_, d)) in got.iter().enumerate() {
-            assert!(rn_geom::approx_eq(*d, dists[k]), "k={k}: {d} vs {}", dists[k]);
+            assert!(
+                rn_geom::approx_eq(*d, dists[k]),
+                "k={k}: {d} vs {}",
+                dists[k]
+            );
         }
     }
 
@@ -188,7 +183,7 @@ mod tests {
                     (i, v)
                 })
                 .collect();
-            brute.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+            brute.sort_by(|a, b| rn_geom::cmp_f64(a.1, b.1));
             for (k, (obj, d)) in got.iter().enumerate() {
                 assert!(
                     rn_geom::approx_eq(*d, brute[k].1),
@@ -218,7 +213,10 @@ mod tests {
         let (e, queries) = engine(4);
         let p = e.shortest_path(queries[0], queries[1]).unwrap();
         let reference = position_distance_oracle(e.network());
-        assert!(rn_geom::approx_eq(p.length, reference(&queries[0], &queries[1])));
+        assert!(rn_geom::approx_eq(
+            p.length,
+            reference(&queries[0], &queries[1])
+        ));
     }
 
     #[test]

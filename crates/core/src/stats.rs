@@ -79,8 +79,7 @@ impl Reporter {
         if self.first_at.is_none() {
             self.first_at = Some(self.start.elapsed());
             if let Some(io) = &self.io {
-                self.first_faults =
-                    Some(io.snapshot().faults.saturating_sub(self.start_faults));
+                self.first_faults = Some(io.snapshot().faults.saturating_sub(self.start_faults));
             }
         }
     }

@@ -21,7 +21,7 @@ pub mod polyline;
 pub mod segment;
 
 pub use mbr::Mbr;
-pub use ordf64::OrdF64;
+pub use ordf64::{cmp_f64, OrdF64};
 pub use point::Point;
 pub use polyline::Polyline;
 pub use segment::Segment;

@@ -59,6 +59,19 @@ impl Ord for OrdF64 {
     }
 }
 
+/// Total-order comparator for raw `f64`s at `sort_by`-style call sites.
+///
+/// Shorthand for `OrdF64::new(a).cmp(&OrdF64::new(b))`: the NaN check
+/// happens eagerly, so a NaN produced by degenerate geometry panics at the
+/// comparison instead of silently corrupting the sort order.
+///
+/// # Panics
+/// Panics when either value is NaN (same invariant as [`OrdF64::new`]).
+#[inline]
+pub fn cmp_f64(a: f64, b: f64) -> Ordering {
+    OrdF64::new(a).cmp(&OrdF64::new(b))
+}
+
 impl fmt::Debug for OrdF64 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{:?}", self.0)
@@ -99,6 +112,19 @@ mod tests {
     #[should_panic(expected = "NaN")]
     fn rejects_nan() {
         let _ = OrdF64::new(f64::NAN);
+    }
+
+    #[test]
+    fn cmp_f64_totally_orders() {
+        let mut v = vec![3.0, f64::INFINITY, 1.0, -2.0];
+        v.sort_by(|a, b| cmp_f64(*a, *b));
+        assert_eq!(v, vec![-2.0, 1.0, 3.0, f64::INFINITY]);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn cmp_f64_rejects_nan() {
+        let _ = cmp_f64(1.0, f64::NAN);
     }
 
     #[test]

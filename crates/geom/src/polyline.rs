@@ -82,10 +82,7 @@ impl Polyline {
         let total = self.length();
         let offset = offset.clamp(0.0, total);
         // Find the segment containing `offset`.
-        let i = match self
-            .cum
-            .binary_search_by(|c| c.partial_cmp(&offset).expect("finite"))
-        {
+        let i = match self.cum.binary_search_by(|c| crate::cmp_f64(*c, offset)) {
             Ok(i) => i.min(self.vertices.len() - 2),
             Err(i) => i - 1,
         };

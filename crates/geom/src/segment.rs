@@ -107,10 +107,7 @@ mod tests {
         let s = Segment::new(Point::new(0.0, 0.0), Point::new(10.0, 0.0));
         assert_eq!(s.project(&Point::new(-5.0, 1.0)), 0.0);
         assert_eq!(s.project(&Point::new(15.0, 1.0)), 1.0);
-        assert!(approx_eq(
-            s.distance_to_point(&Point::new(13.0, 4.0)),
-            5.0
-        ));
+        assert!(approx_eq(s.distance_to_point(&Point::new(13.0, 4.0)), 5.0));
     }
 
     #[test]

@@ -38,7 +38,11 @@ impl fmt::Display for BuildError {
             BuildError::GeometryMismatch(e) => {
                 write!(f, "geometry endpoints of edge {e:?} do not match junctions")
             }
-            BuildError::LengthBelowChord { edge, length, chord } => write!(
+            BuildError::LengthBelowChord {
+                edge,
+                length,
+                chord,
+            } => write!(
                 f,
                 "edge {edge:?} length {length} is below endpoint Euclidean distance {chord}"
             ),
@@ -176,7 +180,12 @@ impl NetworkBuilder {
         Ok((pu, pv))
     }
 
-    fn push_edge(&mut self, u: NodeId, v: NodeId, geometry: Polyline) -> Result<EdgeId, BuildError> {
+    fn push_edge(
+        &mut self,
+        u: NodeId,
+        v: NodeId,
+        geometry: Polyline,
+    ) -> Result<EdgeId, BuildError> {
         if u == v {
             return Err(BuildError::SelfLoop(u));
         }
@@ -241,7 +250,9 @@ impl NetworkBuilder {
             cursor[e.v.idx()] += 1;
         }
 
-        Ok(RoadNetwork::from_parts(self.nodes, self.edges, adj_off, adj))
+        Ok(RoadNetwork::from_parts(
+            self.nodes, self.edges, adj_off, adj,
+        ))
     }
 }
 
@@ -321,10 +332,7 @@ mod tests {
         // Geometry that ends nowhere near node c.
         let geom = Polyline::straight(Point::new(0.0, 0.0), Point::new(9.0, 9.0));
         b.add_polyline_edge(a, c, geom).unwrap();
-        assert!(matches!(
-            b.build(),
-            Err(BuildError::GeometryMismatch(_))
-        ));
+        assert!(matches!(b.build(), Err(BuildError::GeometryMismatch(_))));
     }
 
     #[test]

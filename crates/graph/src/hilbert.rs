@@ -67,10 +67,7 @@ pub fn hilbert_order(points: &[Point]) -> Vec<u32> {
         None => return Vec::new(),
     };
     let mut idx: Vec<u32> = (0..points.len() as u32).collect();
-    let keys: Vec<u64> = points
-        .iter()
-        .map(|p| hilbert_value(*p, &bounds))
-        .collect();
+    let keys: Vec<u64> = points.iter().map(|p| hilbert_value(*p, &bounds)).collect();
     idx.sort_by_key(|&i| keys[i as usize]);
     idx
 }
@@ -138,8 +135,7 @@ mod tests {
             pts.push(Point::new(1000.0 + i as f64 * 0.01, 1000.0)); // cluster B
         }
         let order = hilbert_order(&pts);
-        let first_half: std::collections::HashSet<u32> =
-            order[..10].iter().copied().collect();
+        let first_half: std::collections::HashSet<u32> = order[..10].iter().copied().collect();
         // All of one cluster must come before all of the other.
         let a_first = first_half.contains(&0);
         for i in 0..10u32 {

@@ -255,9 +255,9 @@ impl RoadNetwork {
     /// Bounding rectangle of the whole network (nodes and edge geometry).
     pub fn mbr(&self) -> Option<Mbr> {
         let mut it = self.edges.iter().map(|e| e.geometry.mbr());
-        let first = it.next().or_else(|| {
-            self.nodes.first().map(|n| Mbr::from_point(n.point))
-        })?;
+        let first = it
+            .next()
+            .or_else(|| self.nodes.first().map(|n| Mbr::from_point(n.point)))?;
         let mut mbr = first;
         for m in it {
             mbr.expand_mbr(&m);

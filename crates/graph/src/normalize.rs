@@ -37,12 +37,8 @@ pub fn normalize_to_square(g: &RoadNetwork, side: f64) -> RoadNetwork {
     }
     for e in g.edges() {
         let verts: Vec<Point> = e.geometry.vertices().iter().map(|p| map(*p)).collect();
-        b.add_polyline_edge(
-            NodeId(e.u.0),
-            NodeId(e.v.0),
-            Polyline::new(verts),
-        )
-        .expect("scaling preserves edge validity");
+        b.add_polyline_edge(NodeId(e.u.0), NodeId(e.v.0), Polyline::new(verts))
+            .expect("scaling preserves edge validity");
     }
     b.build().expect("scaling preserves network validity")
 }

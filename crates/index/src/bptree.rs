@@ -133,10 +133,7 @@ impl<K: Ord + Clone, V> BPlusTree<K, V> {
     pub fn get(&self, key: &K) -> Option<&V> {
         let leaf = self.find_leaf(key);
         match &self.nodes[leaf] {
-            Node::Leaf { keys, values, .. } => keys
-                .binary_search(key)
-                .ok()
-                .map(|i| &values[i]),
+            Node::Leaf { keys, values, .. } => keys.binary_search(key).ok().map(|i| &values[i]),
             _ => unreachable!("find_leaf returns a leaf"),
         }
     }
@@ -179,23 +176,21 @@ impl<K: Ord + Clone, V> BPlusTree<K, V> {
     /// `(separator, new right sibling)` if this node overflowed.
     fn insert_rec(&mut self, n: usize, key: K, value: V) -> (Option<V>, Option<(K, usize)>) {
         match &mut self.nodes[n] {
-            Node::Leaf { keys, values, .. } => {
-                match keys.binary_search(&key) {
-                    Ok(i) => {
-                        let old = std::mem::replace(&mut values[i], value);
-                        (Some(old), None)
-                    }
-                    Err(i) => {
-                        keys.insert(i, key);
-                        values.insert(i, value);
-                        if keys.len() > self.order {
-                            (None, Some(self.split_leaf(n)))
-                        } else {
-                            (None, None)
-                        }
+            Node::Leaf { keys, values, .. } => match keys.binary_search(&key) {
+                Ok(i) => {
+                    let old = std::mem::replace(&mut values[i], value);
+                    (Some(old), None)
+                }
+                Err(i) => {
+                    keys.insert(i, key);
+                    values.insert(i, value);
+                    if keys.len() > self.order {
+                        (None, Some(self.split_leaf(n)))
+                    } else {
+                        (None, None)
                     }
                 }
-            }
+            },
             Node::Internal { keys, children } => {
                 let i = keys.partition_point(|k| *k <= key);
                 let child = children[i];
@@ -349,9 +344,10 @@ impl<K: Ord + Clone, V> BPlusTree<K, V> {
         let leaf_like = matches!(self.nodes[c], Node::Leaf { .. });
         if leaf_like {
             let (k, v) = match &mut self.nodes[l] {
-                Node::Leaf { keys, values, .. } => {
-                    (keys.pop().expect("donor non-empty"), values.pop().expect("donor non-empty"))
-                }
+                Node::Leaf { keys, values, .. } => (
+                    keys.pop().expect("donor non-empty"),
+                    values.pop().expect("donor non-empty"),
+                ),
                 _ => unreachable!("sibling kinds match"),
             };
             let new_sep = k.clone();

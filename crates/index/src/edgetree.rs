@@ -72,8 +72,8 @@ impl EdgeLocator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rn_graph::NetworkBuilder;
     use rn_geom::Polyline;
+    use rn_graph::NetworkBuilder;
 
     fn cross() -> RoadNetwork {
         // A + shape centred at (0,0) plus a far detached segment.

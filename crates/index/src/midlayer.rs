@@ -88,10 +88,7 @@ impl MiddleLayer {
     /// empty slice. One B⁺-tree probe — this is the per-edge check the
     /// wavefront performs.
     pub fn objects_on_edge(&self, edge: EdgeId) -> &[ObjectOnEdge] {
-        self.tree
-            .get(&edge.0)
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        self.tree.get(&edge.0).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// The network position of `object`.

@@ -126,23 +126,13 @@ impl<T> RTree<T> {
         let leaf_count = items.len().div_ceil(m);
         let slices = (leaf_count as f64).sqrt().ceil() as usize;
         let slice_size = items.len().div_ceil(slices);
-        items.sort_by(|a, b| {
-            a.0.center()
-                .x
-                .partial_cmp(&b.0.center().x)
-                .expect("finite MBRs")
-        });
+        items.sort_by(|a, b| rn_geom::cmp_f64(a.0.center().x, b.0.center().x));
         let mut level: Vec<usize> = Vec::with_capacity(leaf_count);
         let mut rest = items;
         while !rest.is_empty() {
             let take = slice_size.min(rest.len());
             let mut slice: Vec<(Mbr, T)> = rest.drain(..take).collect();
-            slice.sort_by(|a, b| {
-                a.0.center()
-                    .y
-                    .partial_cmp(&b.0.center().y)
-                    .expect("finite MBRs")
-            });
+            slice.sort_by(|a, b| rn_geom::cmp_f64(a.0.center().y, b.0.center().y));
             while !slice.is_empty() {
                 let take = m.min(slice.len());
                 let chunk: Vec<(Mbr, T)> = slice.drain(..take).collect();
@@ -160,12 +150,7 @@ impl<T> RTree<T> {
             let slices = (parent_count as f64).sqrt().ceil() as usize;
             let slice_size = level.len().div_ceil(slices);
             level.sort_by(|&a, &b| {
-                tree.nodes[a]
-                    .mbr
-                    .center()
-                    .x
-                    .partial_cmp(&tree.nodes[b].mbr.center().x)
-                    .expect("finite MBRs")
+                rn_geom::cmp_f64(tree.nodes[a].mbr.center().x, tree.nodes[b].mbr.center().x)
             });
             let mut next: Vec<usize> = Vec::with_capacity(parent_count);
             let mut rest = level;
@@ -173,12 +158,7 @@ impl<T> RTree<T> {
                 let take = slice_size.min(rest.len());
                 let mut slice: Vec<usize> = rest.drain(..take).collect();
                 slice.sort_by(|&a, &b| {
-                    tree.nodes[a]
-                        .mbr
-                        .center()
-                        .y
-                        .partial_cmp(&tree.nodes[b].mbr.center().y)
-                        .expect("finite MBRs")
+                    rn_geom::cmp_f64(tree.nodes[a].mbr.center().y, tree.nodes[b].mbr.center().y)
                 });
                 while !slice.is_empty() {
                     let take = m.min(slice.len());
@@ -346,11 +326,14 @@ impl<T> RTree<T> {
 
     /// Calls `visit` for every item whose MBR intersects `window`.
     pub fn for_each_in_window<'a>(&'a self, window: &Mbr, mut visit: impl FnMut(&Mbr, &'a T)) {
-        self.traverse(|m| m.intersects(window), |m, t| {
-            if m.intersects(window) {
-                visit(m, t);
-            }
-        });
+        self.traverse(
+            |m| m.intersects(window),
+            |m, t| {
+                if m.intersects(window) {
+                    visit(m, t);
+                }
+            },
+        );
     }
 
     /// Collects references to all items intersecting `window`.
@@ -488,7 +471,7 @@ fn quadratic_partition(mbrs: &[Mbr], min: usize) -> (Vec<usize>, Vec<usize>) {
                 let db = mbr_b.enlargement(&mbrs[i]);
                 (k, (da - db).abs())
             })
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite areas"))
+            .max_by(|a, b| rn_geom::cmp_f64(a.1, b.1))
             .expect("rest is non-empty");
         let i = rest.swap_remove(k);
         let da = mbr_a.enlargement(&mbrs[i]);
@@ -655,7 +638,7 @@ mod tests {
                 .iter()
                 .enumerate()
                 .map(|(i, p)| (i, p.distance(&q)))
-                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                .min_by(|a, b| rn_geom::cmp_f64(a.1, b.1))
                 .unwrap();
             assert_eq!(i, bi);
             assert!(rn_geom::approx_eq(d, bd));
@@ -770,10 +753,7 @@ mod tests {
         for i in 0..100 {
             let x = (i % 10) as f64 * 10.0;
             let y = (i / 10) as f64 * 10.0;
-            items.push((
-                Mbr::new(Point::new(x, y), Point::new(x + 8.0, y + 8.0)),
-                i,
-            ));
+            items.push((Mbr::new(Point::new(x, y), Point::new(x + 8.0, y + 8.0)), i));
         }
         let t = RTree::bulk_load_with_max_entries(items, 8);
         let w = Mbr::new(Point::new(5.0, 5.0), Point::new(15.0, 15.0));

@@ -33,11 +33,7 @@ fn solve(rows: &[Vec<f64>], mut idx: Vec<usize>) -> Vec<usize> {
             .collect();
     }
     // Split by the first attribute's median.
-    idx.sort_by(|&a, &b| {
-        rows[a][0]
-            .partial_cmp(&rows[b][0])
-            .expect("finite attributes")
-    });
+    idx.sort_by(|&a, &b| rn_geom::cmp_f64(rows[a][0], rows[b][0]));
     let mid = idx.len() / 2;
     let right = idx.split_off(mid);
     let left_sky = solve(rows, idx);

@@ -11,6 +11,27 @@
 /// always a bug.
 #[inline]
 pub fn dominates(a: &[f64], b: &[f64]) -> bool {
+    let d = dominates_impl(a, b);
+    // Contract: dominance is a strict partial order — irreflexive and
+    // antisymmetric. A violation means a NaN (or a broken comparator)
+    // slipped into a distance vector.
+    #[cfg(feature = "invariant-checks")]
+    {
+        if d {
+            assert!(
+                !dominates_impl(b, a),
+                "dominance antisymmetry violated for {a:?} vs {b:?}"
+            );
+        }
+        if a == b {
+            assert!(!d, "dominance irreflexivity violated for {a:?}");
+        }
+    }
+    d
+}
+
+#[inline]
+fn dominates_impl(a: &[f64], b: &[f64]) -> bool {
     debug_assert_eq!(a.len(), b.len(), "dominance needs equal arity");
     let mut strictly = false;
     for (x, y) in a.iter().zip(b) {
@@ -98,7 +119,10 @@ mod tests {
     #[test]
     fn dominated_by_any_works() {
         let set = [vec![1.0, 1.0], vec![0.0, 5.0]];
-        assert!(dominated_by_any(set.iter().map(|v| v.as_slice()), &[2.0, 2.0]));
+        assert!(dominated_by_any(
+            set.iter().map(|v| v.as_slice()),
+            &[2.0, 2.0]
+        ));
         assert!(!dominated_by_any(
             set.iter().map(|v| v.as_slice()),
             &[0.5, 0.5]

@@ -91,7 +91,10 @@ impl<'a, T> EuclideanSkylineIter<'a, T> {
     }
 
     fn build(tree: &'a RTree<T>, queries: &[Point], statics: Option<StaticAttrs<'a, T>>) -> Self {
-        assert!(!queries.is_empty(), "skyline needs at least one query point");
+        assert!(
+            !queries.is_empty(),
+            "skyline needs at least one query point"
+        );
         let found: Dominators = Rc::new(RefCell::new(Vec::new()));
         let qs = queries.to_vec();
         let score_qs = qs.clone();
@@ -105,19 +108,16 @@ impl<'a, T> EuclideanSkylineIter<'a, T> {
         // a dominator's sum is strictly smaller, so BBS's
         // dominators-pop-first invariant survives the extra dimensions.
         let score: ScoreFn<'a, T> = Box::new(move |mbr, item| {
-                let mut vec: Vec<f64> = score_qs.iter().map(|q| mbr.min_dist(q)).collect();
-                if let Some((of_item, lower)) = &score_statics {
-                    match item {
-                        Some(t) => vec.extend(of_item(t)),
-                        None => vec.extend_from_slice(lower),
-                    }
+            let mut vec: Vec<f64> = score_qs.iter().map(|q| mbr.min_dist(q)).collect();
+            if let Some((of_item, lower)) = &score_statics {
+                match item {
+                    Some(t) => vec.extend(of_item(t)),
+                    None => vec.extend_from_slice(lower),
                 }
-                let pruned = score_found
-                    .borrow()
-                    .iter()
-                    .any(|s| dominates(s, &vec));
-                (!pruned).then_some(vec.iter().sum())
-            });
+            }
+            let pruned = score_found.borrow().iter().any(|s| dominates(s, &vec));
+            (!pruned).then_some(vec.iter().sum())
+        });
         EuclideanSkylineIter {
             inner: tree.best_first(score),
             queries: qs,

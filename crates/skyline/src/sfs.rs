@@ -14,7 +14,7 @@ pub fn sfs_skyline(rows: &[Vec<f64>]) -> Vec<usize> {
     order.sort_by(|&a, &b| {
         let sa: f64 = rows[a].iter().sum();
         let sb: f64 = rows[b].iter().sum();
-        sa.partial_cmp(&sb).expect("finite attributes")
+        rn_geom::cmp_f64(sa, sb)
     });
     let mut skyline: Vec<usize> = Vec::new();
     for i in order {
@@ -34,7 +34,7 @@ pub fn sfs_skyline_progressive(rows: &[Vec<f64>], mut report: impl FnMut(usize))
     order.sort_by(|&a, &b| {
         let sa: f64 = rows[a].iter().sum();
         let sb: f64 = rows[b].iter().sum();
-        sa.partial_cmp(&sb).expect("finite attributes")
+        rn_geom::cmp_f64(sa, sb)
     });
     let mut skyline: Vec<usize> = Vec::new();
     for i in order {

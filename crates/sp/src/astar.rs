@@ -21,11 +21,12 @@
 //! merely re-keys the frontier heap under the new heuristic.
 
 use crate::ctx::NetCtx;
+use crate::nodemap::NodeMap;
 use rn_geom::{OrdF64, Point};
 use rn_graph::{NetPosition, NodeId};
 use rn_storage::AdjRecord;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 
 /// Per-target state.
 struct Target {
@@ -44,9 +45,9 @@ pub struct AStar<'a> {
     source: NetPosition,
     source_point: Point,
     /// Settled nodes: exact network distance from the source.
-    dist: HashMap<NodeId, f64>,
+    dist: NodeMap<f64>,
     /// Frontier: best tentative distance and coordinates.
-    open: HashMap<NodeId, (f64, Point)>,
+    open: NodeMap<(f64, Point)>,
     /// Min-heap keyed by `g + h(current target)`; entries carry `g` so
     /// stale ones can be skipped after relaxations or retargets.
     heap: BinaryHeap<Reverse<(OrdF64, OrdF64, NodeId)>>,
@@ -62,8 +63,8 @@ impl<'a> AStar<'a> {
             ctx,
             source,
             source_point: ctx.net.position_point(&source),
-            dist: HashMap::new(),
-            open: HashMap::new(),
+            dist: NodeMap::new(ctx.net.node_count()),
+            open: NodeMap::new(ctx.net.node_count()),
             heap: BinaryHeap::new(),
             target: None,
             rec: AdjRecord::default(),
@@ -94,7 +95,7 @@ impl<'a> AStar<'a> {
 
     /// Exact distance of `n` if it has been settled by any past target run.
     pub fn settled_distance(&self, n: NodeId) -> Option<f64> {
-        self.dist.get(&n).copied()
+        self.dist.get_copied(n)
     }
 
     /// Points the engine at a new target, re-keying the frontier under the
@@ -108,15 +109,15 @@ impl<'a> AStar<'a> {
         }
         let edge = self.ctx.net.edge(pos.edge);
         let (tu, tv) = self.ctx.net.position_endpoint_dists(&pos);
-        if let Some(&du) = self.dist.get(&edge.u) {
+        if let Some(du) = self.dist.get_copied(edge.u) {
             known = known.min(du + tu);
         }
-        if let Some(&dv) = self.dist.get(&edge.v) {
+        if let Some(dv) = self.dist.get_copied(edge.v) {
             known = known.min(dv + tv);
         }
         // Rebuild the frontier heap with the new heuristic.
         self.heap.clear();
-        for (&n, &(g, p)) in &self.open {
+        for (n, &(g, p)) in self.open.iter() {
             let key = g + p.distance(&point);
             self.heap
                 .push(Reverse((OrdF64::new(key), OrdF64::new(g), n)));
@@ -139,7 +140,7 @@ impl<'a> AStar<'a> {
     /// entries), i.e. the cheapest `g + h` of any unsettled node.
     fn frontier_key(&mut self) -> Option<f64> {
         while let Some(Reverse((key, g, n))) = self.heap.peek().copied() {
-            match self.open.get(&n) {
+            match self.open.get(n) {
                 Some(&(cur, _)) if cur == g.get() => return Some(key.get()),
                 _ => {
                     self.heap.pop();
@@ -177,7 +178,10 @@ impl<'a> AStar<'a> {
     /// The network distance to the current target; only meaningful once
     /// [`AStar::is_resolved`] returns `true` (infinite if unreachable).
     pub fn result(&self) -> f64 {
-        self.target.as_ref().expect("result requires a target").known
+        self.target
+            .as_ref()
+            .expect("result requires a target")
+            .known
     }
 
     /// Performs one expansion step towards the current target. Returns
@@ -192,8 +196,21 @@ impl<'a> AStar<'a> {
             return false;
         };
         let g = g.get();
-        debug_assert_eq!(self.open.get(&n).map(|&(d, _)| d), Some(g));
-        self.open.remove(&n);
+        debug_assert_eq!(self.open.get(n).map(|&(d, _)| d), Some(g));
+        // Contract: with a consistent heuristic, popped `f = g + h` values
+        // are non-decreasing, which is what makes a popped node's `g` exact
+        // and the settled map reusable across retargets (§6.1).
+        #[cfg(feature = "invariant-checks")]
+        {
+            let t = self.target.as_ref().expect("advance requires a target");
+            assert!(
+                _key.get() + rn_geom::EPSILON >= t.plb,
+                "A* heap-pop monotonicity violated: popped key {} < plb {}",
+                _key.get(),
+                t.plb
+            );
+        }
+        self.open.remove(n);
         self.dist.insert(n, g);
         self.expansions += 1;
 
@@ -216,11 +233,11 @@ impl<'a> AStar<'a> {
         let tpoint = self.target.as_ref().expect("target set").point;
         for i in 0..self.rec.entries.len() {
             let ent = self.rec.entries[i];
-            if self.dist.contains_key(&ent.node) {
+            if self.dist.contains(ent.node) {
                 continue;
             }
             let ng = g + ent.length;
-            let better = match self.open.get(&ent.node) {
+            let better = match self.open.get(ent.node) {
                 Some(&(cur, _)) => ng < cur,
                 None => true,
             };
@@ -251,12 +268,12 @@ impl<'a> AStar<'a> {
 mod tests {
     use super::*;
     use crate::dijkstra::Dijkstra;
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
     use rn_geom::approx_eq;
     use rn_graph::{EdgeId, NetworkBuilder, RoadNetwork};
     use rn_index::MiddleLayer;
     use rn_storage::NetworkStore;
-    use rand::prelude::*;
-    use rand::rngs::StdRng;
 
     /// Random connected planar-ish network for oracle comparisons.
     fn random_net(n: usize, seed: u64) -> RoadNetwork {

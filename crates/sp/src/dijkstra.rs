@@ -8,11 +8,12 @@
 //! expanded node's adjacency record through the counted buffer pool.
 
 use crate::ctx::NetCtx;
+use crate::nodemap::NodeMap;
 use rn_geom::OrdF64;
 use rn_graph::{NetPosition, NodeId};
 use rn_storage::AdjRecord;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 
 /// A resumable single-source Dijkstra expansion.
 ///
@@ -22,9 +23,9 @@ use std::collections::{BinaryHeap, HashMap};
 pub struct Dijkstra<'a> {
     ctx: &'a NetCtx<'a>,
     /// Finalised distances.
-    dist: HashMap<NodeId, f64>,
+    dist: NodeMap<f64>,
     /// Best tentative distance of not-yet-settled (frontier) nodes.
-    open: HashMap<NodeId, f64>,
+    open: NodeMap<f64>,
     /// Lazy min-heap over tentative distances (stale entries skipped).
     heap: BinaryHeap<Reverse<(OrdF64, NodeId)>>,
     /// Distance of the most recently settled node — the wavefront radius.
@@ -42,8 +43,8 @@ impl<'a> Dijkstra<'a> {
     pub fn new(ctx: &'a NetCtx<'a>, source: NetPosition) -> Self {
         let mut d = Dijkstra {
             ctx,
-            dist: HashMap::new(),
-            open: HashMap::new(),
+            dist: NodeMap::new(ctx.net.node_count()),
+            open: NodeMap::new(ctx.net.node_count()),
             heap: BinaryHeap::new(),
             radius: 0.0,
             source,
@@ -81,7 +82,7 @@ impl<'a> Dijkstra<'a> {
 
     /// Finalised distance of `n`, if it has been settled.
     pub fn distance(&self, n: NodeId) -> Option<f64> {
-        self.dist.get(&n).copied()
+        self.dist.get_copied(n)
     }
 
     /// The adjacency record of the node settled by the most recent
@@ -93,11 +94,11 @@ impl<'a> Dijkstra<'a> {
     }
 
     fn relax(&mut self, n: NodeId, d: f64) {
-        if self.dist.contains_key(&n) {
+        if self.dist.contains(n) {
             return;
         }
-        let better = match self.open.get(&n) {
-            Some(&cur) => d < cur,
+        let better = match self.open.get_copied(n) {
+            Some(cur) => d < cur,
             None => true,
         };
         if better {
@@ -113,11 +114,20 @@ impl<'a> Dijkstra<'a> {
             let Reverse((d, n)) = self.heap.pop()?;
             let d = d.get();
             // Skip stale heap entries.
-            match self.open.get(&n) {
-                Some(&cur) if cur == d => {}
+            match self.open.get_copied(n) {
+                Some(cur) if cur == d => {}
                 _ => continue,
             }
-            self.open.remove(&n);
+            // Contract (§3): settling order is non-decreasing in distance —
+            // the wavefront radius never shrinks. Every emission-bound and
+            // termination argument in CE/EDC/LBC leans on this.
+            #[cfg(feature = "invariant-checks")]
+            assert!(
+                d >= self.radius,
+                "Dijkstra heap-pop monotonicity violated: popped {d} < radius {}",
+                self.radius
+            );
+            self.open.remove(n);
             self.dist.insert(n, d);
             self.radius = d;
             self.settled_count += 1;

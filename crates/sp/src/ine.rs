@@ -24,19 +24,20 @@ use crate::dijkstra::Dijkstra;
 use rn_geom::OrdF64;
 use rn_graph::{NetPosition, ObjectId};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 
 /// Iterator-like producer of `(object, network distance)` pairs in
 /// ascending distance order from one query point.
 pub struct IncrementalExpansion<'a> {
     ctx: &'a NetCtx<'a>,
     dij: Dijkstra<'a>,
-    /// Best tentative object distances (lazy heap companion map).
-    best: HashMap<ObjectId, f64>,
+    /// Best tentative object distances (lazy heap companion map). Ordered
+    /// map: the query path must stay deterministic across runs.
+    best: BTreeMap<ObjectId, f64>,
     /// Pending objects keyed by tentative distance.
     pending: BinaryHeap<Reverse<(OrdF64, ObjectId)>>,
     /// Objects already reported.
-    emitted: HashSet<ObjectId>,
+    emitted: BTreeSet<ObjectId>,
 }
 
 impl<'a> IncrementalExpansion<'a> {
@@ -45,9 +46,9 @@ impl<'a> IncrementalExpansion<'a> {
         let mut ine = IncrementalExpansion {
             ctx,
             dij: Dijkstra::new(ctx, source),
-            best: HashMap::new(),
+            best: BTreeMap::new(),
             pending: BinaryHeap::new(),
-            emitted: HashSet::new(),
+            emitted: BTreeSet::new(),
         };
         // Objects sharing the source edge are reachable directly along it.
         for rec in ctx.mid.objects_on_edge(source.edge) {
@@ -171,12 +172,13 @@ impl<'a> IncrementalExpansion<'a> {
 mod tests {
     use super::*;
     use crate::oracle::position_distance_oracle;
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
     use rn_geom::{approx_eq, Point};
     use rn_graph::{EdgeId, NetworkBuilder, RoadNetwork};
     use rn_index::MiddleLayer;
     use rn_storage::NetworkStore;
-    use rand::prelude::*;
-    use rand::rngs::StdRng;
+    use std::collections::HashSet;
 
     fn random_net(n: usize, seed: u64) -> RoadNetwork {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -190,12 +192,8 @@ mod tests {
         for i in 1..n {
             let j = rng.random_range(0..i);
             let len = pts[i].distance(&pts[j]) * rng.random_range(1.0..1.4);
-            b.add_weighted_edge(
-                rn_graph::NodeId(i as u32),
-                rn_graph::NodeId(j as u32),
-                len,
-            )
-            .unwrap();
+            b.add_weighted_edge(rn_graph::NodeId(i as u32), rn_graph::NodeId(j as u32), len)
+                .unwrap();
         }
         for _ in 0..n / 2 {
             let i = rng.random_range(0..n);

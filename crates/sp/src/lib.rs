@@ -30,6 +30,7 @@ pub mod astar;
 pub mod ctx;
 pub mod dijkstra;
 pub mod ine;
+pub mod nodemap;
 pub mod oracle;
 pub mod path;
 
@@ -37,4 +38,5 @@ pub use astar::AStar;
 pub use ctx::{NetCtx, QueryPoint};
 pub use dijkstra::Dijkstra;
 pub use ine::IncrementalExpansion;
+pub use nodemap::NodeMap;
 pub use path::{NetPath, PathFinder};

@@ -1,0 +1,135 @@
+//! Dense per-node scratch maps for search-state bookkeeping.
+//!
+//! The search engines in this crate ([`crate::Dijkstra`], [`crate::AStar`],
+//! [`crate::PathFinder`]) keep per-node state — settled distances, frontier
+//! labels, parent pointers — that was originally held in `HashMap<NodeId, _>`.
+//! Node ids are dense (`0..node_count`, a [`rn_graph::NetworkBuilder`]
+//! invariant), so a flat `Vec<Option<T>>` indexed by [`NodeId::idx`] does
+//! the same job with O(1) worst-case access, no hashing, and — important
+//! for the query path — fully deterministic behaviour: a `HashMap`'s
+//! iteration order varies per process and can silently reorder
+//! equal-distance work.
+
+use rn_graph::NodeId;
+
+/// A map from [`NodeId`] to `T` backed by a dense vector.
+///
+/// Semantically equivalent to `HashMap<NodeId, T>` for dense node-id
+/// universes of known size. Out-of-range lookups return `None`; inserting
+/// out of range grows the map (positions are sometimes probed before the
+/// network's node count is known to the caller).
+#[derive(Clone, Debug)]
+pub struct NodeMap<T> {
+    slots: Vec<Option<T>>,
+    len: usize,
+}
+
+impl<T> NodeMap<T> {
+    /// An empty map pre-sized for `node_count` nodes.
+    pub fn new(node_count: usize) -> Self {
+        let mut slots = Vec::new();
+        slots.resize_with(node_count, || None);
+        NodeMap { slots, len: 0 }
+    }
+
+    /// Number of nodes with an entry.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no node has an entry.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The entry for `n`, if present.
+    #[inline]
+    pub fn get(&self, n: NodeId) -> Option<&T> {
+        self.slots.get(n.idx()).and_then(|s| s.as_ref())
+    }
+
+    /// `true` when `n` has an entry.
+    #[inline]
+    pub fn contains(&self, n: NodeId) -> bool {
+        self.get(n).is_some()
+    }
+
+    /// Inserts `v` for `n`, returning the previous entry if any.
+    #[inline]
+    pub fn insert(&mut self, n: NodeId, v: T) -> Option<T> {
+        let i = n.idx();
+        if i >= self.slots.len() {
+            self.slots.resize_with(i + 1, || None);
+        }
+        let old = self.slots[i].replace(v);
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    /// Removes and returns the entry for `n`.
+    #[inline]
+    pub fn remove(&mut self, n: NodeId) -> Option<T> {
+        let old = self.slots.get_mut(n.idx()).and_then(|s| s.take());
+        if old.is_some() {
+            self.len -= 1;
+        }
+        old
+    }
+
+    /// Iterates `(node, &value)` in ascending node-id order — deterministic,
+    /// unlike a hash map.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &T)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|v| (NodeId(i as u32), v)))
+    }
+}
+
+impl<T: Copy> NodeMap<T> {
+    /// The entry for `n` by value, if present.
+    #[inline]
+    pub fn get_copied(&self, n: NodeId) -> Option<T> {
+        self.get(n).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove() {
+        let mut m: NodeMap<f64> = NodeMap::new(4);
+        assert!(m.is_empty());
+        assert_eq!(m.insert(NodeId(2), 1.5), None);
+        assert_eq!(m.insert(NodeId(2), 2.5), Some(1.5));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.get_copied(NodeId(2)), Some(2.5));
+        assert!(m.contains(NodeId(2)));
+        assert!(!m.contains(NodeId(3)));
+        assert_eq!(m.remove(NodeId(2)), Some(2.5));
+        assert_eq!(m.remove(NodeId(2)), None);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn grows_past_initial_capacity() {
+        let mut m: NodeMap<u32> = NodeMap::new(1);
+        assert_eq!(m.get(NodeId(9)), None);
+        m.insert(NodeId(9), 7);
+        assert_eq!(m.get_copied(NodeId(9)), Some(7));
+    }
+
+    #[test]
+    fn iterates_in_node_order() {
+        let mut m: NodeMap<u32> = NodeMap::new(8);
+        m.insert(NodeId(5), 50);
+        m.insert(NodeId(1), 10);
+        m.insert(NodeId(3), 30);
+        let got: Vec<(NodeId, u32)> = m.iter().map(|(n, &v)| (n, v)).collect();
+        assert_eq!(got, vec![(NodeId(1), 10), (NodeId(3), 30), (NodeId(5), 50)]);
+    }
+}

@@ -10,6 +10,7 @@ use rn_graph::{NetPosition, RoadNetwork};
 /// All-pairs node distances via Floyd–Warshall. `result[a][b]` is the
 /// network distance between nodes `a` and `b` (`f64::INFINITY` when
 /// disconnected).
+// lint: allow(apsp) — test-only ground-truth oracle, never on the query path
 pub fn all_pairs_node_distances(g: &RoadNetwork) -> Vec<Vec<f64>> {
     let n = g.node_count();
     let mut d = vec![vec![f64::INFINITY; n]; n];
@@ -65,7 +66,7 @@ pub fn all_pairs_node_distances(g: &RoadNetwork) -> Vec<Vec<f64>> {
 pub fn position_distance_oracle(
     g: &RoadNetwork,
 ) -> impl Fn(&NetPosition, &NetPosition) -> f64 + '_ {
-    let matrix = all_pairs_node_distances(g);
+    let matrix = all_pairs_node_distances(g); // lint: allow(apsp) — test oracle
     move |a: &NetPosition, b: &NetPosition| {
         let ea = g.edge(a.edge);
         let eb = g.edge(b.edge);

@@ -9,11 +9,12 @@
 //! query engines report — property-tested against them).
 
 use crate::ctx::NetCtx;
+use crate::nodemap::NodeMap;
 use rn_geom::{OrdF64, Point};
 use rn_graph::{EdgeId, NetPosition, NodeId};
 use rn_storage::AdjRecord;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 
 /// A reconstructed shortest path between two on-network positions.
 #[derive(Clone, Debug, PartialEq)]
@@ -65,17 +66,18 @@ impl<'a> PathFinder<'a> {
         };
 
         // Parent-tracking A*: parent[n] = (previous node, via edge).
-        let mut dist: HashMap<NodeId, f64> = HashMap::new();
-        let mut open: HashMap<NodeId, f64> = HashMap::new();
-        let mut parent: HashMap<NodeId, Option<(NodeId, EdgeId)>> = HashMap::new();
+        let n_nodes = net.node_count();
+        let mut dist: NodeMap<f64> = NodeMap::new(n_nodes);
+        let mut open: NodeMap<f64> = NodeMap::new(n_nodes);
+        let mut parent: NodeMap<Option<(NodeId, EdgeId)>> = NodeMap::new(n_nodes);
         let mut heap: BinaryHeap<Reverse<(OrdF64, OrdF64, NodeId)>> = BinaryHeap::new();
         let mut rec = AdjRecord::default();
 
-        let push = |open: &mut HashMap<NodeId, f64>,
-                        heap: &mut BinaryHeap<Reverse<(OrdF64, OrdF64, NodeId)>>,
-                        n: NodeId,
-                        g: f64,
-                        p: Point| {
+        let push = |open: &mut NodeMap<f64>,
+                    heap: &mut BinaryHeap<Reverse<(OrdF64, OrdF64, NodeId)>>,
+                    n: NodeId,
+                    g: f64,
+                    p: Point| {
             open.insert(n, g);
             heap.push(Reverse((
                 OrdF64::new(g + p.distance(&t_point)),
@@ -85,7 +87,7 @@ impl<'a> PathFinder<'a> {
         };
         push(&mut open, &mut heap, s_edge.u, su, net.point(s_edge.u));
         parent.insert(s_edge.u, None);
-        if sv < *open.get(&s_edge.v).unwrap_or(&f64::INFINITY) {
+        if sv < open.get_copied(s_edge.v).unwrap_or(f64::INFINITY) {
             push(&mut open, &mut heap, s_edge.v, sv, net.point(s_edge.v));
             parent.insert(s_edge.v, None);
         }
@@ -99,7 +101,7 @@ impl<'a> PathFinder<'a> {
         };
 
         while let Some(Reverse((key, g, n))) = heap.pop() {
-            if open.get(&n) != Some(&g.get()) {
+            if open.get_copied(n) != Some(g.get()) {
                 continue; // stale
             }
             if let Some((b, _)) = best {
@@ -110,7 +112,7 @@ impl<'a> PathFinder<'a> {
                 break;
             }
             let g = g.get();
-            open.remove(&n);
+            open.remove(n);
             dist.insert(n, g);
             if n == t_edge.u {
                 consider(&mut best, g + tu, n);
@@ -121,11 +123,11 @@ impl<'a> PathFinder<'a> {
             self.ctx.store.read_adjacency_into(n, &mut rec);
             for i in 0..rec.entries.len() {
                 let ent = rec.entries[i];
-                if dist.contains_key(&ent.node) {
+                if dist.contains(ent.node) {
                     continue;
                 }
                 let ng = g + ent.length;
-                if ng < *open.get(&ent.node).unwrap_or(&f64::INFINITY) {
+                if ng < open.get_copied(ent.node).unwrap_or(f64::INFINITY) {
                     parent.insert(ent.node, Some((n, ent.edge)));
                     push(&mut open, &mut heap, ent.node, ng, ent.point);
                 }
@@ -149,7 +151,7 @@ impl<'a> PathFinder<'a> {
                 let mut nodes = vec![via];
                 let mut edges = vec![target.edge];
                 let mut cur = via;
-                while let Some(&Some((prev, edge))) = parent.get(&cur) {
+                while let Some(&Some((prev, edge))) = parent.get(cur) {
                     nodes.push(prev);
                     edges.push(edge);
                     cur = prev;
@@ -171,12 +173,12 @@ impl<'a> PathFinder<'a> {
 mod tests {
     use super::*;
     use crate::astar::AStar;
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
     use rn_geom::approx_eq;
     use rn_graph::{NetworkBuilder, RoadNetwork};
     use rn_index::MiddleLayer;
     use rn_storage::NetworkStore;
-    use rand::prelude::*;
-    use rand::rngs::StdRng;
 
     fn random_net(n: usize, seed: u64) -> RoadNetwork {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -293,7 +295,10 @@ mod tests {
         let ctx = NetCtx::new(&g, &store, &mid);
         let finder = PathFinder::new(&ctx);
         let p = finder
-            .shortest_path(NetPosition::new(EdgeId(0), 2.0), NetPosition::new(EdgeId(0), 9.0))
+            .shortest_path(
+                NetPosition::new(EdgeId(0), 2.0),
+                NetPosition::new(EdgeId(0), 9.0),
+            )
             .unwrap();
         assert!(p.is_single_edge());
         assert!(approx_eq(p.length, 7.0));

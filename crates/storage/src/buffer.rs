@@ -272,15 +272,11 @@ mod tests {
     #[test]
     fn matches_reference_lru_model() {
         use proptest::prelude::*;
-        let mut runner = proptest::test_runner::TestRunner::new(
-            proptest::test_runner::Config::with_cases(64),
-        );
+        let mut runner =
+            proptest::test_runner::TestRunner::new(proptest::test_runner::Config::with_cases(64));
         runner
             .run(
-                &(
-                    proptest::collection::vec(0u32..32, 1..300),
-                    2usize..8,
-                ),
+                &(proptest::collection::vec(0u32..32, 1..300), 2usize..8),
                 |(accesses, cap)| {
                     let d = disk_with(32);
                     let stats = IoStats::new();

@@ -278,7 +278,7 @@ mod tests {
     fn tiny_buffer_thrashes() {
         let g = grid(30);
         let store = NetworkStore::with_buffer_bytes(&g, PAGE_SIZE); // one frame
-        // Ping-pong between two spatially distant nodes.
+                                                                    // Ping-pong between two spatially distant nodes.
         let far = NodeId((g.node_count() - 1) as u32);
         for _ in 0..10 {
             store.read_adjacency(NodeId(0));

@@ -64,8 +64,8 @@ pub fn generate_radial_network(config: &RadialConfig) -> RoadNetwork {
     for s in 0..config.spokes {
         b.add_straight_edge(center, ids[0][s])
             .expect("distinct jittered junctions");
-        for r in 0..config.rings - 1 {
-            b.add_straight_edge(ids[r][s], ids[r + 1][s])
+        for pair in ids.windows(2) {
+            b.add_straight_edge(pair[0][s], pair[1][s])
                 .expect("distinct jittered junctions");
         }
     }

@@ -1,0 +1,78 @@
+//! Workspace automation entry point: `cargo run -p xtask -- lint`.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("lint") => {
+            let root = match args.next() {
+                Some(flag) if flag == "--root" => match args.next() {
+                    Some(p) => PathBuf::from(p),
+                    None => {
+                        eprintln!("--root requires a path");
+                        return ExitCode::FAILURE;
+                    }
+                },
+                Some(other) => {
+                    eprintln!("unknown argument: {other}");
+                    return ExitCode::FAILURE;
+                }
+                None => workspace_root(),
+            };
+            run_lint(&root)
+        }
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print_usage();
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown task: {other}\n");
+            print_usage();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    println!(
+        "xtask — workspace automation\n\n\
+         USAGE:\n    cargo run -p xtask -- <task>\n\n\
+         TASKS:\n    lint [--root <path>]   run the domain-specific static analysis\n\n\
+         RULES:\n    float-ord    no NaN-unsafe partial_cmp().unwrap()/.expect() comparators\n    \
+         hash-order   no HashMap/HashSet in the query path (deterministic tie-breaking)\n    \
+         unwrap       no bare .unwrap() in core/sp hot paths\n    \
+         unsafe       every crate root keeps #![forbid(unsafe_code)]\n    \
+         apsp         no pre-computed all-pairs distance structures (Theorem 1 class)\n\n\
+         Suppress a finding with `// lint: allow(<rule>)` on the same or preceding line."
+    );
+}
+
+/// The workspace root: the manifest dir's grandparent when built by
+/// cargo (crates/xtask → repo root), else the current directory.
+fn workspace_root() -> PathBuf {
+    match std::env::var_os("CARGO_MANIFEST_DIR") {
+        Some(dir) => {
+            let p = PathBuf::from(dir);
+            p.ancestors().nth(2).map(|a| a.to_path_buf()).unwrap_or(p)
+        }
+        None => PathBuf::from("."),
+    }
+}
+
+fn run_lint(root: &std::path::Path) -> ExitCode {
+    let violations = xtask::lint_workspace(root);
+    for v in &violations {
+        println!("{v}");
+    }
+    if violations.is_empty() {
+        println!("xtask lint: clean (rules: float-ord, hash-order, unwrap, unsafe, apsp)");
+        ExitCode::SUCCESS
+    } else {
+        println!("xtask lint: {} violation(s)", violations.len());
+        ExitCode::FAILURE
+    }
+}

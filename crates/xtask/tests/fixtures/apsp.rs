@@ -1,0 +1,15 @@
+// Negative fixture for the `apsp` rule: pre-computed all-pairs distance
+// structures. Linted as if it lived at crates/index/src/matrix.rs.
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+
+pub struct NodeId(pub u32);
+
+pub struct DistanceMatrix {
+    pairs: BTreeMap<(NodeId, NodeId), f64>,
+}
+
+pub fn build_apsp_table(n: usize) -> Vec<Vec<f64>> {
+    vec![vec![0.0; n]; n]
+}

@@ -1,0 +1,13 @@
+// Negative fixture for the `float-ord` rule: a NaN-unsafe comparator.
+// Linted as if it lived at crates/skyline/src/bad_sort.rs.
+#![forbid(unsafe_code)]
+
+pub fn sort_distances(v: &mut Vec<f64>) {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+pub fn max_distance(v: &[f64]) -> Option<f64> {
+    v.iter()
+        .copied()
+        .max_by(|a, b| a.partial_cmp(b).expect("finite"))
+}

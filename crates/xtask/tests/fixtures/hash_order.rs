@@ -1,0 +1,21 @@
+// Negative fixture for the `hash-order` rule: hash containers on the
+// query path. Linted as if it lived at crates/core/src/ce.rs.
+#![forbid(unsafe_code)]
+
+use std::collections::HashMap;
+
+pub struct Tracker {
+    seen: HashMap<u32, f64>,
+}
+
+impl Tracker {
+    pub fn new() -> Self {
+        Tracker {
+            seen: std::collections::HashMap::new(),
+        }
+    }
+
+    pub fn record(&mut self, id: u32, d: f64) {
+        self.seen.insert(id, d);
+    }
+}

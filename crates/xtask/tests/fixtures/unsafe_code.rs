@@ -1,0 +1,8 @@
+// Negative fixture for the `unsafe` rule: a crate root that forgot
+// `#![forbid(unsafe_code)]`. Linted as if it lived at
+// crates/widget/src/lib.rs.
+#![warn(missing_docs)]
+
+pub fn widget() -> u32 {
+    42
+}

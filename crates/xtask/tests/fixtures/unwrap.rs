@@ -1,0 +1,11 @@
+// Negative fixture for the `unwrap` rule: a bare unwrap on a hot path.
+// Linted as if it lived at crates/sp/src/dijkstra.rs.
+#![forbid(unsafe_code)]
+
+pub fn pop_min(heap: &mut std::collections::BinaryHeap<u64>) -> u64 {
+    heap.pop().unwrap()
+}
+
+pub fn first_entry(entries: &[u64]) -> u64 {
+    *entries.first().expect("non-empty adjacency record")
+}

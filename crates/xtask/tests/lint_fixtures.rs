@@ -1,0 +1,114 @@
+//! Negative fixtures: one deliberately-violating snippet per lint rule,
+//! pinned to exact file/line/rule so a regression in any detector fails
+//! loudly. The fixtures live under `tests/fixtures/`, which
+//! `lint_workspace` skips — they must never fail the real workspace lint.
+
+use xtask::{lint_file, Violation};
+
+fn lines_for<'a>(violations: &'a [Violation], rule: &str) -> Vec<(usize, &'a str)> {
+    violations
+        .iter()
+        .filter(|v| v.rule == rule)
+        .map(|v| (v.line, v.rule))
+        .collect()
+}
+
+#[test]
+fn float_ord_fixture_fires() {
+    let src = include_str!("fixtures/float_ord.rs");
+    // Lint as a skyline-crate file: float-ord applies everywhere.
+    let v = lint_file("crates/skyline/src/bad_sort.rs", src);
+    assert_eq!(
+        lines_for(&v, xtask::RULE_FLOAT_ORD),
+        vec![(6, "float-ord"), (12, "float-ord")],
+        "got: {v:?}"
+    );
+    // Nothing else fires: the file keeps its forbid(unsafe_code) and is
+    // outside the hash-order/unwrap scopes.
+    assert_eq!(v.len(), 2, "got: {v:?}");
+}
+
+#[test]
+fn hash_order_fixture_fires() {
+    let src = include_str!("fixtures/hash_order.rs");
+    // Lint as a core query-path file: hash containers are banned there.
+    let v = lint_file("crates/core/src/ce.rs", src);
+    assert_eq!(
+        lines_for(&v, xtask::RULE_HASH_ORDER),
+        vec![(5, "hash-order"), (8, "hash-order"), (14, "hash-order")],
+        "got: {v:?}"
+    );
+}
+
+#[test]
+fn unwrap_fixture_fires() {
+    let src = include_str!("fixtures/unwrap.rs");
+    // Lint as a shortest-path hot-path file.
+    let v = lint_file("crates/sp/src/dijkstra.rs", src);
+    // Only the bare unwrap fires: `.expect("<documented invariant>")` is
+    // the sanctioned alternative the rule's message points at.
+    assert_eq!(
+        lines_for(&v, xtask::RULE_UNWRAP),
+        vec![(6, "unwrap")],
+        "got: {v:?}"
+    );
+}
+
+#[test]
+fn unsafe_fixture_fires() {
+    let src = include_str!("fixtures/unsafe_code.rs");
+    // Lint as a crate root: the forbid(unsafe_code) attribute is missing.
+    let v = lint_file("crates/widget/src/lib.rs", src);
+    assert_eq!(
+        lines_for(&v, xtask::RULE_UNSAFE),
+        vec![(1, "unsafe")],
+        "got: {v:?}"
+    );
+}
+
+#[test]
+fn apsp_fixture_fires() {
+    let src = include_str!("fixtures/apsp.rs");
+    let v = lint_file("crates/index/src/matrix.rs", src);
+    let apsp = lines_for(&v, xtask::RULE_APSP);
+    assert_eq!(
+        apsp,
+        vec![(10, "apsp"), (13, "apsp")],
+        "pair-keyed map and apsp-named builder must both fire; got: {v:?}"
+    );
+}
+
+#[test]
+fn suppression_comment_silences_each_rule() {
+    let cases: [(&str, &str); 3] = [
+        (
+            "crates/skyline/src/bad_sort.rs",
+            "pub fn f(v: &mut Vec<f64>) {\n    // lint: allow(float-ord) — test helper\n    v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n}\n",
+        ),
+        (
+            "crates/core/src/ce.rs",
+            "use std::collections::HashMap; // lint: allow(hash-order)\n",
+        ),
+        (
+            "crates/sp/src/dijkstra.rs",
+            "pub fn g(v: Option<u32>) -> u32 {\n    v.unwrap() // lint: allow(unwrap)\n}\n",
+        ),
+    ];
+    for (rel, src) in cases {
+        let v = lint_file(rel, src);
+        assert!(v.is_empty(), "{rel}: suppression ignored, got {v:?}");
+    }
+}
+
+#[test]
+fn workspace_walk_skips_fixture_directory() {
+    // The repository's own lint must be clean even though the fixtures
+    // deliberately violate every rule.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf();
+    let v = xtask::lint_workspace(&root);
+    assert!(v.is_empty(), "workspace lint must stay clean: {v:?}");
+}

@@ -45,10 +45,7 @@ fn parse_args() -> Result<Args, String> {
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut value = || {
-            it.next()
-                .ok_or_else(|| format!("missing value for {flag}"))
-        };
+        let mut value = || it.next().ok_or_else(|| format!("missing value for {flag}"));
         match flag.as_str() {
             "--network" => args.network = Some(value()?),
             "--preset" => {
@@ -59,16 +56,10 @@ fn parse_args() -> Result<Args, String> {
                     other => return Err(format!("unknown preset {other:?} (ca/au/na)")),
                 })
             }
-            "--omega" => {
-                args.omega = value()?
-                    .parse()
-                    .map_err(|e| format!("bad --omega: {e}"))?
-            }
+            "--omega" => args.omega = value()?.parse().map_err(|e| format!("bad --omega: {e}"))?,
             "--objects-file" => args.objects_file = Some(value()?),
             "--save-objects" => args.save_objects = Some(value()?),
-            "--seed" => {
-                args.seed = value()?.parse().map_err(|e| format!("bad --seed: {e}"))?
-            }
+            "--seed" => args.seed = value()?.parse().map_err(|e| format!("bad --seed: {e}"))?,
             "--algo" => {
                 args.algo = match value()?.to_lowercase().as_str() {
                     "ce" => Algorithm::Ce,
@@ -184,7 +175,10 @@ fn main() -> ExitCode {
     for (i, p) in args.queries.iter().enumerate() {
         match engine.locate(*p) {
             Some((pos, d)) => {
-                eprintln!("query {i}: ({}, {}) snapped {d:.1} m onto the network", p.x, p.y);
+                eprintln!(
+                    "query {i}: ({}, {}) snapped {d:.1} m onto the network",
+                    p.x, p.y
+                );
                 query_positions.push(pos);
             }
             None => {
@@ -212,7 +206,7 @@ fn main() -> ExitCode {
     if let Some(best) = result.skyline.iter().min_by(|a, b| {
         let sa: f64 = a.vector.iter().sum();
         let sb: f64 = b.vector.iter().sum();
-        sa.partial_cmp(&sb).expect("finite")
+        rn_geom::cmp_f64(sa, sb)
     }) {
         if let Some(path) =
             engine.shortest_path(query_positions[0], engine.object_position(best.object))

@@ -38,7 +38,10 @@ fn main() {
         if let Some(ref ids) = reference {
             assert_eq!(&result.ids(), ids, "algorithms must agree");
         } else {
-            println!("{:>10}  {:>14}  {:>16}  {:>12}", "hotel", names[0], names[1], names[2]);
+            println!(
+                "{:>10}  {:>14}  {:>16}  {:>12}",
+                "hotel", names[0], names[1], names[2]
+            );
             for p in &result.skyline {
                 println!(
                     "{:>10?}  {:>12.1} m  {:>14.1} m  {:>10.1} m",

@@ -28,7 +28,10 @@ fn main() {
     let engine = SkylineEngine::build(network, depots);
 
     let hubs = generate_queries(engine.network(), 8, 0.1, 212121);
-    println!("querying the skyline for {} dispatch hubs ...\n", hubs.len());
+    println!(
+        "querying the skyline for {} dispatch hubs ...\n",
+        hubs.len()
+    );
 
     let result = engine.run_cold(Algorithm::Lbc, &hubs);
     println!(
@@ -52,7 +55,7 @@ fn main() {
             (p.object, min, max, sum / p.vector.len() as f64)
         })
         .collect();
-    rows.sort_by(|a, b| a.3.partial_cmp(&b.3).unwrap());
+    rows.sort_by(|a, b| rn_geom::cmp_f64(a.3, b.3));
 
     println!(
         "{:>10} {:>14} {:>14} {:>14}",

@@ -50,7 +50,7 @@ fn main() {
         "hotel", "University", "Garden", "China Town", "price"
     );
     let mut rows = priced.skyline.clone();
-    rows.sort_by(|a, b| a.vector[3].partial_cmp(&b.vector[3]).expect("finite"));
+    rows.sort_by(|a, b| rn_geom::cmp_f64(a.vector[3], b.vector[3]));
     for p in rows.iter().take(20) {
         println!(
             "{:>8?} {:>10.1} m {:>10.1} m {:>10.1} m {:>8.0}$",
@@ -64,10 +64,7 @@ fn main() {
     // The minimum price always appears on the skyline: a hotel at that
     // price can only be dominated by an equally-cheap hotel, which then
     // carries the minimum price itself.
-    let min_price = prices
-        .iter()
-        .map(|r| r[0])
-        .fold(f64::INFINITY, f64::min);
+    let min_price = prices.iter().map(|r| r[0]).fold(f64::INFINITY, f64::min);
     let cheapest_on_skyline = priced
         .skyline
         .iter()

@@ -46,7 +46,11 @@ fn main() {
     println!("multi-source skyline: cafés not dominated in (distance to A, distance to B)\n");
     for algo in [Algorithm::Ce, Algorithm::Edc, Algorithm::Lbc] {
         let result = engine.run_cold(algo, &friends);
-        println!("{} found {} skyline cafés:", algo.name(), result.skyline.len());
+        println!(
+            "{} found {} skyline cafés:",
+            algo.name(),
+            result.skyline.len()
+        );
         for p in &result.skyline {
             println!(
                 "  café {:?}  d_N(A) = {:6.1} m   d_N(B) = {:6.1} m",

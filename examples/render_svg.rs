@@ -17,7 +17,9 @@ use std::fmt::Write as _;
 const W: f64 = 1000.0;
 
 fn main() {
-    let out_path = std::env::args().nth(1).unwrap_or_else(|| "skyline.svg".into());
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "skyline.svg".into());
 
     let network = ca_like(23);
     let objects = generate_objects(&network, 0.15, 2300);
@@ -40,10 +42,20 @@ fn main() {
         W + 20.0
     )
     .unwrap();
-    writeln!(svg, r##"<rect x="-10" y="-10" width="{}" height="{}" fill="#fcfcf8"/>"##, W + 20.0, W + 20.0).unwrap();
+    writeln!(
+        svg,
+        r##"<rect x="-10" y="-10" width="{}" height="{}" fill="#fcfcf8"/>"##,
+        W + 20.0,
+        W + 20.0
+    )
+    .unwrap();
 
     // Roads.
-    writeln!(svg, r##"<g stroke="#c8c8c0" stroke-width="1.2" fill="none">"##).unwrap();
+    writeln!(
+        svg,
+        r##"<g stroke="#c8c8c0" stroke-width="1.2" fill="none">"##
+    )
+    .unwrap();
     for e in engine.network().edges() {
         let verts = e.geometry.vertices();
         let mut d = String::new();
@@ -60,10 +72,9 @@ fn main() {
     if let Some(best) = result.skyline.iter().min_by(|a, b| {
         let sa: f64 = a.vector.iter().sum();
         let sb: f64 = b.vector.iter().sum();
-        sa.partial_cmp(&sb).expect("finite")
+        rn_geom::cmp_f64(sa, sb)
     }) {
-        if let Some(path) = engine.shortest_path(queries[0], engine.object_position(best.object))
-        {
+        if let Some(path) = engine.shortest_path(queries[0], engine.object_position(best.object)) {
             writeln!(
                 svg,
                 r##"<g stroke="#2a6fdb" stroke-width="3" fill="none" stroke-linecap="round" opacity="0.75">"##
@@ -97,17 +108,33 @@ fn main() {
             continue;
         }
         let p = engine.network().position_point(&engine.object_position(id));
-        writeln!(svg, r#"<circle cx="{:.1}" cy="{:.1}" r="2.6"/>"#, p.x, y(p.y)).unwrap();
+        writeln!(
+            svg,
+            r#"<circle cx="{:.1}" cy="{:.1}" r="2.6"/>"#,
+            p.x,
+            y(p.y)
+        )
+        .unwrap();
     }
     writeln!(svg, "</g>").unwrap();
 
     // Skyline objects.
-    writeln!(svg, r##"<g fill="#e4572e" stroke="#7a2410" stroke-width="1">"##).unwrap();
+    writeln!(
+        svg,
+        r##"<g fill="#e4572e" stroke="#7a2410" stroke-width="1">"##
+    )
+    .unwrap();
     for p in &result.skyline {
         let pt = engine
             .network()
             .position_point(&engine.object_position(p.object));
-        writeln!(svg, r#"<circle cx="{:.1}" cy="{:.1}" r="5.5"/>"#, pt.x, y(pt.y)).unwrap();
+        writeln!(
+            svg,
+            r#"<circle cx="{:.1}" cy="{:.1}" r="5.5"/>"#,
+            pt.x,
+            y(pt.y)
+        )
+        .unwrap();
     }
     writeln!(svg, "</g>").unwrap();
 
@@ -120,8 +147,24 @@ fn main() {
     for q in &queries {
         let p: Point = engine.network().position_point(q);
         let (cx, cy) = (p.x, y(p.y));
-        writeln!(svg, r#"<line x1="{:.1}" y1="{:.1}" x2="{:.1}" y2="{:.1}"/>"#, cx - 7.0, cy - 7.0, cx + 7.0, cy + 7.0).unwrap();
-        writeln!(svg, r#"<line x1="{:.1}" y1="{:.1}" x2="{:.1}" y2="{:.1}"/>"#, cx - 7.0, cy + 7.0, cx + 7.0, cy - 7.0).unwrap();
+        writeln!(
+            svg,
+            r#"<line x1="{:.1}" y1="{:.1}" x2="{:.1}" y2="{:.1}"/>"#,
+            cx - 7.0,
+            cy - 7.0,
+            cx + 7.0,
+            cy + 7.0
+        )
+        .unwrap();
+        writeln!(
+            svg,
+            r#"<line x1="{:.1}" y1="{:.1}" x2="{:.1}" y2="{:.1}"/>"#,
+            cx - 7.0,
+            cy + 7.0,
+            cx + 7.0,
+            cy - 7.0
+        )
+        .unwrap();
     }
     writeln!(svg, "</g>").unwrap();
     writeln!(svg, "</svg>").unwrap();

@@ -1,0 +1,244 @@
+//! In-tree shim for the `bytes` crate.
+//!
+//! Implements the slice of the API `rn-storage` uses: [`Bytes`] as a
+//! cheaply-cloneable immutable page image (`Arc<[u8]>` underneath — clones
+//! in the buffer pool share storage, as with the real crate), [`BytesMut`]
+//! as a page-assembly buffer with the little-endian `put_*` writers, and
+//! the [`Buf`] little-endian readers on `&[u8]` cursors. No unsafe, no
+//! vtables, no split-off views — pages here are whole allocations.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// A cheaply cloneable, immutable byte buffer.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Bytes {
+            data: Arc::from([]),
+        }
+    }
+
+    /// Wraps a static byte string without copying semantics mattering.
+    pub fn from_static(bytes: &'static [u8]) -> Self {
+        Bytes {
+            data: Arc::from(bytes),
+        }
+    }
+
+    /// Number of bytes in the buffer.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes { data: v.into() }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(s: &[u8]) -> Self {
+        Bytes { data: s.into() }
+    }
+}
+
+/// A growable byte buffer for assembling pages.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer with `cap` bytes reserved.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Takes the written bytes out, leaving this buffer empty (with its
+    /// capacity intact) — the page-flush idiom `page.split().freeze()`.
+    pub fn split(&mut self) -> BytesMut {
+        let cap = self.data.capacity();
+        let taken = std::mem::replace(&mut self.data, Vec::with_capacity(cap));
+        BytesMut { data: taken }
+    }
+
+    /// Converts the written bytes into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// Little-endian writers, mirroring `bytes::BufMut`.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends a `u16`, little-endian.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u32`, little-endian.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`, little-endian.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64`, little-endian IEEE-754 bits.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+/// Little-endian readers over an advancing cursor, mirroring `bytes::Buf`.
+///
+/// Implemented for `&[u8]` so `let mut cur = &page[off..];` reads a record
+/// field by field. Panics when the cursor runs short, like the real crate.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Reads `N` bytes and advances.
+    fn take_array<const N: usize>(&mut self) -> [u8; N];
+
+    /// Reads a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16 {
+        u16::from_le_bytes(self.take_array())
+    }
+
+    /// Reads a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.take_array())
+    }
+
+    /// Reads a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        u64::from_le_bytes(self.take_array())
+    }
+
+    /// Reads a little-endian IEEE-754 `f64`.
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_le_bytes(self.take_array())
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn take_array<const N: usize>(&mut self) -> [u8; N] {
+        let (head, tail) = self.split_at(N);
+        *self = tail;
+        head.try_into().expect("split_at returned N bytes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_le_fields() {
+        let mut buf = BytesMut::with_capacity(32);
+        buf.put_u32_le(0xDEADBEEF);
+        buf.put_u16_le(7);
+        buf.put_f64_le(-2.5);
+        let frozen = buf.freeze();
+        let mut cur = &frozen[..];
+        assert_eq!(cur.get_u32_le(), 0xDEADBEEF);
+        assert_eq!(cur.get_u16_le(), 7);
+        assert_eq!(cur.get_f64_le(), -2.5);
+        assert_eq!(cur.remaining(), 0);
+    }
+
+    #[test]
+    fn split_empties_and_keeps_writing() {
+        let mut buf = BytesMut::with_capacity(8);
+        buf.put_u32_le(1);
+        let first = buf.split().freeze();
+        assert_eq!(first.len(), 4);
+        assert!(buf.is_empty());
+        buf.put_u32_le(2);
+        assert_eq!(buf.len(), 4);
+    }
+
+    #[test]
+    fn bytes_clones_share_storage() {
+        let a = Bytes::from(vec![1, 2, 3]);
+        let b = a.clone();
+        assert_eq!(&a[..], &b[..]);
+        assert_eq!(a.len(), 3);
+        assert!(!a.is_empty());
+        assert_eq!(&Bytes::from_static(b"hi")[..], b"hi");
+    }
+}

@@ -1,0 +1,63 @@
+//! In-tree shim for `parking_lot`.
+//!
+//! Wraps `std::sync::Mutex` behind parking_lot's poison-free API: `lock()`
+//! returns the guard directly. A poisoned lock means a thread panicked
+//! while holding it; like parking_lot, we keep going with the data as-is
+//! rather than propagating a secondary panic.
+
+#![forbid(unsafe_code)]
+
+use std::sync::{Mutex as StdMutex, MutexGuard};
+
+/// A mutual-exclusion lock with parking_lot's non-poisoning `lock()`.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: StdMutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a mutex protecting `value`.
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            inner: StdMutex::new(value),
+        }
+    }
+
+    /// Consumes the mutex, returning the protected value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until it is available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Mutex;
+
+    #[test]
+    fn guards_and_mutates() {
+        let m = Mutex::new(1u32);
+        *m.lock() += 41;
+        assert_eq!(*m.lock(), 42);
+        assert_eq!(m.into_inner(), 42);
+    }
+
+    #[test]
+    fn survives_poison() {
+        let m = std::sync::Arc::new(Mutex::new(0u32));
+        let m2 = m.clone();
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison the std mutex underneath");
+        })
+        .join();
+        *m.lock() = 7;
+        assert_eq!(*m.lock(), 7);
+    }
+}

@@ -1,0 +1,809 @@
+//! In-tree shim for [`proptest`](https://docs.rs/proptest).
+//!
+//! The registry is unreachable from this build environment, so this crate
+//! implements the slice of the proptest API the workspace's property tests
+//! actually use: numeric-range strategies, tuples, `prop_map`,
+//! `collection::{vec, btree_set}`, `bool::ANY`, a mini regex-subset string
+//! generator, `TestRunner`/`Config`, and the `proptest!` /
+//! `prop_assert!` / `prop_assert_eq!` macros.
+//!
+//! Differences from the real crate, on purpose:
+//!
+//! - **No shrinking.** A failing case reports the exact generated input
+//!   (every strategy value is `Debug`) but is not minimised.
+//! - **Deterministic by default.** Each runner derives its stream from a
+//!   fixed seed, so failures reproduce across runs; set `PROPTEST_SEED`
+//!   to explore a different stream.
+//! - `string_regex` accepts the regex subset described in
+//!   [`string::string_regex`], not full regex syntax.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Debug;
+
+use rand::rngs::StdRng;
+
+/// A generator of test-case values.
+///
+/// Unlike the real proptest there is no value tree: a strategy just draws
+/// a fresh value per case. The associated `Value` must be `Debug` so a
+/// failing case can report its input.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`, like `proptest::Strategy::prop_map`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        U: Debug,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategies compose by reference (the runner borrows them).
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// The adapter returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    U: Debug,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                use rand::Rng;
+                rng.random_range(self.clone())
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                use rand::Rng;
+                rng.random_range(self.clone())
+            }
+        }
+    )+};
+}
+
+range_strategy!(f64, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($($S:ident/$idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A / 0);
+tuple_strategy!(A / 0, B / 1);
+tuple_strategy!(A / 0, B / 1, C / 2);
+tuple_strategy!(A / 0, B / 1, C / 2, D / 3);
+tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4);
+tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5);
+tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5, G / 6);
+tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5, G / 6, H / 7);
+tuple_strategy!(
+    A / 0,
+    B / 1,
+    C / 2,
+    D / 3,
+    E / 4,
+    F / 5,
+    G / 6,
+    H / 7,
+    I / 8
+);
+tuple_strategy!(
+    A / 0,
+    B / 1,
+    C / 2,
+    D / 3,
+    E / 4,
+    F / 5,
+    G / 6,
+    H / 7,
+    I / 8,
+    J / 9
+);
+tuple_strategy!(
+    A / 0,
+    B / 1,
+    C / 2,
+    D / 3,
+    E / 4,
+    F / 5,
+    G / 6,
+    H / 7,
+    I / 8,
+    J / 9,
+    K / 10
+);
+tuple_strategy!(
+    A / 0,
+    B / 1,
+    C / 2,
+    D / 3,
+    E / 4,
+    F / 5,
+    G / 6,
+    H / 7,
+    I / 8,
+    J / 9,
+    K / 10,
+    L / 11
+);
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::*;
+
+    /// Element counts for collection strategies: an exact `usize`, a
+    /// half-open `Range<usize>`, or an inclusive range.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                min: n,
+                max_inclusive: n,
+            }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max_inclusive: *r.end(),
+            }
+        }
+    }
+
+    impl SizeRange {
+        fn sample(&self, rng: &mut StdRng) -> usize {
+            use rand::Rng;
+            rng.random_range(self.min..=self.max_inclusive)
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec`s of `size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = self.size.sample(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// The strategy returned by [`btree_set`].
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `BTreeSet`s built from up to `size` draws of `element` (duplicates
+    /// collapse, so the set may come out smaller — same as upstream).
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = std::collections::BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let n = self.size.sample(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Boolean strategies, mirroring `proptest::bool`.
+pub mod bool {
+    use super::*;
+
+    /// The strategy type of [`ANY`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// A fair coin.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut StdRng) -> bool {
+            use rand::Rng;
+            rng.random_bool(0.5)
+        }
+    }
+}
+
+/// String strategies, mirroring `proptest::string`.
+pub mod string {
+    use super::*;
+
+    /// One parsed regex atom with its repetition bounds.
+    #[derive(Debug)]
+    enum Atom {
+        /// A set of candidate characters (a literal is a 1-element class).
+        Class(Vec<char>),
+        /// A parenthesised sub-sequence.
+        Group(Vec<(Atom, usize, usize)>),
+    }
+
+    /// A generator for the regex subset: literals, escapes (`\n`, `\t`,
+    /// `\\`, `\-`, ...), character classes with ranges (`[a-z0-9 #\n]`),
+    /// groups `(...)`, and the quantifiers `{m,n}`, `{n}`, `?`, `*`, `+`
+    /// (the unbounded ones capped at 32 repetitions). No alternation,
+    /// anchors, or wildcards.
+    pub struct RegexGeneratorStrategy {
+        atoms: Vec<(Atom, usize, usize)>,
+    }
+
+    /// A malformed or unsupported pattern.
+    #[derive(Debug)]
+    pub struct Error(String);
+
+    impl std::fmt::Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "unsupported regex pattern: {}", self.0)
+        }
+    }
+
+    /// Builds a string strategy from `pattern` (see
+    /// [`RegexGeneratorStrategy`] for the supported subset).
+    pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+        let mut chars = pattern.chars().peekable();
+        let atoms = parse_seq(&mut chars, pattern, false)?;
+        if chars.next().is_some() {
+            return Err(Error(format!("unbalanced ')' in {pattern:?}")));
+        }
+        Ok(RegexGeneratorStrategy { atoms })
+    }
+
+    type Chars<'a> = std::iter::Peekable<std::str::Chars<'a>>;
+
+    fn parse_seq(
+        chars: &mut Chars<'_>,
+        pattern: &str,
+        in_group: bool,
+    ) -> Result<Vec<(Atom, usize, usize)>, Error> {
+        let mut out = Vec::new();
+        while let Some(&c) = chars.peek() {
+            let atom = match c {
+                ')' if in_group => break,
+                ')' => return Err(Error(format!("stray ')' in {pattern:?}"))),
+                '(' => {
+                    chars.next();
+                    let inner = parse_seq(chars, pattern, true)?;
+                    if chars.next() != Some(')') {
+                        return Err(Error(format!("unclosed '(' in {pattern:?}")));
+                    }
+                    Atom::Group(inner)
+                }
+                '[' => {
+                    chars.next();
+                    Atom::Class(parse_class(chars, pattern)?)
+                }
+                '\\' => {
+                    chars.next();
+                    let esc = chars
+                        .next()
+                        .ok_or_else(|| Error(format!("dangling '\\' in {pattern:?}")))?;
+                    Atom::Class(vec![unescape(esc)])
+                }
+                '|' | '.' | '^' | '$' | '{' | '}' | '*' | '+' | '?' => {
+                    return Err(Error(format!("unsupported '{c}' in {pattern:?}")))
+                }
+                lit => {
+                    chars.next();
+                    Atom::Class(vec![lit])
+                }
+            };
+            let (min, max) = parse_quantifier(chars, pattern)?;
+            out.push((atom, min, max));
+        }
+        Ok(out)
+    }
+
+    fn parse_class(chars: &mut Chars<'_>, pattern: &str) -> Result<Vec<char>, Error> {
+        let mut set = Vec::new();
+        loop {
+            let c = chars
+                .next()
+                .ok_or_else(|| Error(format!("unclosed '[' in {pattern:?}")))?;
+            let lo = match c {
+                ']' => return Ok(set),
+                '\\' => unescape(
+                    chars
+                        .next()
+                        .ok_or_else(|| Error(format!("dangling '\\' in {pattern:?}")))?,
+                ),
+                other => other,
+            };
+            // `a-z` range (a literal '-' before ']' is just a member).
+            if chars.peek() == Some(&'-') {
+                let mut ahead = chars.clone();
+                ahead.next();
+                if ahead.peek().is_some_and(|&n| n != ']') {
+                    chars.next();
+                    let hi = match chars.next() {
+                        Some('\\') => unescape(
+                            chars
+                                .next()
+                                .ok_or_else(|| Error(format!("dangling '\\' in {pattern:?}")))?,
+                        ),
+                        Some(h) => h,
+                        None => return Err(Error(format!("unclosed '[' in {pattern:?}"))),
+                    };
+                    if hi < lo {
+                        return Err(Error(format!("inverted range in {pattern:?}")));
+                    }
+                    set.extend((lo..=hi).filter(|c| c.is_ascii() || *c == lo));
+                    continue;
+                }
+            }
+            set.push(lo);
+        }
+    }
+
+    fn parse_quantifier(chars: &mut Chars<'_>, pattern: &str) -> Result<(usize, usize), Error> {
+        const UNBOUNDED_CAP: usize = 32;
+        match chars.peek() {
+            Some('?') => {
+                chars.next();
+                Ok((0, 1))
+            }
+            Some('*') => {
+                chars.next();
+                Ok((0, UNBOUNDED_CAP))
+            }
+            Some('+') => {
+                chars.next();
+                Ok((1, UNBOUNDED_CAP))
+            }
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                loop {
+                    match chars.next() {
+                        Some('}') => break,
+                        Some(c) => spec.push(c),
+                        None => return Err(Error(format!("unclosed '{{' in {pattern:?}"))),
+                    }
+                }
+                let parse = |s: &str| {
+                    s.trim()
+                        .parse::<usize>()
+                        .map_err(|_| Error(format!("bad repetition {spec:?} in {pattern:?}")))
+                };
+                let (min, max) = match spec.split_once(',') {
+                    None => {
+                        let n = parse(&spec)?;
+                        (n, n)
+                    }
+                    Some((lo, "")) => (parse(lo)?, parse(lo)?.max(UNBOUNDED_CAP)),
+                    Some((lo, hi)) => (parse(lo)?, parse(hi)?),
+                };
+                if max < min {
+                    return Err(Error(format!("inverted repetition in {pattern:?}")));
+                }
+                Ok((min, max))
+            }
+            _ => Ok((1, 1)),
+        }
+    }
+
+    fn unescape(c: char) -> char {
+        match c {
+            'n' => '\n',
+            't' => '\t',
+            'r' => '\r',
+            '0' => '\0',
+            other => other,
+        }
+    }
+
+    fn emit(atoms: &[(Atom, usize, usize)], rng: &mut StdRng, out: &mut String) {
+        use rand::Rng;
+        for (atom, min, max) in atoms {
+            let reps = rng.random_range(*min..=*max);
+            for _ in 0..reps {
+                match atom {
+                    Atom::Class(set) => {
+                        if !set.is_empty() {
+                            out.push(set[rng.random_range(0..set.len())]);
+                        }
+                    }
+                    Atom::Group(inner) => emit(inner, rng, out),
+                }
+            }
+        }
+    }
+
+    impl Strategy for RegexGeneratorStrategy {
+        type Value = String;
+
+        fn generate(&self, rng: &mut StdRng) -> String {
+            let mut out = String::new();
+            emit(&self.atoms, rng, &mut out);
+            out
+        }
+    }
+}
+
+/// The runner and its configuration, mirroring `proptest::test_runner`.
+pub mod test_runner {
+    use super::*;
+    use rand::SeedableRng;
+
+    /// Runner configuration. Only `cases` is honoured.
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+
+    /// Why a single case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// The assertion in the test body failed.
+        Fail(String),
+        /// The case asked to be skipped (not counted).
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// A failed case with `reason`.
+        pub fn fail(reason: impl Into<String>) -> Self {
+            TestCaseError::Fail(reason.into())
+        }
+
+        /// A rejected (skipped) case with `reason`.
+        pub fn reject(reason: impl Into<String>) -> Self {
+            TestCaseError::Reject(reason.into())
+        }
+    }
+
+    /// A whole-test failure: the first failing case, unshrunk.
+    pub struct TestError {
+        /// Why the case failed.
+        pub message: String,
+        /// `Debug` rendering of the generated input.
+        pub input: String,
+        /// Which case (0-based) failed.
+        pub case: u32,
+        /// The seed that reproduces the run.
+        pub seed: u64,
+    }
+
+    impl std::fmt::Debug for TestError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(
+                f,
+                "property failed at case {} (seed {}): {}\n\tinput: {}",
+                self.case, self.seed, self.message, self.input
+            )
+        }
+    }
+
+    /// Drives a strategy through `Config::cases` iterations of a test
+    /// closure. Deterministic: the RNG stream is fixed per process unless
+    /// `PROPTEST_SEED` overrides it.
+    pub struct TestRunner {
+        config: Config,
+        seed: u64,
+    }
+
+    impl TestRunner {
+        /// A runner using `config`.
+        pub fn new(config: Config) -> Self {
+            let seed = std::env::var("PROPTEST_SEED")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0x9D5A_B7E1_C3F0_2468);
+            TestRunner { config, seed }
+        }
+
+        /// Runs `test` on `config.cases` freshly generated inputs,
+        /// stopping at the first failure. Rejected cases don't count
+        /// toward the total (with a 10× attempt cap like upstream).
+        pub fn run<S, F>(&mut self, strategy: &S, test: F) -> Result<(), TestError>
+        where
+            S: Strategy,
+            F: Fn(S::Value) -> Result<(), TestCaseError>,
+        {
+            let mut rng = StdRng::seed_from_u64(self.seed);
+            let mut passed = 0u32;
+            let max_attempts = self.config.cases.saturating_mul(10).max(10);
+            for attempt in 0..max_attempts {
+                if passed >= self.config.cases {
+                    break;
+                }
+                let value = strategy.generate(&mut rng);
+                let rendered = format!("{value:?}");
+                match test(value) {
+                    Ok(()) => passed += 1,
+                    Err(TestCaseError::Reject(_)) => continue,
+                    Err(TestCaseError::Fail(message)) => {
+                        return Err(TestError {
+                            message,
+                            input: rendered,
+                            case: attempt,
+                            seed: self.seed,
+                        })
+                    }
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+/// The glob-importable prelude, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{Just, Strategy};
+}
+
+/// Defines `#[test]` functions over generated inputs.
+///
+/// Supports the upstream surface this workspace uses: an optional
+/// `#![proptest_config(...)]` header and `fn name(pat in strategy, ...)`
+/// items, each carrying its own `#[test]` attribute and doc comments.
+#[macro_export]
+macro_rules! proptest {
+    (@with_config ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pname:ident in $pstrat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let mut runner = $crate::test_runner::TestRunner::new($cfg);
+            let result = runner.run(&($($pstrat,)+), |($($pname,)+)| {
+                $body
+                Ok(())
+            });
+            if let Err(e) = result {
+                panic!("{:?}", e);
+            }
+        }
+    )*};
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a property, failing the case (not the
+/// process) so the runner can report the generated input.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts two expressions compare equal inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` == `{:?}`: {}",
+            left,
+            right,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Asserts two expressions compare unequal inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn runner_reports_failure_with_input() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(16));
+        let err = runner
+            .run(&(0u32..10,), |(x,)| {
+                prop_assert!(x < 100, "impossible");
+                if x > 3 {
+                    return Err(TestCaseError::fail("too big"));
+                }
+                Ok(())
+            })
+            .expect_err("values above 3 must appear within 16 cases");
+        assert!(format!("{err:?}").contains("too big"));
+    }
+
+    #[test]
+    fn string_regex_respects_class_and_bounds() {
+        let strat = crate::string::string_regex("([newp0-9 .\\-#\n]{0,200})").unwrap();
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(64));
+        runner
+            .run(&(strat,), |(s,)| {
+                prop_assert!(s.chars().count() <= 200);
+                for c in s.chars() {
+                    prop_assert!(
+                        "newp0123456789 .-#\n".contains(c),
+                        "unexpected char {:?}",
+                        c
+                    );
+                }
+                Ok(())
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn string_regex_rejects_unsupported() {
+        assert!(crate::string::string_regex("a|b").is_err());
+        assert!(crate::string::string_regex("[abc").is_err());
+        assert!(crate::string::string_regex("(ab").is_err());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro path itself: tuples, collections, prop_map.
+        #[test]
+        fn macro_generates_in_bounds(
+            x in 1usize..10,
+            v in crate::collection::vec(0.0..5.0f64, 2..6),
+            flag in crate::bool::ANY,
+            y in (0u32..4).prop_map(|n| n * 10),
+        ) {
+            prop_assert!((1..10).contains(&x));
+            prop_assert!((2..6).contains(&v.len()));
+            for e in &v {
+                prop_assert!((0.0..5.0).contains(e));
+            }
+            let _: bool = flag; // the bool strategy yields both values across cases
+
+            prop_assert!(y % 10 == 0 && y <= 30);
+        }
+
+        #[test]
+        fn btree_sets_stay_in_range(s in crate::collection::btree_set(0u32..50, 0..20)) {
+            prop_assert!(s.len() <= 20);
+            for &k in &s {
+                prop_assert!(k < 50);
+            }
+        }
+    }
+}

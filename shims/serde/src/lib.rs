@@ -1,0 +1,20 @@
+//! In-tree shim for `serde`.
+//!
+//! The workspace only *derives* `Serialize`/`Deserialize` on its geometry
+//! and graph types — nothing ever serializes them (there is no format
+//! crate in the tree). Since the registry is unreachable, this shim keeps
+//! those derives compiling: the traits exist as markers, and the
+//! re-exported derive macros (see `serde_derive`) expand to nothing.
+//! When a real wire format lands, swap the shim for the real crate; the
+//! call sites won't change.
+
+#![forbid(unsafe_code)]
+
+/// Marker standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

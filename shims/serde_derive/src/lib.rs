@@ -1,0 +1,22 @@
+//! No-op derive macros backing the in-tree `serde` shim.
+//!
+//! `#[derive(Serialize, Deserialize)]` expands to nothing: the workspace
+//! never serializes the annotated types, it only keeps the derives on
+//! them so the real `serde` can be dropped in later without touching
+//! call sites.
+
+#![forbid(unsafe_code)]
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; the shimmed `Serialize` is a pure marker.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; the shimmed `Deserialize` is a pure marker.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -23,9 +23,17 @@ fn workload(seed: u64, k_attrs: usize) -> (SkylineEngine, Vec<NetPosition>, Attr
     let queries = generate_queries(&net, 3, 0.3, seed + 2);
     let mut rng = StdRng::seed_from_u64(seed + 3);
     let rows: Vec<Vec<f64>> = (0..objects.len())
-        .map(|_| (0..k_attrs).map(|_| rng.random_range(50.0..500.0)).collect())
+        .map(|_| {
+            (0..k_attrs)
+                .map(|_| rng.random_range(50.0..500.0))
+                .collect()
+        })
         .collect();
-    (SkylineEngine::build(net, objects), queries, AttrTable::new(rows))
+    (
+        SkylineEngine::build(net, objects),
+        queries,
+        AttrTable::new(rows),
+    )
 }
 
 #[test]
@@ -33,7 +41,12 @@ fn all_algorithms_agree_with_one_attribute() {
     for seed in 0..5 {
         let (engine, queries, attrs) = workload(seed, 1);
         let brute = engine.run_with_attrs(Algorithm::Brute, &queries, &attrs);
-        for algo in [Algorithm::Ce, Algorithm::Edc, Algorithm::Lbc, Algorithm::LbcNoPlb] {
+        for algo in [
+            Algorithm::Ce,
+            Algorithm::Edc,
+            Algorithm::Lbc,
+            Algorithm::LbcNoPlb,
+        ] {
             let r = engine.run_with_attrs(algo, &queries, &attrs);
             assert_eq!(r.ids(), brute.ids(), "seed {seed}: {}", algo.name());
         }

@@ -39,18 +39,16 @@ fn params() -> impl Strategy<Value = Params> {
         0u64..10_000,
     )
         .prop_map(
-            |(cols, rows, extra_edges, detour_prob, detour_max, omega, nq, region, seed)| {
-                Params {
-                    cols,
-                    rows,
-                    extra_edges,
-                    detour_prob,
-                    detour_max,
-                    omega,
-                    nq,
-                    region,
-                    seed,
-                }
+            |(cols, rows, extra_edges, detour_prob, detour_max, omega, nq, region, seed)| Params {
+                cols,
+                rows,
+                extra_edges,
+                detour_prob,
+                detour_max,
+                omega,
+                nq,
+                region,
+                seed,
             },
         )
 }

@@ -59,8 +59,14 @@ fn astar_dijkstra_oracle_agree() {
             let got_a = astar.distance_to(*p);
             let mut dij = Dijkstra::new(&ctx, src);
             let got_d = dij.distance_to_position(p);
-            assert!(rn_geom::approx_eq(got_a, want), "A* {got_a} vs oracle {want}");
-            assert!(rn_geom::approx_eq(got_d, want), "Dijkstra {got_d} vs {want}");
+            assert!(
+                rn_geom::approx_eq(got_a, want),
+                "A* {got_a} vs oracle {want}"
+            );
+            assert!(
+                rn_geom::approx_eq(got_d, want),
+                "Dijkstra {got_d} vs {want}"
+            );
         }
     }
 }
