@@ -1,0 +1,8 @@
+//! Batch throughput: queries/sec of the parallel BatchEngine at worker
+//! counts 1/2/4/8 on the CA-like preset, emitting `BENCH_2.json`. Run
+//! with `cargo bench -p rn-bench --bench throughput`. Environment knobs:
+//! `MSQ_SEEDS` (scales the batch size), `MSQ_IO_MS`.
+
+fn main() {
+    rn_bench::throughput::throughput();
+}

@@ -29,4 +29,7 @@ fn main() {
     if want("ablation") {
         rn_bench::figures::ablation_analysis();
     }
+    if want("throughput") {
+        rn_bench::throughput::throughput();
+    }
 }

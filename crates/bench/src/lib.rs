@@ -13,6 +13,7 @@
 
 pub mod figures;
 pub mod harness;
+pub mod throughput;
 
 pub use harness::{
     average, build_engine, format_row, print_header, run_setting, seed_count, AvgMetrics, Setting,

@@ -1,0 +1,79 @@
+//! Inter-query batch execution: many skyline queries over one shared
+//! read-only network + R-tree (DESIGN.md §9).
+//!
+//! [`BatchEngine`] is the throughput-oriented face of
+//! [`SkylineEngine`]: it executes a slice of independent query sets
+//! concurrently, each against its own **cold private store session** of
+//! the engine's buffer capacity. Because a session replays exactly the
+//! page-access sequence a sequential [`SkylineEngine::run_cold`] would
+//! produce, every per-query statistic — skyline set, vectors, page
+//! faults — is bitwise identical to the sequential run at every worker
+//! count; only the wall clock changes.
+
+use crate::engine::{Algorithm, SkylineEngine, SkylineResult};
+use rn_graph::NetPosition;
+use std::time::{Duration, Instant};
+
+/// Executes batches of independent queries concurrently over one shared
+/// [`SkylineEngine`].
+pub struct BatchEngine<'e> {
+    engine: &'e SkylineEngine,
+    workers: usize,
+}
+
+/// What a batch run produces: per-query results (in batch order) plus the
+/// batch-level costs.
+pub struct BatchOutcome {
+    /// One [`SkylineResult`] per input query set, in input order.
+    pub results: Vec<SkylineResult>,
+    /// Index node reads (object R-tree + middle layer) across the whole
+    /// batch. The index counters are shared atomics, so under concurrency
+    /// they are meaningful only in aggregate; each per-query
+    /// `stats.index_reads` inside [`BatchOutcome::results`] is zero.
+    pub index_reads: u64,
+    /// Wall-clock time for the whole batch.
+    pub wall: Duration,
+}
+
+impl<'e> BatchEngine<'e> {
+    /// Wraps `engine` for batch execution across `workers` threads
+    /// (clamped to at least one).
+    pub fn new(engine: &'e SkylineEngine, workers: usize) -> Self {
+        BatchEngine {
+            engine,
+            workers: rn_par::effective_workers(workers),
+        }
+    }
+
+    /// The effective worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs `algo` for every query set in `batch` concurrently and returns
+    /// the per-query results in input order.
+    ///
+    /// Queries are claimed dynamically (whichever worker is free takes the
+    /// next index), but each runs sequentially against a private cold
+    /// session, so results and per-query fault counts match
+    /// [`SkylineEngine::run_cold`] exactly — see
+    /// `tests/parallel_equivalence.rs`.
+    ///
+    /// # Panics
+    /// Panics when any query set in the batch is empty.
+    pub fn run(&self, algo: Algorithm, batch: &[Vec<NetPosition>]) -> BatchOutcome {
+        self.engine.object_tree().reset_node_reads();
+        self.engine.mid_ref().reset_node_reads();
+        let started = Instant::now();
+        let results = rn_par::par_map_indexed(batch.len(), self.workers, |i| {
+            let session = self.engine.store_ref().session();
+            self.engine.run_with_store(&session, algo, &batch[i], None)
+        });
+        BatchOutcome {
+            results,
+            index_reads: self.engine.object_tree().node_reads()
+                + self.engine.mid_ref().node_reads(),
+            wall: started.elapsed(),
+        }
+    }
+}

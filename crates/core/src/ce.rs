@@ -79,185 +79,370 @@ impl Obj {
     }
 }
 
+/// The coordinator-side state of a CE run: everything except the
+/// wavefront engines themselves.
+///
+/// Extracting this from the sequential loop lets two drivers share one
+/// classification pipeline: the sequential round-robin driver below, and
+/// the lockstep parallel driver in [`crate::par`], whose wavefronts live
+/// in worker threads and report `(emission, bound)` pairs per round.
+///
+/// Every method that consults wavefront progress takes `bounds: &[f64]`,
+/// the per-dimension certified emission bounds, *as the driver knows
+/// them*. Any element-wise **under**-estimate of the live bounds is safe:
+/// bounds gate classification (a stale, smaller bound only delays a
+/// release) and serve as certified lower bounds in pruning (a smaller
+/// bound only weakens the prune). The parallel driver exploits exactly
+/// this, processing each round's emissions against the previous round's
+/// bounds.
+pub(crate) struct CeState {
+    n: usize,
+    /// Static attributes present: every emitted object must be classified
+    /// and termination needs the group certificate.
+    track_all: bool,
+    exhausted: Vec<bool>,
+    /// Ordered map: prune_open and finalize iterate this, and the query
+    /// path must behave identically run to run.
+    objs: BTreeMap<ObjectId, Obj>,
+    skyline: Vec<(ObjectId, Vec<f64>)>,
+    /// Per query point: completed objects waiting for its radius to pass,
+    /// keyed by their distance in that dimension.
+    waiting: Vec<BinaryHeap<Reverse<(OrdF64, ObjectId)>>>,
+    ready: Vec<ObjectId>,
+    phase1: bool,
+    frozen_candidates: usize,
+    /// C members not yet classified (gates termination after phase 1).
+    open: usize,
+}
+
+impl CeState {
+    pub(crate) fn new(input: &QueryInput<'_>) -> Self {
+        let n = input.arity();
+        CeState {
+            n,
+            // With static attributes a spatially-dominated object can
+            // still be a skyline member (e.g. far but cheap), so the
+            // phase-1 filter argument no longer discards refinement-phase
+            // arrivals; instead the loop runs until the *group
+            // certificate* holds: some skyline vector dominates the
+            // certified bounds of everything not yet emitted.
+            track_all: input.attrs.is_some(),
+            exhausted: vec![false; n],
+            objs: BTreeMap::new(),
+            skyline: Vec::new(),
+            waiting: (0..n).map(|_| BinaryHeap::new()).collect(),
+            ready: Vec::new(),
+            phase1: true,
+            frozen_candidates: 0,
+            open: 0,
+        }
+    }
+
+    pub(crate) fn is_exhausted(&self, qi: usize) -> bool {
+        self.exhausted[qi]
+    }
+
+    pub(crate) fn all_exhausted(&self) -> bool {
+        self.exhausted.iter().all(|&e| e)
+    }
+
+    /// Termination test: all candidates classified and (under attrs) the
+    /// group certificate for the unemitted remainder holds.
+    pub(crate) fn should_stop(&self, input: &QueryInput<'_>, bounds: &[f64]) -> bool {
+        if self.phase1 || self.open != 0 {
+            return false;
+        }
+        if !self.track_all {
+            return true;
+        }
+        // Group certificate for the unemitted remainder.
+        let mut cert: Vec<f64> = bounds
+            .iter()
+            .zip(&self.exhausted)
+            .map(|(&b, &e)| if e { f64::INFINITY } else { b })
+            .collect();
+        input.extend_with_attr_lower(&mut cert);
+        self.skyline.iter().any(|(_, s)| dominates(s, &cert))
+    }
+
+    /// Wavefront `qi` has no further emissions: everything waiting on this
+    /// dimension is released.
+    pub(crate) fn on_exhausted(&mut self, qi: usize) {
+        self.exhausted[qi] = true;
+        while let Some(Reverse((_, obj))) = self.waiting[qi].pop() {
+            release(&mut self.objs, obj, &mut self.ready);
+        }
+    }
+
+    /// Wavefront `qi` emitted object `id` at distance `d`. `bounds` must
+    /// be (element-wise under-estimates of) the certified emission bounds;
+    /// the sequential driver passes the live bounds with `bounds[qi]`
+    /// already refreshed, the parallel driver the previous round's.
+    pub(crate) fn on_emission(&mut self, qi: usize, id: ObjectId, d: f64, bounds: &[f64]) {
+        let n = self.n;
+        let track_all = self.track_all;
+        let phase1 = self.phase1;
+        let mut newcomer = false;
+        let entry = self.objs.entry(id).or_insert_with(|| {
+            newcomer = true;
+            let mut o = Obj::new(n);
+            o.in_c = phase1;
+            o
+        });
+        // Refinement-phase newcomers are not candidates (§4.1) and do not
+        // gate termination — except under the static attribute extension,
+        // where a spatially-dominated object can still be a skyline member
+        // and must be classified.
+        if newcomer && !phase1 && track_all {
+            self.open += 1;
+        }
+        if entry.dists[qi].is_nan() && entry.state == State::Open {
+            entry.dists[qi] = d;
+            entry.visited += 1;
+        }
+
+        if entry.visited == n && entry.state == State::Open {
+            // Vector complete: enter the classification pipeline.
+            entry.state = State::Waiting;
+            let mut blocked = 0;
+            for (j, (&dj, heap)) in entry.dists.iter().zip(self.waiting.iter_mut()).enumerate() {
+                let passed = self.exhausted[j] || bounds[j] > dj;
+                if !passed {
+                    heap.push(Reverse((OrdF64::new(dj), id)));
+                    blocked += 1;
+                }
+            }
+            entry.blocked = blocked;
+            if blocked == 0 {
+                self.ready.push(id);
+            }
+            if self.phase1 {
+                // Phase 1 ends at the first completed vector.
+                self.phase1 = false;
+                self.frozen_candidates = self.objs.len();
+                self.open = self
+                    .objs
+                    .values()
+                    .filter(|o| o.in_c && matches!(o.state, State::Open | State::Waiting))
+                    .count();
+            }
+        }
+    }
+
+    /// Advances dimension `qi`'s classification gate to `bounds[qi]`:
+    /// waiting objects strictly below the bound are released.
+    pub(crate) fn advance_gates(&mut self, qi: usize, bounds: &[f64]) {
+        let r = bounds[qi];
+        while let Some(&Reverse((d, obj))) = self.waiting[qi].peek() {
+            if r > d.get() {
+                self.waiting[qi].pop();
+                release(&mut self.objs, obj, &mut self.ready);
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Classifies every ready object: within a batch, ascending
+    /// distance-sum order guarantees dominators classify before what they
+    /// dominate.
+    pub(crate) fn classify_ready(
+        &mut self,
+        input: &QueryInput<'_>,
+        reporter: &mut Reporter,
+        bounds: &[f64],
+    ) {
+        if self.ready.is_empty() {
+            return;
+        }
+        // Ascending sum over the *full* vector (distances plus static
+        // attributes): a dominator's sum is strictly smaller, so it always
+        // classifies before anything it dominates.
+        let objs = &self.objs;
+        let full_sum = |id: &ObjectId| -> f64 {
+            let mut s = objs[id].sum();
+            if let Some(a) = input.attrs {
+                s += a.row(*id).iter().sum::<f64>();
+            }
+            s
+        };
+        self.ready.sort_by(|a, b| {
+            let sa = full_sum(a);
+            let sb = full_sum(b);
+            rn_geom::cmp_f64(sa, sb).then(a.cmp(b))
+        });
+        let ready = std::mem::take(&mut self.ready);
+        for id in ready {
+            let o = self.objs.get_mut(&id).expect("ready object exists");
+            if o.state != State::Waiting {
+                continue; // pruned while waiting
+            }
+            let counted = o.in_c || input.attrs.is_some();
+            let mut vec = o.dists.clone();
+            input.extend_with_attrs(id, &mut vec);
+            if self.skyline.iter().any(|(_, s)| dominates(s, &vec)) {
+                o.state = State::Pruned;
+                if counted && !self.phase1 {
+                    self.open -= 1;
+                }
+            } else {
+                o.state = State::Skyline;
+                if counted && !self.phase1 {
+                    self.open -= 1;
+                }
+                self.skyline.push((id, vec.clone()));
+                reporter.report(SkylinePoint {
+                    object: id,
+                    vector: vec.clone(),
+                });
+                self.prune_open(input, &vec, bounds);
+            }
+        }
+    }
+
+    /// Certified-bound pruning: any unclassified object whose lower-bound
+    /// vector is dominated by the new skyline vector can never recover.
+    fn prune_open(&mut self, input: &QueryInput<'_>, v: &[f64], bounds: &[f64]) {
+        for (&id, o) in self.objs.iter_mut() {
+            if matches!(o.state, State::Open | State::Waiting) {
+                let mut cert = o.certified(bounds);
+                if let Some(a) = input.attrs {
+                    cert.extend_from_slice(a.row(id));
+                }
+                if dominates(v, &cert) {
+                    let counted = o.in_c || input.attrs.is_some();
+                    o.state = State::Pruned;
+                    if counted && !self.phase1 {
+                        self.open -= 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Exact classification of whatever never completed (unreachable
+    /// dimensions become infinite distances), then the invariant checks.
+    /// Call after the final [`CeState::classify_ready`].
+    pub(crate) fn finish(&mut self, input: &QueryInput<'_>, reporter: &mut Reporter) {
+        let mut remaining: Vec<(ObjectId, Vec<f64>)> = self
+            .objs
+            .iter()
+            .filter(|(_, o)| matches!(o.state, State::Open | State::Waiting))
+            .map(|(&id, o)| {
+                let mut vec: Vec<f64> = o
+                    .dists
+                    .iter()
+                    .map(|&d| if d.is_nan() { f64::INFINITY } else { d })
+                    .collect();
+                input.extend_with_attrs(id, &mut vec);
+                (id, vec)
+            })
+            .collect();
+        remaining.sort_by_key(|(id, _)| *id);
+        for i in 0..remaining.len() {
+            let (id, ref vec) = remaining[i];
+            let dominated = self.skyline.iter().any(|(_, s)| dominates(s, vec))
+                || remaining
+                    .iter()
+                    .enumerate()
+                    .any(|(j, (_, other))| j != i && dominates(other, vec));
+            self.objs.get_mut(&id).expect("object exists").state = if dominated {
+                State::Pruned
+            } else {
+                State::Skyline
+            };
+            if !dominated {
+                self.skyline.push((id, vec.clone()));
+                reporter.report(SkylinePoint {
+                    object: id,
+                    vector: vec.clone(),
+                });
+            }
+        }
+        if self.phase1 {
+            self.frozen_candidates = self.objs.len();
+        }
+
+        // Contract (refinement completeness, §4.1): every object CE
+        // touched ends classified, and the emitted skyline is an antichain
+        // — no member dominates another. A gap here means the strict-radius
+        // gate released something too early or the group certificate fired
+        // prematurely.
+        #[cfg(feature = "invariant-checks")]
+        {
+            for (id, o) in &self.objs {
+                assert!(
+                    matches!(o.state, State::Skyline | State::Pruned),
+                    "CE refinement incomplete: object {id:?} never classified"
+                );
+            }
+            for (i, (ida, va)) in self.skyline.iter().enumerate() {
+                for (idb, vb) in self.skyline.iter().skip(i + 1) {
+                    assert!(
+                        !dominates(va, vb) && !dominates(vb, va),
+                        "CE skyline not an antichain: {ida:?} vs {idb:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The frozen candidate-set size `|C|` (valid after
+    /// [`CeState::finish`]).
+    pub(crate) fn candidates(&self) -> usize {
+        self.frozen_candidates
+    }
+}
+
 pub(crate) fn run(input: &QueryInput<'_>, reporter: &mut Reporter) -> AlgoOutput {
     let n = input.arity();
-    // With static attributes a spatially-dominated object can still be a
-    // skyline member (e.g. far but cheap), so the phase-1 filter argument
-    // no longer discards refinement-phase arrivals; instead the loop runs
-    // until the *group certificate* holds: some skyline vector dominates
-    // the certified bounds of everything not yet emitted (emission bounds
-    // on the distance dimensions, the dataset-wide minima on the static
-    // ones).
-    let track_all = input.attrs.is_some();
     let mut ines: Vec<IncrementalExpansion<'_>> = input
         .queries
         .iter()
         .map(|q| IncrementalExpansion::new(&input.ctx, q.pos))
         .collect();
-    let mut exhausted = vec![false; n];
-    // Ordered map: prune_open and finalize iterate this, and the query
-    // path must behave identically run to run.
-    let mut objs: BTreeMap<ObjectId, Obj> = BTreeMap::new();
-    let mut skyline: Vec<(ObjectId, Vec<f64>)> = Vec::new();
-    // Per query point: completed objects waiting for its radius to pass,
-    // keyed by their distance in that dimension.
-    let mut waiting: Vec<BinaryHeap<Reverse<(OrdF64, ObjectId)>>> =
-        (0..n).map(|_| BinaryHeap::new()).collect();
-    let mut ready: Vec<ObjectId> = Vec::new();
-
-    let mut phase1 = true;
-    let mut frozen_candidates = 0usize;
-    // C members not yet classified (gates termination after phase 1).
-    let mut open = 0usize;
+    let mut st = CeState::new(input);
+    // Live certified emission bounds; only `bounds[qi]` can change when
+    // wavefront `qi` advances, so refreshing that single entry after each
+    // `next_nearest` keeps the vector exactly equal to querying every
+    // engine afresh.
+    let mut bounds: Vec<f64> = ines.iter().map(|i| i.emission_bound()).collect();
     let mut turn = 0usize;
 
     loop {
-        if !phase1 && open == 0 {
-            if !track_all {
-                break;
-            }
-            // Group certificate for the unemitted remainder.
-            let mut cert: Vec<f64> = ines
-                .iter()
-                .zip(&exhausted)
-                .map(|(i, &e)| if e { f64::INFINITY } else { i.emission_bound() })
-                .collect();
-            input.extend_with_attr_lower(&mut cert);
-            if skyline.iter().any(|(_, s)| dominates(s, &cert)) {
-                break;
-            }
-        }
-        if exhausted.iter().all(|&e| e) {
+        if st.should_stop(input, &bounds) {
             break;
         }
-        while exhausted[turn] {
+        if st.all_exhausted() {
+            break;
+        }
+        while st.is_exhausted(turn) {
             turn = (turn + 1) % n;
         }
         let qi = turn;
         turn = (turn + 1) % n;
 
         match ines[qi].next_nearest() {
-            None => {
-                exhausted[qi] = true;
-                // Everything waiting on this dimension is released.
-                while let Some(Reverse((_, obj))) = waiting[qi].pop() {
-                    release(&mut objs, obj, &mut ready);
-                }
-            }
+            None => st.on_exhausted(qi),
             Some((id, d)) => {
-                let mut newcomer = false;
-                let entry = objs.entry(id).or_insert_with(|| {
-                    newcomer = true;
-                    let mut o = Obj::new(n);
-                    o.in_c = phase1;
-                    o
-                });
-                // Refinement-phase newcomers are not candidates (§4.1) and
-                // do not gate termination — except under the static
-                // attribute extension, where a spatially-dominated object
-                // can still be a skyline member and must be classified.
-                if newcomer && !phase1 && track_all {
-                    open += 1;
-                }
-                if entry.dists[qi].is_nan() && entry.state == State::Open {
-                    entry.dists[qi] = d;
-                    entry.visited += 1;
-                }
-
-                if entry.visited == n && entry.state == State::Open {
-                    // Vector complete: enter the classification pipeline.
-                    entry.state = State::Waiting;
-                    let bounds: Vec<f64> = ines.iter().map(|i| i.emission_bound()).collect();
-                    let mut blocked = 0;
-                    for (j, (&dj, heap)) in entry.dists.iter().zip(waiting.iter_mut()).enumerate() {
-                        let passed = exhausted[j] || bounds[j] > dj;
-                        if !passed {
-                            heap.push(Reverse((OrdF64::new(dj), id)));
-                            blocked += 1;
-                        }
-                    }
-                    entry.blocked = blocked;
-                    if blocked == 0 {
-                        ready.push(id);
-                    }
-                    if phase1 {
-                        // Phase 1 ends at the first completed vector.
-                        phase1 = false;
-                        frozen_candidates = objs.len();
-                        open = objs
-                            .values()
-                            .filter(|o| o.in_c && matches!(o.state, State::Open | State::Waiting))
-                            .count();
-                    }
-                }
-
-                // Advance this dimension's gate: the certified emission
-                // bound has grown.
-                let r = ines[qi].emission_bound();
-                while let Some(&Reverse((d, obj))) = waiting[qi].peek() {
-                    if r > d.get() {
-                        waiting[qi].pop();
-                        release(&mut objs, obj, &mut ready);
-                    } else {
-                        break;
-                    }
-                }
+                bounds[qi] = ines[qi].emission_bound();
+                st.on_emission(qi, id, d, &bounds);
+                // The certified emission bound has grown: advance this
+                // dimension's gate.
+                st.advance_gates(qi, &bounds);
             }
         }
 
-        classify_ready(
-            input,
-            &mut ready,
-            &mut objs,
-            &mut skyline,
-            &ines,
-            reporter,
-            &mut open,
-            phase1,
-        );
+        st.classify_ready(input, reporter, &bounds);
     }
 
     // Wavefronts exhausted with C members incomplete: their missing
     // dimensions are unreachable (infinite). Finalise exactly.
-    classify_ready(
-        input,
-        &mut ready,
-        &mut objs,
-        &mut skyline,
-        &ines,
-        reporter,
-        &mut open,
-        phase1,
-    );
-    finalize_after_exhaustion(input, &mut objs, &mut skyline, reporter);
-    if phase1 {
-        frozen_candidates = objs.len();
-    }
-
-    // Contract (refinement completeness, §4.1): every object CE touched
-    // ends classified, and the emitted skyline is an antichain — no member
-    // dominates another. A gap here means the strict-radius gate released
-    // something too early or the group certificate fired prematurely.
-    #[cfg(feature = "invariant-checks")]
-    {
-        for (id, o) in &objs {
-            assert!(
-                matches!(o.state, State::Skyline | State::Pruned),
-                "CE refinement incomplete: object {id:?} never classified"
-            );
-        }
-        for (i, (ida, va)) in skyline.iter().enumerate() {
-            for (idb, vb) in skyline.iter().skip(i + 1) {
-                assert!(
-                    !dominates(va, vb) && !dominates(vb, va),
-                    "CE skyline not an antichain: {ida:?} vs {idb:?}"
-                );
-            }
-        }
-    }
+    st.classify_ready(input, reporter, &bounds);
+    st.finish(input, reporter);
 
     AlgoOutput {
-        candidates: frozen_candidates,
+        candidates: st.candidates(),
         nodes_expanded: ines.iter().map(|i| i.wavefront().settled_count()).sum(),
     }
 }
@@ -271,137 +456,6 @@ fn release(objs: &mut BTreeMap<ObjectId, Obj>, obj: ObjectId, ready: &mut Vec<Ob
             if o.blocked == 0 {
                 ready.push(obj);
             }
-        }
-    }
-}
-
-/// Classifies every ready object: within a batch, ascending distance-sum
-/// order guarantees dominators classify before what they dominate.
-#[allow(clippy::too_many_arguments)]
-fn classify_ready(
-    input: &QueryInput<'_>,
-    ready: &mut Vec<ObjectId>,
-    objs: &mut BTreeMap<ObjectId, Obj>,
-    skyline: &mut Vec<(ObjectId, Vec<f64>)>,
-    ines: &[IncrementalExpansion<'_>],
-    reporter: &mut Reporter,
-    open: &mut usize,
-    phase1: bool,
-) {
-    if ready.is_empty() {
-        return;
-    }
-    // Ascending sum over the *full* vector (distances plus static
-    // attributes): a dominator's sum is strictly smaller, so it always
-    // classifies before anything it dominates.
-    let full_sum = |objs: &BTreeMap<ObjectId, Obj>, id: &ObjectId| -> f64 {
-        let mut s = objs[id].sum();
-        if let Some(a) = input.attrs {
-            s += a.row(*id).iter().sum::<f64>();
-        }
-        s
-    };
-    ready.sort_by(|a, b| {
-        let sa = full_sum(objs, a);
-        let sb = full_sum(objs, b);
-        rn_geom::cmp_f64(sa, sb).then(a.cmp(b))
-    });
-    for id in ready.drain(..) {
-        let o = objs.get_mut(&id).expect("ready object exists");
-        if o.state != State::Waiting {
-            continue; // pruned while waiting
-        }
-        let counted = o.in_c || input.attrs.is_some();
-        let mut vec = o.dists.clone();
-        input.extend_with_attrs(id, &mut vec);
-        if skyline.iter().any(|(_, s)| dominates(s, &vec)) {
-            o.state = State::Pruned;
-            if counted && !phase1 {
-                *open -= 1;
-            }
-        } else {
-            o.state = State::Skyline;
-            if counted && !phase1 {
-                *open -= 1;
-            }
-            skyline.push((id, vec.clone()));
-            reporter.report(SkylinePoint {
-                object: id,
-                vector: vec.clone(),
-            });
-            prune_open(input, objs, ines, &vec, open, phase1);
-        }
-    }
-}
-
-/// Certified-bound pruning: any unclassified object whose lower-bound
-/// vector is dominated by the new skyline vector can never recover.
-fn prune_open(
-    input: &QueryInput<'_>,
-    objs: &mut BTreeMap<ObjectId, Obj>,
-    ines: &[IncrementalExpansion<'_>],
-    v: &[f64],
-    open: &mut usize,
-    phase1: bool,
-) {
-    let bounds: Vec<f64> = ines.iter().map(|i| i.emission_bound()).collect();
-    for (&id, o) in objs.iter_mut() {
-        if matches!(o.state, State::Open | State::Waiting) {
-            let mut cert = o.certified(&bounds);
-            if let Some(a) = input.attrs {
-                cert.extend_from_slice(a.row(id));
-            }
-            if dominates(v, &cert) {
-                let counted = o.in_c || input.attrs.is_some();
-                o.state = State::Pruned;
-                if counted && !phase1 {
-                    *open -= 1;
-                }
-            }
-        }
-    }
-}
-
-/// Exact classification of whatever never completed (unreachable
-/// dimensions become infinite distances).
-fn finalize_after_exhaustion(
-    input: &QueryInput<'_>,
-    objs: &mut BTreeMap<ObjectId, Obj>,
-    skyline: &mut Vec<(ObjectId, Vec<f64>)>,
-    reporter: &mut Reporter,
-) {
-    let mut remaining: Vec<(ObjectId, Vec<f64>)> = objs
-        .iter()
-        .filter(|(_, o)| matches!(o.state, State::Open | State::Waiting))
-        .map(|(&id, o)| {
-            let mut vec: Vec<f64> = o
-                .dists
-                .iter()
-                .map(|&d| if d.is_nan() { f64::INFINITY } else { d })
-                .collect();
-            input.extend_with_attrs(id, &mut vec);
-            (id, vec)
-        })
-        .collect();
-    remaining.sort_by_key(|(id, _)| *id);
-    for i in 0..remaining.len() {
-        let (id, ref vec) = remaining[i];
-        let dominated = skyline.iter().any(|(_, s)| dominates(s, vec))
-            || remaining
-                .iter()
-                .enumerate()
-                .any(|(j, (_, other))| j != i && dominates(other, vec));
-        objs.get_mut(&id).expect("object exists").state = if dominated {
-            State::Pruned
-        } else {
-            State::Skyline
-        };
-        if !dominated {
-            skyline.push((id, vec.clone()));
-            reporter.report(SkylinePoint {
-                object: id,
-                vector: vec.clone(),
-            });
         }
     }
 }

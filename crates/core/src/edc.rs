@@ -41,24 +41,86 @@ use rn_skyline::EuclideanSkylineIter;
 use rn_sp::AStar;
 use std::collections::{BTreeMap, BTreeSet};
 
+/// How EDC obtains network distance vectors — the only part of the
+/// algorithm that touches the shortest-path substrate, and therefore the
+/// parallelisation seam.
+///
+/// The sequential backend ([`SeqBackend`]) walks one A\* engine per query
+/// point over the objects in order; the parallel backend
+/// ([`crate::par`]) fans the *dimensions* out across workers, each of
+/// which owns its engines and a private store session. Both must satisfy
+/// the same contract: vectors are returned **in `objs` order**, with
+/// static attributes already appended, and each engine processes the
+/// overall target sequence in the same order as the sequential run (so
+/// per-engine expansion counts — and hence page-fault counts per session —
+/// do not depend on the backend's worker count).
+pub(crate) trait VectorBackend {
+    /// Network distance vectors (plus static attributes) for each object,
+    /// in `objs` order.
+    fn vectors(&mut self, input: &QueryInput<'_>, objs: &[ObjectId]) -> Vec<Vec<f64>>;
+    /// Total nodes expanded across all engines so far.
+    fn expansions(&mut self) -> u64;
+}
+
+/// The in-thread backend: one A\* engine per query point, settled tables
+/// reused across targets (step 2/4 sharing).
+pub(crate) struct SeqBackend<'a> {
+    engines: Vec<AStar<'a>>,
+}
+
+impl<'a> SeqBackend<'a> {
+    pub(crate) fn new(input: &'a QueryInput<'a>) -> Self {
+        SeqBackend {
+            engines: input
+                .queries
+                .iter()
+                .map(|q| AStar::new(&input.ctx, q.pos))
+                .collect(),
+        }
+    }
+}
+
+impl VectorBackend for SeqBackend<'_> {
+    fn vectors(&mut self, input: &QueryInput<'_>, objs: &[ObjectId]) -> Vec<Vec<f64>> {
+        objs.iter()
+            .map(|&obj| {
+                let pos = input.ctx.mid.position(obj);
+                let mut vec: Vec<f64> = self
+                    .engines
+                    .iter_mut()
+                    .map(|e| e.distance_to(pos))
+                    .collect();
+                input.extend_with_attrs(obj, &mut vec);
+                vec
+            })
+            .collect()
+    }
+
+    fn expansions(&mut self) -> u64 {
+        self.engines.iter().map(AStar::expansions).sum()
+    }
+}
+
 pub(crate) fn run(input: &QueryInput<'_>, reporter: &mut Reporter) -> AlgoOutput {
-    run_mode(input, reporter, false)
+    let mut backend = SeqBackend::new(input);
+    run_mode_with(input, reporter, false, &mut backend)
 }
 
 /// The batch form of §4.2: steps 1-4 run to completion and step 5 reports
 /// everything at the end ("EDC ... is essentially a batch skyline query
 /// algorithm - no network skyline points can be reported until step 5").
 pub(crate) fn run_batch(input: &QueryInput<'_>, reporter: &mut Reporter) -> AlgoOutput {
-    run_mode(input, reporter, true)
+    let mut backend = SeqBackend::new(input);
+    run_mode_with(input, reporter, true, &mut backend)
 }
 
-fn run_mode(input: &QueryInput<'_>, reporter: &mut Reporter, batch: bool) -> AlgoOutput {
+pub(crate) fn run_mode_with<B: VectorBackend>(
+    input: &QueryInput<'_>,
+    reporter: &mut Reporter,
+    batch: bool,
+    backend: &mut B,
+) -> AlgoOutput {
     let qpts: Vec<Point> = input.queries.iter().map(|q| q.point).collect();
-    let mut engines: Vec<AStar<'_>> = input
-        .queries
-        .iter()
-        .map(|q| AStar::new(&input.ctx, q.pos))
-        .collect();
 
     // Network vectors of every candidate we have paid to compute. Ordered
     // maps keep the ready/rest iteration deterministic across runs.
@@ -84,17 +146,19 @@ fn run_mode(input: &QueryInput<'_>, reporter: &mut Reporter, batch: bool) -> Alg
             continue;
         }
         // Step 2: shift the Euclidean skyline point into network space.
-        let shifted = net_vector(&mut engines, input, obj);
+        let shifted = backend
+            .vectors(input, &[obj])
+            .pop()
+            .expect("one vector per object");
         computed.insert(obj, shifted.clone());
         undetermined.insert(obj);
 
         // Step 3: everything inside the hypercube (o, shifted) could
         // dominate it; fetch and compute the newcomers.
         let in_cube = fetch_hypercube(input, &qpts, &shifted, &computed);
-        for cand in in_cube {
-            let v = net_vector(&mut engines, input, cand);
-            computed.insert(cand, v);
-            undetermined.insert(cand);
+        for (cand, v) in in_cube.iter().zip(backend.vectors(input, &in_cube)) {
+            computed.insert(*cand, v);
+            undetermined.insert(*cand);
         }
 
         if batch {
@@ -145,10 +209,9 @@ fn run_mode(input: &QueryInput<'_>, reporter: &mut Reporter, batch: bool) -> Alg
         if fresh.is_empty() {
             break;
         }
-        for cand in fresh {
-            let v = net_vector(&mut engines, input, cand);
-            computed.insert(cand, v);
-            undetermined.insert(cand);
+        for (cand, v) in fresh.iter().zip(backend.vectors(input, &fresh)) {
+            computed.insert(*cand, v);
+            undetermined.insert(*cand);
         }
     }
 
@@ -171,17 +234,8 @@ fn run_mode(input: &QueryInput<'_>, reporter: &mut Reporter, batch: bool) -> Alg
 
     AlgoOutput {
         candidates: computed.len(),
-        nodes_expanded: engines.iter().map(AStar::expansions).sum(),
+        nodes_expanded: backend.expansions(),
     }
-}
-
-/// Computes the network distance vector of `obj` using the per-query A\*
-/// engines (reusing their settled state).
-fn net_vector(engines: &mut [AStar<'_>], input: &QueryInput<'_>, obj: ObjectId) -> Vec<f64> {
-    let pos = input.ctx.mid.position(obj);
-    let mut vec: Vec<f64> = engines.iter_mut().map(|e| e.distance_to(pos)).collect();
-    input.extend_with_attrs(obj, &mut vec);
-    vec
 }
 
 /// Objects (not yet computed) whose Euclidean vector is component-wise
@@ -227,9 +281,15 @@ fn fetch_undominated(
     computed: &BTreeMap<ObjectId, Vec<f64>>,
 ) -> Vec<ObjectId> {
     let mut out = Vec::new();
+    // Scratch vectors reused across every node/entry visited: the closure
+    // fetch runs once per confirmed-skyline fixpoint round, and a fresh
+    // allocation per MBR showed up in heap profiles of large presets.
+    let mut lower: Vec<f64> = Vec::new();
+    let mut vec: Vec<f64> = Vec::new();
     input.obj_tree.traverse(
         |mbr| {
-            let mut lower: Vec<f64> = qpts.iter().map(|q| mbr.min_dist(q)).collect();
+            lower.clear();
+            lower.extend(qpts.iter().map(|q| mbr.min_dist(q)));
             input.extend_with_attr_lower(&mut lower);
             !sky.iter().any(|s| dominates(s, &lower))
         },
@@ -237,7 +297,8 @@ fn fetch_undominated(
             if computed.contains_key(obj) {
                 return;
             }
-            let mut vec: Vec<f64> = qpts.iter().map(|q| mbr.min_dist(q)).collect();
+            vec.clear();
+            vec.extend(qpts.iter().map(|q| mbr.min_dist(q)));
             input.extend_with_attrs(*obj, &mut vec);
             if !sky.iter().any(|s| dominates(s, &vec)) {
                 out.push(*obj);

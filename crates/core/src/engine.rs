@@ -265,14 +265,7 @@ impl SkylineEngine {
 
         let started = Instant::now();
         let mut reporter = Reporter::with_io(self.store.stats().clone());
-        let out = match algo {
-            Algorithm::Ce => crate::ce::run(&input, &mut reporter),
-            Algorithm::Edc => crate::edc::run(&input, &mut reporter),
-            Algorithm::EdcBatch => crate::edc::run_batch(&input, &mut reporter),
-            Algorithm::Lbc => crate::lbc::run(&input, &mut reporter, true),
-            Algorithm::LbcNoPlb => crate::lbc::run(&input, &mut reporter, false),
-            Algorithm::Brute => crate::brute::run(&input, &mut reporter),
-        };
+        let out = dispatch(algo, &input, &mut reporter);
         let total_time = started.elapsed();
         let io = self.store.stats().snapshot().since(&io_before);
 
@@ -299,6 +292,137 @@ impl SkylineEngine {
     pub fn run_cold(&self, algo: Algorithm, queries: &[NetPosition]) -> SkylineResult {
         self.clear_buffer();
         self.run(algo, queries)
+    }
+
+    /// Runs `algo` sequentially against a caller-supplied store — normally
+    /// a private session from [`rn_storage::NetworkStore::session`], which
+    /// is how [`crate::BatchEngine`] executes many queries concurrently
+    /// without sharing a buffer pool.
+    ///
+    /// The shared index counters (object R-tree, middle layer) cannot be
+    /// attributed to one query while others run, so `stats.index_reads`
+    /// is reported as zero here; batch callers read the aggregate from
+    /// [`crate::BatchOutcome::index_reads`].
+    ///
+    /// # Panics
+    /// Panics when `queries` is empty.
+    pub fn run_with_store(
+        &self,
+        store: &NetworkStore,
+        algo: Algorithm,
+        queries: &[NetPosition],
+        attrs: Option<&crate::attrs::AttrTable>,
+    ) -> SkylineResult {
+        assert!(!queries.is_empty(), "need at least one query point");
+        let input = QueryInput {
+            ctx: NetCtx::new(&self.net, store, &self.mid),
+            obj_tree: &self.obj_tree,
+            queries: queries
+                .iter()
+                .map(|pos| QueryPoint::on_network(&self.net, *pos))
+                .collect(),
+            attrs,
+        };
+        let io_before = store.stats().snapshot();
+        let started = Instant::now();
+        let mut reporter = Reporter::with_io(store.stats().clone());
+        let out = dispatch(algo, &input, &mut reporter);
+        let total_time = started.elapsed();
+        let io = store.stats().snapshot().since(&io_before);
+        let initial_time = reporter.time_to_first();
+        let initial_pages = reporter.pages_to_first();
+        let skyline = reporter.into_points();
+        SkylineResult {
+            skyline,
+            stats: QueryStats {
+                candidates: out.candidates,
+                network_pages: io.faults,
+                network_logical: io.logical,
+                total_time,
+                initial_time,
+                initial_pages,
+                nodes_expanded: out.nodes_expanded,
+                index_reads: 0,
+            },
+        }
+    }
+
+    /// Runs one query with **intra-query parallelism** across `workers`
+    /// threads: CE's wavefronts advance concurrently in lockstep rounds,
+    /// EDC fans each network-vector computation across its dimensions, and
+    /// LBC fans the full-resolution confirmations (see DESIGN.md §9).
+    ///
+    /// Every worker reads network pages through a private cold session of
+    /// the engine's buffer capacity (the engine's own buffer is untouched,
+    /// like [`SkylineEngine::run_cold`]), and all fault counters feed one
+    /// query-wide [`rn_storage::IoStats`]. The skyline and the fault count
+    /// are identical at every worker count; they differ from the
+    /// sequential single-store run only in that each wavefront/dimension
+    /// pays its own cold faults.
+    ///
+    /// # Panics
+    /// Panics when `queries` is empty.
+    pub fn run_parallel(
+        &self,
+        algo: Algorithm,
+        queries: &[NetPosition],
+        workers: usize,
+    ) -> SkylineResult {
+        assert!(!queries.is_empty(), "need at least one query point");
+        let input = QueryInput {
+            ctx: NetCtx::new(&self.net, &self.store, &self.mid),
+            obj_tree: &self.obj_tree,
+            queries: queries
+                .iter()
+                .map(|pos| QueryPoint::on_network(&self.net, *pos))
+                .collect(),
+            attrs: None,
+        };
+        let io = rn_storage::IoStats::new();
+        self.obj_tree.reset_node_reads();
+        self.mid.reset_node_reads();
+        let started = Instant::now();
+        let mut reporter = Reporter::with_io(io.clone());
+        let out = match algo {
+            Algorithm::Ce => crate::par::run_ce(&input, &mut reporter, workers, &io),
+            Algorithm::Edc => crate::par::run_edc(&input, &mut reporter, false, workers, &io),
+            Algorithm::EdcBatch => crate::par::run_edc(&input, &mut reporter, true, workers, &io),
+            Algorithm::Lbc => crate::lbc::run_parallel(&input, &mut reporter, true, workers, &io),
+            Algorithm::LbcNoPlb => {
+                crate::lbc::run_parallel(&input, &mut reporter, false, workers, &io)
+            }
+            Algorithm::Brute => {
+                // No parallel decomposition for the oracle: run it
+                // sequentially against one private session so the stats
+                // semantics match the other algorithms.
+                let session = self.store.session_with_stats(io.clone());
+                let brute_input = QueryInput {
+                    ctx: NetCtx::new(&self.net, &session, &self.mid),
+                    obj_tree: input.obj_tree,
+                    queries: input.queries.clone(),
+                    attrs: None,
+                };
+                crate::brute::run(&brute_input, &mut reporter)
+            }
+        };
+        let total_time = started.elapsed();
+        let io_totals = io.snapshot();
+        let initial_time = reporter.time_to_first();
+        let initial_pages = reporter.pages_to_first();
+        let skyline = reporter.into_points();
+        SkylineResult {
+            skyline,
+            stats: QueryStats {
+                candidates: out.candidates,
+                network_pages: io_totals.faults,
+                network_logical: io_totals.logical,
+                total_time,
+                initial_time,
+                initial_pages,
+                nodes_expanded: out.nodes_expanded,
+                index_reads: self.obj_tree.node_reads() + self.mid.node_reads(),
+            },
+        }
     }
 
     /// Runs LBC with an explicit *source* query point selection (§4.3:
@@ -336,6 +460,18 @@ impl SkylineEngine {
             p.vector = v;
         }
         result
+    }
+}
+
+/// Routes one sequential query to its algorithm module.
+fn dispatch(algo: Algorithm, input: &QueryInput<'_>, reporter: &mut Reporter) -> AlgoOutput {
+    match algo {
+        Algorithm::Ce => crate::ce::run(input, reporter),
+        Algorithm::Edc => crate::edc::run(input, reporter),
+        Algorithm::EdcBatch => crate::edc::run_batch(input, reporter),
+        Algorithm::Lbc => crate::lbc::run(input, reporter, true),
+        Algorithm::LbcNoPlb => crate::lbc::run(input, reporter, false),
+        Algorithm::Brute => crate::brute::run(input, reporter),
     }
 }
 

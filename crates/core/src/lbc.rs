@@ -72,15 +72,59 @@ enum SessionEnd {
 }
 
 pub(crate) fn run(input: &QueryInput<'_>, reporter: &mut Reporter, use_plb: bool) -> AlgoOutput {
-    let qpts: Vec<Point> = input.queries.iter().map(|q| q.point).collect();
-    let n = qpts.len();
-    let source = input.queries[0];
-
-    let mut engines: Vec<AStar<'_>> = input
+    let engines: Vec<AStar<'_>> = input
         .queries
         .iter()
         .map(|q| AStar::new(&input.ctx, q.pos))
         .collect();
+    run_mode(input, reporter, use_plb, engines, None)
+}
+
+/// The parallel entry: per-dimension A\* engines own **private store
+/// sessions** (all sharing `io`, so the query's fault count is the sum of
+/// per-dimension faults — a quantity independent of worker count), and the
+/// full-resolution fan-out at each network NN runs the engines across
+/// `workers` threads via [`resolve_parallel`].
+pub(crate) fn run_parallel(
+    input: &QueryInput<'_>,
+    reporter: &mut Reporter,
+    use_plb: bool,
+    workers: usize,
+    io: &rn_storage::IoStats,
+) -> AlgoOutput {
+    let sessions: Vec<rn_storage::NetworkStore> = input
+        .queries
+        .iter()
+        .map(|_| input.ctx.store.session_with_stats(io.clone()))
+        .collect();
+    let ctxs: Vec<rn_sp::NetCtx<'_>> = sessions
+        .iter()
+        .map(|s| rn_sp::NetCtx::new(input.ctx.net, s, input.ctx.mid))
+        .collect();
+    let engines: Vec<AStar<'_>> = input
+        .queries
+        .iter()
+        .zip(&ctxs)
+        .map(|(q, c)| AStar::new(c, q.pos))
+        .collect();
+    run_mode(input, reporter, use_plb, engines, Some(workers))
+}
+
+/// The LBC loop over caller-supplied engines. `par: Some(w)` fans the
+/// full-resolution sessions (the expensive step) across `w` workers;
+/// everything else — the stream, the frontier, bounded sessions — is
+/// identical to the sequential path, so both modes visit candidates in the
+/// same order and report the same skyline.
+fn run_mode(
+    input: &QueryInput<'_>,
+    reporter: &mut Reporter,
+    use_plb: bool,
+    mut engines: Vec<AStar<'_>>,
+    par: Option<usize>,
+) -> AlgoOutput {
+    let qpts: Vec<Point> = input.queries.iter().map(|q| q.point).collect();
+    let n = qpts.len();
+    let source = input.queries[0];
 
     // Confirmed network skyline; mirrored into the RefCell the Euclidean
     // stream's pruning closure reads.
@@ -92,18 +136,26 @@ pub(crate) fn run(input: &QueryInput<'_>, reporter: &mut Reporter, use_plb: bool
     let stream_qpts = qpts.clone();
     let src_pt = source.point;
     let stream_attrs = input.attrs;
+    // Scratch vector reused across every scored MBR (one allocation per
+    // query instead of one per R-tree node visited).
+    let mut stream_vec: Vec<f64> = Vec::new();
     let mut stream = input.obj_tree.best_first(move |mbr, item| {
         // Key: Euclidean distance to the source (step 1.1's NN order).
         // Prune: Euclidean vector (extended with static attributes, when
         // present) dominated by a confirmed skyline vector.
-        let mut vec: Vec<f64> = stream_qpts.iter().map(|q| mbr.min_dist(q)).collect();
+        stream_vec.clear();
+        stream_vec.extend(stream_qpts.iter().map(|q| mbr.min_dist(q)));
         if let Some(a) = stream_attrs {
             match item {
-                Some(obj) => vec.extend_from_slice(a.row(*obj)),
-                None => vec.extend_from_slice(a.lower()),
+                Some(obj) => stream_vec.extend_from_slice(a.row(*obj)),
+                None => stream_vec.extend_from_slice(a.lower()),
             }
         }
-        if stream_pruning.borrow().iter().any(|s| dominates(s, &vec)) {
+        if stream_pruning
+            .borrow()
+            .iter()
+            .any(|s| dominates(s, &stream_vec))
+        {
             return None;
         }
         Some(mbr.min_dist(&src_pt))
@@ -115,6 +167,8 @@ pub(crate) fn run(input: &QueryInput<'_>, reporter: &mut Reporter, use_plb: bool
     let mut next_euclid: Option<(f64, ObjectId)> = None;
     let mut stream_done = false;
     let mut candidates = 0usize;
+    // Scratch for the pop-time dominance re-check, reused across pops.
+    let mut probe: Vec<f64> = Vec::new();
 
     macro_rules! requeue {
         ($slab:expr, $frontier:expr, $idx:expr) => {{
@@ -131,9 +185,10 @@ pub(crate) fn run(input: &QueryInput<'_>, reporter: &mut Reporter, use_plb: bool
                 loop {
                     match stream.next() {
                         Some((de, mbr, &obj)) => {
-                            let mut vec: Vec<f64> = qpts.iter().map(|q| mbr.min_dist(q)).collect();
-                            input.extend_with_attrs(obj, &mut vec);
-                            if pruning.borrow().iter().any(|s| dominates(s, &vec)) {
+                            probe.clear();
+                            probe.extend(qpts.iter().map(|q| mbr.min_dist(q)));
+                            input.extend_with_attrs(obj, &mut probe);
+                            if pruning.borrow().iter().any(|s| dominates(s, &probe)) {
                                 continue; // pop-time re-check
                             }
                             next_euclid = Some((de, obj));
@@ -244,14 +299,19 @@ pub(crate) fn run(input: &QueryInput<'_>, reporter: &mut Reporter, use_plb: bool
             // discarding early), then filter the batch pairwise.
             let mut confirmed: Vec<(usize, Vec<f64>)> = Vec::new();
             for i in batch {
-                let end = session(
-                    &mut slab[i],
-                    &mut engines,
-                    &skyline,
-                    f64::INFINITY,
-                    true,
-                    use_plb,
-                );
+                let end = match par {
+                    Some(w) if w > 1 => {
+                        resolve_parallel(&mut slab[i], &mut engines, &skyline, w, use_plb)
+                    }
+                    _ => session(
+                        &mut slab[i],
+                        &mut engines,
+                        &skyline,
+                        f64::INFINITY,
+                        true,
+                        use_plb,
+                    ),
+                };
                 match end {
                     SessionEnd::Discarded => slab[i].dead = true,
                     _ => {
@@ -399,6 +459,60 @@ fn session(
             cand.exact[j] = true;
         }
     }
+}
+
+/// The parallel form of a full-resolution session: every still-inexact
+/// network dimension is resolved by its own engine, fanned across
+/// `workers` threads ([`rn_par::par_map_mut`] — static shard, index-ordered
+/// merge, no locks).
+///
+/// Deviation from the sequential session, chosen for determinism: there is
+/// no *mid*-confirmation plb-discard — each engine runs its dimension to
+/// resolution, and dominance is checked once before the fan-out and once by
+/// the caller on the exact vector. This is conservative-consistent: a
+/// candidate the sequential session discards on partial bounds is also
+/// discarded here (the skyline vector that dominated the partial bounds
+/// dominates the element-wise-larger exact vector a fortiori), so the
+/// classification — and the reported skyline — is identical; only the
+/// expansion effort differs. The work done is a pure function of the
+/// candidate, so the result is byte-identical at every worker count.
+fn resolve_parallel(
+    cand: &mut Cand,
+    engines: &mut [AStar<'_>],
+    skyline: &[(ObjectId, Vec<f64>)],
+    workers: usize,
+    use_plb: bool,
+) -> SessionEnd {
+    if use_plb && skyline.iter().any(|(_, s)| dominates(s, &cand.lb)) {
+        return SessionEnd::Discarded;
+    }
+    let pos = cand.pos;
+    let exact = &cand.exact;
+    let results = rn_par::par_map_mut(engines, workers, |j, engine| {
+        if exact[j] {
+            None
+        } else {
+            if engine.target() != Some(pos) {
+                engine.set_target(pos);
+            }
+            Some(engine.run())
+        }
+    });
+    for (j, r) in results.into_iter().enumerate() {
+        if let Some(exact_d) = r {
+            // Same admissibility contract as the sequential session.
+            #[cfg(feature = "invariant-checks")]
+            assert!(
+                cand.lb[j] <= exact_d + rn_geom::EPSILON,
+                "LBC lower-bound admissibility violated: bound {} > d_N {exact_d} in dim {j}",
+                cand.lb[j]
+            );
+            cand.lb[j] = exact_d;
+            cand.exact[j] = true;
+        }
+    }
+    debug_assert!(cand.fully_exact());
+    SessionEnd::SourceExact
 }
 
 #[cfg(test)]

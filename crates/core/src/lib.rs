@@ -61,15 +61,18 @@
 #![warn(missing_docs)]
 
 pub mod attrs;
+pub mod batch;
 pub mod brute;
 pub mod ce;
 pub mod edc;
 pub mod engine;
 pub mod lbc;
 pub mod nnq;
+pub(crate) mod par;
 pub mod stats;
 
 pub use attrs::AttrTable;
+pub use batch::{BatchEngine, BatchOutcome};
 pub use engine::{Algorithm, QueryInput, SkylineEngine, SkylineResult, SourceStrategy};
 pub use nnq::Aggregate;
 pub use stats::{QueryStats, Reporter, SkylinePoint};

@@ -10,7 +10,7 @@
 //! The tree is generic over `K: Ord + Clone` and any `V`; the middle layer
 //! instantiates it as `BPlusTree<u32, Vec<ObjectOnEdge>>`.
 
-use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Maximum keys per node by default. With 4-byte keys and 8-byte child
 /// pointers/values this keeps nodes within a 4 KB page, mirroring the
@@ -25,8 +25,9 @@ pub struct BPlusTree<K, V> {
     order: usize,
     len: usize,
     /// Nodes visited by lookups since construction/reset (index-page
-    /// analogue of the storage layer's fault counter).
-    node_reads: Cell<u64>,
+    /// analogue of the storage layer's fault counter). Atomic (relaxed)
+    /// so concurrent readers can share the tree.
+    node_reads: AtomicU64,
     /// Recycled node slots.
     free: Vec<usize>,
 }
@@ -69,7 +70,7 @@ impl<K: Ord + Clone, V> BPlusTree<K, V> {
             root: 0,
             order,
             len: 0,
-            node_reads: Cell::new(0),
+            node_reads: AtomicU64::new(0),
             free: Vec::new(),
         }
     }
@@ -86,12 +87,12 @@ impl<K: Ord + Clone, V> BPlusTree<K, V> {
 
     /// Nodes visited by `get`/`range` since the last reset.
     pub fn node_reads(&self) -> u64 {
-        self.node_reads.get()
+        self.node_reads.load(Ordering::Relaxed)
     }
 
     /// Resets the node-visit counter.
     pub fn reset_node_reads(&self) {
-        self.node_reads.set(0);
+        self.node_reads.store(0, Ordering::Relaxed);
     }
 
     fn min_keys(&self) -> usize {
@@ -117,7 +118,7 @@ impl<K: Ord + Clone, V> BPlusTree<K, V> {
     fn find_leaf(&self, key: &K) -> usize {
         let mut n = self.root;
         loop {
-            self.node_reads.set(self.node_reads.get() + 1);
+            self.node_reads.fetch_add(1, Ordering::Relaxed);
             match &self.nodes[n] {
                 Node::Leaf { .. } => return n,
                 Node::Internal { keys, children } => {
@@ -464,7 +465,7 @@ impl<K: Ord + Clone, V> BPlusTree<K, V> {
         }
         let mut leaf = Some(self.find_leaf(lo));
         while let Some(n) = leaf {
-            self.node_reads.set(self.node_reads.get() + 1);
+            self.node_reads.fetch_add(1, Ordering::Relaxed);
             match &self.nodes[n] {
                 Node::Leaf { keys, values, next } => {
                     let start = keys.partition_point(|k| k < lo);

@@ -17,9 +17,9 @@
 //! of the paper's Euclidean skyline algorithm.
 
 use rn_geom::{Mbr, OrdF64, Point};
-use std::cell::Cell;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Maximum entries per node (both internal and leaf) by default.
 ///
@@ -41,7 +41,8 @@ pub struct RTree<T> {
     min_entries: usize,
     /// Number of tree nodes visited by queries since construction/reset;
     /// the index-page-access analogue of the storage layer's fault counter.
-    node_reads: Cell<u64>,
+    /// Atomic (relaxed) so concurrent readers can share the tree.
+    node_reads: AtomicU64,
 }
 
 struct Node<T> {
@@ -74,7 +75,7 @@ impl<T> RTree<T> {
             len: 0,
             max_entries,
             min_entries: (max_entries * 2) / 5,
-            node_reads: Cell::new(0),
+            node_reads: AtomicU64::new(0),
         }
     }
 
@@ -95,17 +96,17 @@ impl<T> RTree<T> {
 
     /// Tree nodes visited by queries so far.
     pub fn node_reads(&self) -> u64 {
-        self.node_reads.get()
+        self.node_reads.load(Ordering::Relaxed)
     }
 
     /// Resets the node-visit counter.
     pub fn reset_node_reads(&self) {
-        self.node_reads.set(0);
+        self.node_reads.store(0, Ordering::Relaxed);
     }
 
     #[inline]
     fn count_read(&self) {
-        self.node_reads.set(self.node_reads.get() + 1);
+        self.node_reads.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Bulk-loads a tree from items using Sort-Tile-Recursive packing.

@@ -78,6 +78,25 @@ impl<'a> AStar<'a> {
         a
     }
 
+    /// Restarts this engine at a new `source` with no target, reusing the
+    /// existing allocations (node maps, heap, scratch adjacency record).
+    ///
+    /// Equivalent to `*self = AStar::new(ctx, source)` but O(frontier): the
+    /// generation-stamped [`NodeMap`]s reset in O(1).
+    pub fn rebase(&mut self, source: NetPosition) {
+        self.source = source;
+        self.source_point = self.ctx.net.position_point(&source);
+        self.dist.clear();
+        self.open.clear();
+        self.heap.clear();
+        self.target = None;
+        self.expansions = 0;
+        let edge = self.ctx.net.edge(source.edge);
+        let (du, dv) = self.ctx.net.position_endpoint_dists(&source);
+        self.open.insert(edge.u, (du, self.ctx.net.point(edge.u)));
+        self.open.insert(edge.v, (dv, self.ctx.net.point(edge.v)));
+    }
+
     /// The source position.
     pub fn source(&self) -> NetPosition {
         self.source
@@ -115,7 +134,9 @@ impl<'a> AStar<'a> {
         if let Some(dv) = self.dist.get_copied(edge.v) {
             known = known.min(dv + tv);
         }
-        // Rebuild the frontier heap with the new heuristic.
+        // Rebuild the frontier heap with the new heuristic. NodeMap::iter
+        // walks only touched nodes, so a retarget costs O(|frontier|), not
+        // O(|V|).
         self.heap.clear();
         for (n, &(g, p)) in self.open.iter() {
             let key = g + p.distance(&point);

@@ -58,6 +58,24 @@ impl<'a> Dijkstra<'a> {
         d
     }
 
+    /// Restarts this engine at a new `source`, reusing the existing
+    /// allocations (node maps, heap, scratch adjacency record).
+    ///
+    /// Equivalent to `*self = Dijkstra::new(ctx, source)` but O(frontier)
+    /// instead of O(|V|): the generation-stamped [`NodeMap`]s reset in O(1).
+    pub fn rebase(&mut self, source: NetPosition) {
+        self.dist.clear();
+        self.open.clear();
+        self.heap.clear();
+        self.radius = 0.0;
+        self.source = source;
+        self.settled_count = 0;
+        let edge = self.ctx.net.edge(source.edge);
+        let (du, dv) = self.ctx.net.position_endpoint_dists(&source);
+        self.relax(edge.u, du);
+        self.relax(edge.v, dv);
+    }
+
     /// The source position this wavefront was started from.
     pub fn source(&self) -> NetPosition {
         self.source
@@ -93,6 +111,16 @@ impl<'a> Dijkstra<'a> {
         &self.rec
     }
 
+    /// Relaxes edge-endpoint `n` at tentative distance `d`.
+    ///
+    /// Stale-entry audit: the open-map "is this actually better?" check
+    /// happens HERE, *before* the heap push — not only at pop time. On
+    /// dense re-relaxation (grid-like networks re-relax every interior node
+    /// up to degree-many times) a push-always lazy heap would grow by one
+    /// stale entry per non-improving relaxation; gating on `open` bounds
+    /// heap size by the number of strict improvements. Pop-side skipping in
+    /// [`Dijkstra::settle_next`] then only has to drop entries obsoleted by
+    /// *later* improvements. `heap_stays_lean_on_dense_grid` pins this.
     fn relax(&mut self, n: NodeId, d: f64) {
         if self.dist.contains(n) {
             return;
@@ -349,6 +377,73 @@ mod tests {
         while dij.settle_next().is_some() {}
         let after = store.stats().snapshot();
         assert_eq!(after.since(&before).logical, 9, "one read per settled node");
+    }
+
+    /// Regression: pins the exact settled count on a known small network.
+    ///
+    /// On the 3x3 unit grid from a corner source, exhausting the wavefront
+    /// must settle every node exactly once — 9 settles, no re-settles from
+    /// stale heap entries. Guards the relax-time open-map check (see
+    /// [`Dijkstra::relax`]).
+    #[test]
+    fn settled_count_is_pinned_on_grid3() {
+        let g = grid3();
+        with_ctx(&g, |ctx| {
+            let e = edge_between(&g, NodeId(0), NodeId(1));
+            let mut dij = Dijkstra::new(ctx, NetPosition::new(e, 0.0));
+            let mut settles = 0u64;
+            while dij.settle_next().is_some() {
+                settles += 1;
+            }
+            assert_eq!(settles, 9, "each grid3 node settles exactly once");
+            assert_eq!(dij.settled_count(), 9);
+            assert!(dij.is_exhausted());
+        });
+    }
+
+    /// Regression: dense re-relaxation must not grow the lazy heap with
+    /// entries that were never improvements. On a grid, interior nodes are
+    /// relaxed once per incident edge; only strictly better tentative
+    /// distances may enter the heap.
+    #[test]
+    fn heap_stays_lean_on_dense_grid() {
+        let g = grid3();
+        with_ctx(&g, |ctx| {
+            let e = edge_between(&g, NodeId(0), NodeId(1));
+            let mut dij = Dijkstra::new(ctx, NetPosition::new(e, 0.0));
+            let mut max_heap = dij.heap.len();
+            while dij.settle_next().is_some() {
+                max_heap = max_heap.max(dij.heap.len());
+            }
+            // 9 nodes; without the relax-time check the unit grid's many
+            // distance ties would push a stale duplicate per tie.
+            assert!(
+                max_heap <= g.node_count(),
+                "lazy heap grew to {max_heap} entries on a 9-node grid"
+            );
+        });
+    }
+
+    #[test]
+    fn rebase_matches_fresh_engine() {
+        let g = grid3();
+        with_ctx(&g, |ctx| {
+            let e01 = edge_between(&g, NodeId(0), NodeId(1));
+            let e78 = edge_between(&g, NodeId(7), NodeId(8));
+            let mut reused = Dijkstra::new(ctx, NetPosition::new(e01, 0.0));
+            while reused.settle_next().is_some() {}
+            reused.rebase(NetPosition::new(e78, 0.5));
+            let mut fresh = Dijkstra::new(ctx, NetPosition::new(e78, 0.5));
+            loop {
+                let a = reused.settle_next();
+                let b = fresh.settle_next();
+                assert_eq!(a, b, "rebased engine diverged from fresh engine");
+                if a.is_none() {
+                    break;
+                }
+            }
+            assert_eq!(reused.settled_count(), fresh.settled_count());
+        });
     }
 
     #[test]

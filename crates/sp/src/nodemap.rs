@@ -4,23 +4,41 @@
 //! [`crate::PathFinder`]) keep per-node state — settled distances, frontier
 //! labels, parent pointers — that was originally held in `HashMap<NodeId, _>`.
 //! Node ids are dense (`0..node_count`, a [`rn_graph::NetworkBuilder`]
-//! invariant), so a flat `Vec<Option<T>>` indexed by [`NodeId::idx`] does
-//! the same job with O(1) worst-case access, no hashing, and — important
-//! for the query path — fully deterministic behaviour: a `HashMap`'s
-//! iteration order varies per process and can silently reorder
-//! equal-distance work.
+//! invariant), so a flat vector indexed by [`NodeId::idx`] does the same job
+//! with O(1) worst-case access, no hashing, and — important for the query
+//! path — fully deterministic behaviour: a `HashMap`'s iteration order
+//! varies per process and can silently reorder equal-distance work.
+//!
+//! Entries are *generation-stamped*: each slot records the map generation it
+//! was last written in, and [`NodeMap::clear`] simply bumps the generation.
+//! Resetting a map between queries is therefore O(1) instead of the old
+//! O(|V|) zero-fill, which is what makes the engines' `rebase` methods (and
+//! the parallel batch engine's engine reuse) cheap. A side list of
+//! first-touch keys makes [`NodeMap::iter`] proportional to the number of
+//! touched nodes, not |V|.
 
 use rn_graph::NodeId;
 
-/// A map from [`NodeId`] to `T` backed by a dense vector.
+/// A map from [`NodeId`] to `T` backed by a dense, generation-stamped
+/// vector.
 ///
 /// Semantically equivalent to `HashMap<NodeId, T>` for dense node-id
 /// universes of known size. Out-of-range lookups return `None`; inserting
 /// out of range grows the map (positions are sometimes probed before the
 /// network's node count is known to the caller).
+///
+/// [`NodeMap::iter`] yields entries in **first-insertion order** within the
+/// current generation — deterministic, but not sorted by node id.
 #[derive(Clone, Debug)]
 pub struct NodeMap<T> {
-    slots: Vec<Option<T>>,
+    /// Per node: the generation that last wrote the slot, and its value.
+    /// A slot is live iff its stamp equals `gen` and the value is `Some`.
+    slots: Vec<(u32, Option<T>)>,
+    /// Nodes first touched in the current generation, in touch order.
+    /// May contain nodes whose entry was later removed.
+    keys: Vec<u32>,
+    /// Current generation; starts at 1 so fresh slots (stamp 0) are dead.
+    gen: u32,
     len: usize,
 }
 
@@ -28,8 +46,13 @@ impl<T> NodeMap<T> {
     /// An empty map pre-sized for `node_count` nodes.
     pub fn new(node_count: usize) -> Self {
         let mut slots = Vec::new();
-        slots.resize_with(node_count, || None);
-        NodeMap { slots, len: 0 }
+        slots.resize_with(node_count, || (0, None));
+        NodeMap {
+            slots,
+            keys: Vec::new(),
+            gen: 1,
+            len: 0,
+        }
     }
 
     /// Number of nodes with an entry.
@@ -42,10 +65,28 @@ impl<T> NodeMap<T> {
         self.len == 0
     }
 
+    /// Empties the map in O(1) by advancing the generation; allocations are
+    /// kept for reuse.
+    pub fn clear(&mut self) {
+        if self.gen == u32::MAX {
+            // Stamp wrap: one full refill per ~4 billion clears.
+            for s in &mut self.slots {
+                *s = (0, None);
+            }
+            self.gen = 0;
+        }
+        self.gen += 1;
+        self.keys.clear();
+        self.len = 0;
+    }
+
     /// The entry for `n`, if present.
     #[inline]
     pub fn get(&self, n: NodeId) -> Option<&T> {
-        self.slots.get(n.idx()).and_then(|s| s.as_ref())
+        match self.slots.get(n.idx()) {
+            Some((stamp, v)) if *stamp == self.gen => v.as_ref(),
+            _ => None,
+        }
     }
 
     /// `true` when `n` has an entry.
@@ -59,10 +100,20 @@ impl<T> NodeMap<T> {
     pub fn insert(&mut self, n: NodeId, v: T) -> Option<T> {
         let i = n.idx();
         if i >= self.slots.len() {
-            self.slots.resize_with(i + 1, || None);
+            self.slots.resize_with(i + 1, || (0, None));
         }
-        let old = self.slots[i].replace(v);
+        let slot = &mut self.slots[i];
+        if slot.0 != self.gen {
+            // First touch this generation.
+            slot.0 = self.gen;
+            slot.1 = Some(v);
+            self.keys.push(n.0);
+            self.len += 1;
+            return None;
+        }
+        let old = slot.1.replace(v);
         if old.is_none() {
+            // Re-inserted after a removal; the key list already has `n`.
             self.len += 1;
         }
         old
@@ -71,20 +122,25 @@ impl<T> NodeMap<T> {
     /// Removes and returns the entry for `n`.
     #[inline]
     pub fn remove(&mut self, n: NodeId) -> Option<T> {
-        let old = self.slots.get_mut(n.idx()).and_then(|s| s.take());
+        let old = match self.slots.get_mut(n.idx()) {
+            Some((stamp, v)) if *stamp == self.gen => v.take(),
+            _ => None,
+        };
         if old.is_some() {
             self.len -= 1;
         }
         old
     }
 
-    /// Iterates `(node, &value)` in ascending node-id order — deterministic,
-    /// unlike a hash map.
+    /// Iterates `(node, &value)` in first-insertion order — deterministic
+    /// (unlike a hash map) and proportional to the touched-node count
+    /// (unlike a dense scan).
     pub fn iter(&self) -> impl Iterator<Item = (NodeId, &T)> {
-        self.slots
-            .iter()
-            .enumerate()
-            .filter_map(|(i, s)| s.as_ref().map(|v| (NodeId(i as u32), v)))
+        self.keys.iter().filter_map(move |&i| {
+            let (stamp, v) = &self.slots[i as usize];
+            debug_assert_eq!(*stamp, self.gen, "key list entry from a past gen");
+            v.as_ref().map(|v| (NodeId(i), v))
+        })
     }
 }
 
@@ -124,12 +180,53 @@ mod tests {
     }
 
     #[test]
-    fn iterates_in_node_order() {
+    fn iterates_in_insertion_order() {
         let mut m: NodeMap<u32> = NodeMap::new(8);
         m.insert(NodeId(5), 50);
         m.insert(NodeId(1), 10);
         m.insert(NodeId(3), 30);
         let got: Vec<(NodeId, u32)> = m.iter().map(|(n, &v)| (n, v)).collect();
-        assert_eq!(got, vec![(NodeId(1), 10), (NodeId(3), 30), (NodeId(5), 50)]);
+        assert_eq!(got, vec![(NodeId(5), 50), (NodeId(1), 10), (NodeId(3), 30)]);
+    }
+
+    #[test]
+    fn clear_is_logical_and_reuses_slots() {
+        let mut m: NodeMap<u32> = NodeMap::new(4);
+        m.insert(NodeId(0), 1);
+        m.insert(NodeId(3), 2);
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.get(NodeId(0)), None);
+        assert_eq!(m.iter().count(), 0);
+        // Stale stamps must not leak into the new generation.
+        assert_eq!(m.insert(NodeId(3), 9), None);
+        assert_eq!(m.get_copied(NodeId(3)), Some(9));
+        assert_eq!(m.len(), 1);
+        let got: Vec<NodeId> = m.iter().map(|(n, _)| n).collect();
+        assert_eq!(got, vec![NodeId(3)]);
+    }
+
+    #[test]
+    fn removal_then_reinsert_keeps_iteration_deduplicated() {
+        let mut m: NodeMap<u32> = NodeMap::new(4);
+        m.insert(NodeId(2), 1);
+        m.remove(NodeId(2));
+        assert_eq!(m.iter().count(), 0);
+        m.insert(NodeId(2), 5);
+        let got: Vec<(NodeId, u32)> = m.iter().map(|(n, &v)| (n, v)).collect();
+        assert_eq!(got, vec![(NodeId(2), 5)]);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn many_clears_stay_consistent() {
+        let mut m: NodeMap<u32> = NodeMap::new(8);
+        for round in 0..1000u32 {
+            m.insert(NodeId(round % 8), round);
+            assert_eq!(m.len(), 1);
+            assert_eq!(m.get_copied(NodeId(round % 8)), Some(round));
+            m.clear();
+            assert!(m.is_empty());
+        }
     }
 }

@@ -27,9 +27,11 @@ struct Frame {
 ///
 /// All operations are O(1): a `HashMap` locates the frame of a cached page
 /// and an intrusive doubly-linked list over the frame arena maintains
-/// recency order. The pool is deliberately single-threaded (queries in this
-/// workspace are single-threaded, as in the paper); wrap it in a lock if
-/// shared.
+/// recency order. The pool itself is deliberately lock-free and
+/// single-owner; [`crate::NetworkStore`] wraps it in a mutex for shared
+/// use, and parallel workers get *private* pools via
+/// [`crate::NetworkStore::session`] so their fault counts stay
+/// deterministic regardless of thread scheduling.
 pub struct BufferPool {
     frames: Vec<Frame>,
     map: HashMap<PageId, usize>,

@@ -23,6 +23,7 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 use parking_lot::Mutex;
 use rn_geom::Point;
 use rn_graph::{hilbert, EdgeId, NodeId, RoadNetwork};
+use std::sync::Arc;
 
 /// One adjacency entry: an incident edge and the node on its far side.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -68,13 +69,20 @@ const ENTRY_BYTES: usize = 32;
 ///
 /// The store is immutable after construction; the interior `Mutex` guards
 /// only the buffer pool's recency state, so `&NetworkStore` can be shared
-/// freely by the query algorithms.
+/// freely by the query algorithms — including across threads. For parallel
+/// execution with *deterministic* fault counts, derive per-worker
+/// [`NetworkStore::session`]s instead of sharing one pool: a session shares
+/// the immutable disk image and node directory (cheap `Arc` clones) but owns
+/// a private, cold buffer pool and a private [`IoStats`], so its hit/fault
+/// sequence depends only on its own access pattern, never on scheduling.
 pub struct NetworkStore {
-    disk: Disk,
+    disk: Arc<Disk>,
     pool: Mutex<BufferPool>,
     /// Per node: page id and byte offset of its record.
-    node_loc: Vec<(PageId, u16)>,
+    node_loc: Arc<Vec<(PageId, u16)>>,
     stats: IoStats,
+    /// Buffer size this store (and its sessions) was configured with.
+    buffer_bytes: usize,
 }
 
 impl NetworkStore {
@@ -125,10 +133,35 @@ impl NetworkStore {
 
         let stats = IoStats::new();
         NetworkStore {
-            disk,
+            disk: Arc::new(disk),
             pool: Mutex::new(BufferPool::with_bytes(buffer_bytes, stats.clone())),
-            node_loc,
+            node_loc: Arc::new(node_loc),
             stats,
+            buffer_bytes,
+        }
+    }
+
+    /// A private view of the same network: shared (immutable) disk image and
+    /// node directory, but a fresh cold buffer pool of the same capacity and
+    /// fresh I/O counters.
+    ///
+    /// Sessions are the unit of deterministic parallel accounting: each
+    /// worker reads through its own session, so page hits and faults are a
+    /// pure function of that worker's access sequence and are merged
+    /// explicitly at join time.
+    pub fn session(&self) -> NetworkStore {
+        self.session_with_stats(IoStats::new())
+    }
+
+    /// Like [`NetworkStore::session`], but reporting into caller-supplied
+    /// counters (e.g. a per-query [`IoStats`] shared with a reporter).
+    pub fn session_with_stats(&self, stats: IoStats) -> NetworkStore {
+        NetworkStore {
+            disk: Arc::clone(&self.disk),
+            pool: Mutex::new(BufferPool::with_bytes(self.buffer_bytes, stats.clone())),
+            node_loc: Arc::clone(&self.node_loc),
+            stats,
+            buffer_bytes: self.buffer_bytes,
         }
     }
 
@@ -296,6 +329,60 @@ mod tests {
         store.clear_buffer();
         store.read_adjacency(NodeId(3));
         assert_eq!(store.stats().snapshot().faults, 2);
+    }
+
+    #[test]
+    fn sessions_have_private_pools_and_stats() {
+        let g = grid(5);
+        let store = NetworkStore::build(&g);
+        store.read_adjacency(NodeId(0));
+        let sess = store.session();
+        // The session starts cold with zeroed counters…
+        assert_eq!(sess.stats().snapshot().logical, 0);
+        let rec = sess.read_adjacency(NodeId(0));
+        assert_eq!(rec.node, NodeId(0));
+        assert_eq!(sess.stats().snapshot().faults, 1, "session pool is cold");
+        // …and its traffic is invisible to the parent store.
+        assert_eq!(store.stats().snapshot().logical, 1);
+        assert_eq!(sess.node_count(), store.node_count());
+        assert_eq!(sess.page_count(), store.page_count());
+    }
+
+    #[test]
+    fn session_fault_counts_match_a_fresh_store() {
+        // A session must behave exactly like an independently built store:
+        // same capacity, same cold-start fault sequence.
+        let g = grid(10);
+        let store = NetworkStore::build(&g);
+        let sess = store.session();
+        let fresh = NetworkStore::build(&g);
+        for n in g.node_ids() {
+            sess.read_adjacency(n);
+            fresh.read_adjacency(n);
+        }
+        assert_eq!(
+            sess.stats().snapshot().faults,
+            fresh.stats().snapshot().faults
+        );
+    }
+
+    #[test]
+    fn store_is_shareable_across_threads() {
+        let g = grid(10);
+        let store = NetworkStore::build(&g);
+        std::thread::scope(|s| {
+            for t in 0..2 {
+                let sess = store.session();
+                let g = &g;
+                s.spawn(move || {
+                    for n in g.node_ids() {
+                        let rec = sess.read_adjacency(n);
+                        assert_eq!(rec.node, n, "thread {t}");
+                    }
+                });
+            }
+        });
+        assert_eq!(store.stats().snapshot().logical, 0);
     }
 
     #[test]

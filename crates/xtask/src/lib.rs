@@ -10,6 +10,7 @@
 //! | `unwrap` | no panics in the query hot path — use typed errors or `.expect("invariant …")` documenting why it cannot fail |
 //! | `unsafe` | every crate root keeps `#![forbid(unsafe_code)]` |
 //! | `apsp` | the paper's complexity class — no pre-computed all-pairs distance structures (Theorem 1's instance-optimality is proven over on-the-fly algorithms) |
+//! | `hot-lock` | scalability of the parallel engine — no `Mutex`/`RwLock` on the per-node hot path; shared state must be atomics or thread-local accumulation merged after the join |
 //!
 //! The pass is purely lexical: comments and string literals are blanked
 //! before matching, `#[cfg(test)]` regions are tracked so test-only code
@@ -55,6 +56,8 @@ pub const RULE_UNWRAP: &str = "unwrap";
 pub const RULE_UNSAFE: &str = "unsafe";
 /// See [`RULE_FLOAT_ORD`].
 pub const RULE_APSP: &str = "apsp";
+/// See [`RULE_FLOAT_ORD`].
+pub const RULE_HOT_LOCK: &str = "hot-lock";
 
 /// Lints every Rust source under `root` and returns the findings,
 /// sorted by file then line.
@@ -101,6 +104,9 @@ pub fn lint_file(rel: &str, source: &str) -> Vec<Violation> {
     if scope.check_apsp {
         rule_apsp(rel, &clean, &mut out);
     }
+    if scope.check_hot_lock {
+        rule_hot_lock(rel, &clean, &mut out);
+    }
     out
 }
 
@@ -111,6 +117,7 @@ struct Scope {
     check_hash_order: bool,
     check_unwrap: bool,
     check_apsp: bool,
+    check_hot_lock: bool,
     is_crate_root: bool,
     whole_file_is_test: bool,
 }
@@ -138,6 +145,22 @@ impl Scope {
         ]
         .iter()
         .any(|p| rel.starts_with(p));
+        // The per-node hot path: shortest-path expansion, the parallel
+        // primitives, and the algorithm drivers that run inside worker
+        // threads. The storage layer is deliberately outside this scope:
+        // its session-confined `Mutex<BufferPool>` is never contended
+        // across workers (each worker gets a private session).
+        let hot_lock_scoped = rel.starts_with("crates/sp/src/")
+            || rel.starts_with("crates/par/src/")
+            || [
+                "crates/core/src/ce.rs",
+                "crates/core/src/edc.rs",
+                "crates/core/src/lbc.rs",
+                "crates/core/src/nnq.rs",
+                "crates/core/src/par.rs",
+                "crates/core/src/batch.rs",
+            ]
+            .contains(&rel);
         // Crate roots that must carry #![forbid(unsafe_code)].
         let is_crate_root = {
             let parts: Vec<&str> = rel.split('/').collect();
@@ -155,6 +178,7 @@ impl Scope {
             check_hash_order: hash_scoped,
             check_unwrap: in_query_path,
             check_apsp: apsp_scoped,
+            check_hot_lock: hot_lock_scoped,
             is_crate_root,
             whole_file_is_test,
         }
@@ -624,6 +648,32 @@ fn rule_apsp(rel: &str, clean: &CleanSource, out: &mut Vec<Violation>) {
     }
 }
 
+/// `hot-lock`: a `Mutex`/`RwLock` on the per-node hot path serialises
+/// every worker of the parallel engine on one cache line, erasing the
+/// speedup the batch harness measures. Shared state there must be
+/// atomics (see the index read counters) or thread-local accumulation
+/// merged after the join (see `rn_par::par_map_mut`).
+fn rule_hot_lock(rel: &str, clean: &CleanSource, out: &mut Vec<Violation>) {
+    for token in ["Mutex", "RwLock"] {
+        for at in find_idents(&clean.text, token) {
+            let lineno = clean.line_of(at);
+            if clean.is_test[lineno] || clean.allowed(lineno, RULE_HOT_LOCK) {
+                continue;
+            }
+            out.push(Violation {
+                file: rel.to_string(),
+                line: lineno + 1,
+                rule: RULE_HOT_LOCK,
+                message: format!(
+                    "{token} on the per-node hot path serialises workers; use atomics \
+                     or thread-local state merged after the join (rn_par), or justify \
+                     with // lint: allow(hot-lock)"
+                ),
+            });
+        }
+    }
+}
+
 /// If the text after a map ident is `<(T, T)` (whitespace-tolerant),
 /// returns `T`.
 fn pair_key_of(text: &str, after: usize) -> Option<String> {
@@ -835,6 +885,22 @@ mod tests {
             .any(|v| v.rule == RULE_APSP));
         let fine = "struct S { d: std::collections::BTreeMap<(NodeId, ObjectId), f64> }\n";
         assert!(lint_file("crates/sp/src/x.rs", fine).is_empty());
+    }
+
+    #[test]
+    fn hot_lock_scoped_to_hot_path_and_suppressible() {
+        let src = "use std::sync::Mutex;\n";
+        assert_eq!(lint_file("crates/sp/src/dijkstra.rs", src).len(), 1);
+        assert_eq!(lint_file("crates/core/src/batch.rs", src).len(), 1);
+        assert_eq!(lint_file("crates/par/src/pool.rs", src).len(), 1);
+        // The storage layer's session-confined pool lock is legal, as is
+        // anything outside the worker-thread hot path.
+        assert!(lint_file("crates/storage/src/netstore.rs", src).is_empty());
+        assert!(lint_file("crates/core/src/engine.rs", src).is_empty());
+        let in_test = "#[cfg(test)]\nmod tests {\n    use std::sync::RwLock;\n}\n";
+        assert!(lint_file("crates/par/src/pool.rs", in_test).is_empty());
+        let allowed = "use std::sync::RwLock; // lint: allow(hot-lock)\n";
+        assert!(lint_file("crates/sp/src/dijkstra.rs", allowed).is_empty());
     }
 
     #[test]

@@ -46,7 +46,8 @@ fn print_usage() {
          hash-order   no HashMap/HashSet in the query path (deterministic tie-breaking)\n    \
          unwrap       no bare .unwrap() in core/sp hot paths\n    \
          unsafe       every crate root keeps #![forbid(unsafe_code)]\n    \
-         apsp         no pre-computed all-pairs distance structures (Theorem 1 class)\n\n\
+         apsp         no pre-computed all-pairs distance structures (Theorem 1 class)\n    \
+         hot-lock     no Mutex/RwLock on the per-node hot path (atomics or merge)\n\n\
          Suppress a finding with `// lint: allow(<rule>)` on the same or preceding line."
     );
 }
@@ -69,7 +70,9 @@ fn run_lint(root: &std::path::Path) -> ExitCode {
         println!("{v}");
     }
     if violations.is_empty() {
-        println!("xtask lint: clean (rules: float-ord, hash-order, unwrap, unsafe, apsp)");
+        println!(
+            "xtask lint: clean (rules: float-ord, hash-order, unwrap, unsafe, apsp, hot-lock)"
+        );
         ExitCode::SUCCESS
     } else {
         println!("xtask lint: {} violation(s)", violations.len());

@@ -1,0 +1,15 @@
+//! Deliberate hot-lock violations: coarse locks on the per-node hot path.
+#![forbid(unsafe_code)]
+
+use std::sync::Mutex;
+use std::sync::RwLock;
+
+/// Per-node visit counter behind a coarse lock — serialises workers.
+pub struct Counters {
+    pub visits: Mutex<u64>,
+}
+
+/// Reader-writer lock around the shared distance table.
+pub struct Table {
+    pub dist: RwLock<Vec<f64>>,
+}

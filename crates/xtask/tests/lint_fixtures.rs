@@ -79,8 +79,27 @@ fn apsp_fixture_fires() {
 }
 
 #[test]
+fn hot_lock_fixture_fires() {
+    let src = include_str!("fixtures/hot_lock.rs");
+    // Lint as a parallel-primitives file: the whole crate is hot path.
+    let v = lint_file("crates/par/src/pool.rs", src);
+    let mut got = lines_for(&v, xtask::RULE_HOT_LOCK);
+    got.sort_unstable();
+    assert_eq!(
+        got,
+        vec![
+            (4, "hot-lock"),
+            (5, "hot-lock"),
+            (9, "hot-lock"),
+            (14, "hot-lock"),
+        ],
+        "got: {v:?}"
+    );
+}
+
+#[test]
 fn suppression_comment_silences_each_rule() {
-    let cases: [(&str, &str); 3] = [
+    let cases: [(&str, &str); 4] = [
         (
             "crates/skyline/src/bad_sort.rs",
             "pub fn f(v: &mut Vec<f64>) {\n    // lint: allow(float-ord) — test helper\n    v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n}\n",
@@ -92,6 +111,10 @@ fn suppression_comment_silences_each_rule() {
         (
             "crates/sp/src/dijkstra.rs",
             "pub fn g(v: Option<u32>) -> u32 {\n    v.unwrap() // lint: allow(unwrap)\n}\n",
+        ),
+        (
+            "crates/core/src/par.rs",
+            "use std::sync::Mutex; // lint: allow(hot-lock)\n",
         ),
     ];
     for (rel, src) in cases {

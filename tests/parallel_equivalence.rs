@@ -1,0 +1,155 @@
+//! Parallel/sequential equivalence (ISSUE 2, satellite c).
+//!
+//! The determinism contract of DESIGN.md §9, checked property-style:
+//!
+//! * [`msq_core::BatchEngine`] at 1, 2 and 8 workers returns **bitwise
+//!   identical** skyline sets, vectors and per-query page-fault counts to
+//!   the sequential engine's `run_cold`, for CE, EDC and LBC;
+//! * intra-query [`msq_core::SkylineEngine::run_parallel`] returns
+//!   bitwise identical results (including fault counts) at every worker
+//!   count, and the same skyline set as the sequential engine.
+//!
+//! Run with `--features msq-core/invariant-checks` (the CI contracts job
+//! does) to execute the same property with the runtime contract layer
+//! live on every heap pop, bound confirmation and dominance test.
+
+use msq_core::{Algorithm, BatchEngine, SkylineEngine, SkylineResult};
+use proptest::prelude::*;
+use rn_graph::NetPosition;
+use rn_workload::{generate_network, generate_objects, generate_queries, NetGenConfig};
+
+#[derive(Debug, Clone)]
+struct Params {
+    cols: usize,
+    rows: usize,
+    extra_edges: usize,
+    detour_prob: f64,
+    omega: f64,
+    nq: usize,
+    seed: u64,
+}
+
+fn params() -> impl Strategy<Value = Params> {
+    (
+        4usize..10,
+        4usize..10,
+        0usize..60,
+        0.0..0.8f64,
+        0.2..1.2f64,
+        1usize..6,
+        0u64..10_000,
+    )
+        .prop_map(
+            |(cols, rows, extra_edges, detour_prob, omega, nq, seed)| Params {
+                cols,
+                rows,
+                extra_edges,
+                detour_prob,
+                omega,
+                nq,
+                seed,
+            },
+        )
+}
+
+fn build(p: &Params) -> Option<SkylineEngine> {
+    let nodes = p.cols * p.rows;
+    let net = generate_network(&NetGenConfig {
+        cols: p.cols,
+        rows: p.rows,
+        edges: nodes - 1 + p.extra_edges,
+        jitter: 0.3,
+        detour_prob: p.detour_prob,
+        detour_stretch: (1.05, 1.6),
+        seed: p.seed,
+    });
+    let objects = generate_objects(&net, p.omega, p.seed + 1);
+    if objects.is_empty() {
+        return None;
+    }
+    Some(SkylineEngine::build(net, objects))
+}
+
+/// Canonical bitwise form of a result: `(object, vector bits)` sorted by
+/// object id. Two results with equal canon have identical skyline sets
+/// with identical `f64` vectors down to the last bit.
+fn canon(r: &SkylineResult) -> Vec<(u32, Vec<u64>)> {
+    let mut v: Vec<(u32, Vec<u64>)> = r
+        .skyline
+        .iter()
+        .map(|p| (p.object.0, p.vector.iter().map(|d| d.to_bits()).collect()))
+        .collect();
+    v.sort();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Inter-query: BatchEngine at every worker count == sequential
+    /// run_cold, query by query, faults included.
+    #[test]
+    fn batch_engine_matches_sequential_run_cold(p in params()) {
+        let Some(engine) = build(&p) else { return Ok(()) };
+        let batch: Vec<Vec<NetPosition>> = (0..3)
+            .map(|i| generate_queries(engine.network(), p.nq, 0.5, p.seed + 10 + i))
+            .collect();
+        for algo in Algorithm::PAPER_SET {
+            let sequential: Vec<SkylineResult> = batch
+                .iter()
+                .map(|qs| engine.run_cold(algo, qs))
+                .collect();
+            for workers in [1usize, 2, 8] {
+                let out = BatchEngine::new(&engine, workers).run(algo, &batch);
+                prop_assert_eq!(out.results.len(), batch.len());
+                for (q, (par, seq)) in out.results.iter().zip(&sequential).enumerate() {
+                    prop_assert_eq!(
+                        canon(par),
+                        canon(seq),
+                        "{} skyline diverged: workers={}, query={}, {:?}",
+                        algo.name(), workers, q, p
+                    );
+                    prop_assert_eq!(
+                        par.stats.network_pages,
+                        seq.stats.network_pages,
+                        "{} fault count diverged: workers={}, query={}, {:?}",
+                        algo.name(), workers, q, p
+                    );
+                }
+            }
+        }
+    }
+
+    /// Intra-query: run_parallel is bitwise worker-count-invariant
+    /// (skyline, vectors, faults) and agrees with the sequential skyline.
+    #[test]
+    fn intra_query_parallel_is_worker_count_invariant(p in params()) {
+        let Some(engine) = build(&p) else { return Ok(()) };
+        let queries = generate_queries(engine.network(), p.nq, 0.5, p.seed + 7);
+        for algo in Algorithm::PAPER_SET {
+            let sequential = engine.run_cold(algo, &queries);
+            let base = engine.run_parallel(algo, &queries, 1);
+            prop_assert_eq!(
+                canon(&base),
+                canon(&sequential),
+                "{} parallel skyline != sequential on {:?}",
+                algo.name(), p
+            );
+            for workers in [2usize, 8] {
+                let r = engine.run_parallel(algo, &queries, workers);
+                prop_assert_eq!(
+                    canon(&r),
+                    canon(&base),
+                    "{} skyline not worker-count-invariant: workers={}, {:?}",
+                    algo.name(), workers, p
+                );
+                prop_assert_eq!(
+                    r.stats.network_pages,
+                    base.stats.network_pages,
+                    "{} fault count not worker-count-invariant: workers={}, {:?}",
+                    algo.name(), workers, p
+                );
+            }
+        }
+    }
+}
