@@ -1,0 +1,52 @@
+//! Scratch review check: sweep seeds comparing LBC run_parallel w=1 vs w=2
+//! fault counts and nodes_expanded.
+
+use msq_core::{Algorithm, SkylineEngine};
+use rn_workload::{generate_network, generate_objects, generate_queries, NetGenConfig};
+
+#[test]
+fn review_sweep_lbc_worker_invariance() {
+    let mut diverged = 0;
+    let mut checked = 0;
+    for seed in 0..120u64 {
+        let cols = 4 + (seed % 6) as usize;
+        let rows = 4 + ((seed / 6) % 6) as usize;
+        let nodes = cols * rows;
+        let net = generate_network(&NetGenConfig {
+            cols,
+            rows,
+            edges: nodes - 1 + (seed % 40) as usize,
+            jitter: 0.3,
+            detour_prob: 0.4,
+            detour_stretch: (1.05, 1.6),
+            seed,
+        });
+        let objects = generate_objects(&net, 0.6, seed + 1);
+        if objects.is_empty() {
+            continue;
+        }
+        let engine = SkylineEngine::build(net, objects);
+        let nq = 2 + (seed % 4) as usize;
+        let queries = generate_queries(engine.network(), nq, 0.5, seed + 7);
+        for algo in [Algorithm::Lbc, Algorithm::LbcNoPlb] {
+            let a = engine.run_parallel(algo, &queries, 1);
+            let b = engine.run_parallel(algo, &queries, 2);
+            checked += 1;
+            if a.stats.network_pages != b.stats.network_pages
+                || a.stats.nodes_expanded != b.stats.nodes_expanded
+            {
+                diverged += 1;
+                eprintln!(
+                    "DIVERGED seed={seed} algo={:?} w1 pages={} nodes={} | w2 pages={} nodes={}",
+                    algo,
+                    a.stats.network_pages,
+                    a.stats.nodes_expanded,
+                    b.stats.network_pages,
+                    b.stats.nodes_expanded
+                );
+            }
+        }
+    }
+    eprintln!("checked={checked} diverged={diverged}");
+    assert_eq!(diverged, 0, "worker-count invariance violated");
+}
