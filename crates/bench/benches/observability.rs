@@ -1,0 +1,8 @@
+//! Observability counters: per-phase breakdowns of CE/EDC/LBC on the
+//! CA-like standard workload, emitting `BENCH_3.json`. Run with
+//! `cargo bench -p rn-bench --bench observability`. Environment knobs:
+//! `MSQ_SEEDS` (query seeds averaged).
+
+fn main() {
+    rn_bench::observability::observability();
+}

@@ -32,4 +32,7 @@ fn main() {
     if want("throughput") {
         rn_bench::throughput::throughput();
     }
+    if want("obs") || want("observability") {
+        rn_bench::observability::observability();
+    }
 }

@@ -13,6 +13,7 @@
 
 pub mod figures;
 pub mod harness;
+pub mod observability;
 pub mod throughput;
 
 pub use harness::{

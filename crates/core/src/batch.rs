@@ -12,6 +12,7 @@
 
 use crate::engine::{Algorithm, SkylineEngine, SkylineResult};
 use rn_graph::NetPosition;
+use rn_obs::{Event, Metric, QueryTrace};
 use std::time::{Duration, Instant};
 
 /// Executes batches of independent queries concurrently over one shared
@@ -33,6 +34,11 @@ pub struct BatchOutcome {
     pub index_reads: u64,
     /// Wall-clock time for the whole batch.
     pub wall: Duration,
+    /// The per-query traces merged **in batch-index order**, plus the
+    /// batch-level index reads. Each per-query trace is a pure function of
+    /// its query (private cold session), so this merged trace is bitwise
+    /// identical at every worker count (DESIGN.md §10).
+    pub trace: QueryTrace,
 }
 
 impl<'e> BatchEngine<'e> {
@@ -69,11 +75,22 @@ impl<'e> BatchEngine<'e> {
             let session = self.engine.store_ref().session();
             self.engine.run_with_store(&session, algo, &batch[i], None)
         });
+        let index_reads =
+            self.engine.object_tree().node_reads() + self.engine.mid_ref().node_reads();
+        // Merge order is the batch index, never worker arrival order:
+        // `par_map_indexed` returns results in input order, so the merged
+        // trace is deterministic at any worker count.
+        let mut trace = QueryTrace::new();
+        for r in &results {
+            trace.merge(&r.trace);
+        }
+        trace.add(Metric::IndexNodeReads, index_reads);
+        trace.event(Event::IndexReads { count: index_reads });
         BatchOutcome {
             results,
-            index_reads: self.engine.object_tree().node_reads()
-                + self.engine.mid_ref().node_reads(),
+            index_reads,
             wall: started.elapsed(),
+            trace,
         }
     }
 }

@@ -25,6 +25,9 @@ pub(crate) fn run(input: &QueryInput<'_>, reporter: &mut Reporter) -> AlgoOutput
             vectors[obj.idx()][qi] = d;
         }
         expanded += ine.wavefront().settled_count();
+        reporter
+            .obs()
+            .add(rn_obs::Metric::SpIneEmissions, ine.emissions());
     }
     // §4.3 extension: static attributes are extra pre-computed dimensions.
     for (i, v) in vectors.iter_mut().enumerate() {

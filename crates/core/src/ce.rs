@@ -26,6 +26,7 @@ use crate::engine::{AlgoOutput, QueryInput};
 use crate::stats::{Reporter, SkylinePoint};
 use rn_geom::OrdF64;
 use rn_graph::ObjectId;
+use rn_obs::{Event, Metric};
 use rn_skyline::dominance::dominates;
 use rn_sp::IncrementalExpansion;
 use std::cmp::Reverse;
@@ -392,6 +393,15 @@ impl CeState {
     pub(crate) fn candidates(&self) -> usize {
         self.frozen_candidates
     }
+
+    /// `true` while the filter phase runs (the candidate set has not
+    /// frozen yet). Drivers use this to attribute each consumed emission
+    /// to the filter or the refinement phase; the emission that *ends*
+    /// phase 1 is consumed before `on_emission` flips the flag, so it
+    /// counts as filter work — in both drivers.
+    pub(crate) fn in_phase1(&self) -> bool {
+        self.phase1
+    }
 }
 
 pub(crate) fn run(input: &QueryInput<'_>, reporter: &mut Reporter) -> AlgoOutput {
@@ -426,7 +436,20 @@ pub(crate) fn run(input: &QueryInput<'_>, reporter: &mut Reporter) -> AlgoOutput
             None => st.on_exhausted(qi),
             Some((id, d)) => {
                 bounds[qi] = ines[qi].emission_bound();
+                let was_phase1 = st.in_phase1();
+                let obs = reporter.obs();
+                obs.incr(Metric::SpIneEmissions);
+                obs.incr(if was_phase1 {
+                    Metric::CeFilterDistanceComputations
+                } else {
+                    Metric::CeRefinementDistanceComputations
+                });
                 st.on_emission(qi, id, d, &bounds);
+                if was_phase1 && !st.in_phase1() {
+                    reporter.obs().event(Event::Phase {
+                        label: "refinement",
+                    });
+                }
                 // The certified emission bound has grown: advance this
                 // dimension's gate.
                 st.advance_gates(qi, &bounds);

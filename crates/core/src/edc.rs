@@ -36,6 +36,7 @@ use crate::engine::{AlgoOutput, QueryInput};
 use crate::stats::{Reporter, SkylinePoint};
 use rn_geom::Point;
 use rn_graph::ObjectId;
+use rn_obs::{Event, Metric};
 use rn_skyline::dominance::{dominates, dominates_or_equal};
 use rn_skyline::EuclideanSkylineIter;
 use rn_sp::AStar;
@@ -121,6 +122,17 @@ pub(crate) fn run_mode_with<B: VectorBackend>(
     backend: &mut B,
 ) -> AlgoOutput {
     let qpts: Vec<Point> = input.queries.iter().map(|q| q.point).collect();
+    // Coordinator-side A* accounting: every backend vector costs exactly
+    // one retarget + one confirmation per query dimension per object
+    // (`distance_to` = `set_target` + `run`), under both the sequential
+    // and the fanned-out backend — so recording it here keeps the trace
+    // identical at every worker count.
+    let n_dims = input.arity() as u64;
+    let count_vectors = |reporter: &mut Reporter, k: u64| {
+        let obs = reporter.obs();
+        obs.add(Metric::SpAstarRetargets, k * n_dims);
+        obs.add(Metric::SpAstarConfirms, k * n_dims);
+    };
 
     // Network vectors of every candidate we have paid to compute. Ordered
     // maps keep the ready/rest iteration deterministic across runs.
@@ -146,6 +158,8 @@ pub(crate) fn run_mode_with<B: VectorBackend>(
             continue;
         }
         // Step 2: shift the Euclidean skyline point into network space.
+        reporter.obs().incr(Metric::EdcGuideShifts);
+        count_vectors(reporter, 1);
         let shifted = backend
             .vectors(input, &[obj])
             .pop()
@@ -156,6 +170,15 @@ pub(crate) fn run_mode_with<B: VectorBackend>(
         // Step 3: everything inside the hypercube (o, shifted) could
         // dominate it; fetch and compute the newcomers.
         let in_cube = fetch_hypercube(input, &qpts, &shifted, &computed);
+        {
+            let obs = reporter.obs();
+            obs.incr(Metric::EdcWindowFetches);
+            obs.add(Metric::EdcWindowCandidates, in_cube.len() as u64);
+            obs.event(Event::WindowFetch {
+                candidates: in_cube.len() as u64,
+            });
+        }
+        count_vectors(reporter, in_cube.len() as u64);
         for (cand, v) in in_cube.iter().zip(backend.vectors(input, &in_cube)) {
             computed.insert(*cand, v);
             undetermined.insert(*cand);
@@ -209,6 +232,8 @@ pub(crate) fn run_mode_with<B: VectorBackend>(
         if fresh.is_empty() {
             break;
         }
+        reporter.obs().incr(Metric::EdcClosureRounds);
+        count_vectors(reporter, fresh.len() as u64);
         for (cand, v) in fresh.iter().zip(backend.vectors(input, &fresh)) {
             computed.insert(*cand, v);
             undetermined.insert(*cand);

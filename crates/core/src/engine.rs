@@ -5,8 +5,9 @@ use crate::stats::{QueryStats, Reporter, SkylinePoint};
 use rn_geom::Mbr;
 use rn_graph::{NetPosition, ObjectId, RoadNetwork};
 use rn_index::{MiddleLayer, RTree};
+use rn_obs::{Event, Metric, QueryTrace};
 use rn_sp::{NetCtx, QueryPoint};
-use rn_storage::NetworkStore;
+use rn_storage::{IoSnapshot, NetworkStore};
 use std::time::Instant;
 
 /// Which of the paper's algorithms to execute.
@@ -103,6 +104,11 @@ pub struct SkylineResult {
     pub skyline: Vec<SkylinePoint>,
     /// Measured statistics.
     pub stats: QueryStats,
+    /// The query's observability trace: phase-attributed counters over
+    /// the [`rn_obs::Metric`] registry plus (under the `trace` feature)
+    /// the typed event log. Deterministic: bitwise identical at every
+    /// worker count (DESIGN.md §10).
+    pub trace: QueryTrace,
 }
 
 impl SkylineResult {
@@ -265,13 +271,20 @@ impl SkylineEngine {
 
         let started = Instant::now();
         let mut reporter = Reporter::with_io(self.store.stats().clone());
+        reporter.obs().event(Event::QueryStart {
+            algo: algo.name(),
+            arity: input.arity() as u64,
+        });
         let out = dispatch(algo, &input, &mut reporter);
         let total_time = started.elapsed();
         let io = self.store.stats().snapshot().since(&io_before);
 
         let initial_time = reporter.time_to_first();
         let initial_pages = reporter.pages_to_first();
+        let mut trace = reporter.take_obs();
         let skyline = reporter.into_points();
+        let index_reads = self.obj_tree.node_reads() + self.mid.node_reads();
+        finish_trace(&mut trace, &out, &io, index_reads, skyline.len());
         SkylineResult {
             skyline,
             stats: QueryStats {
@@ -282,8 +295,9 @@ impl SkylineEngine {
                 initial_time,
                 initial_pages,
                 nodes_expanded: out.nodes_expanded,
-                index_reads: self.obj_tree.node_reads() + self.mid.node_reads(),
+                index_reads,
             },
+            trace,
         }
     }
 
@@ -326,12 +340,18 @@ impl SkylineEngine {
         let io_before = store.stats().snapshot();
         let started = Instant::now();
         let mut reporter = Reporter::with_io(store.stats().clone());
+        reporter.obs().event(Event::QueryStart {
+            algo: algo.name(),
+            arity: input.arity() as u64,
+        });
         let out = dispatch(algo, &input, &mut reporter);
         let total_time = started.elapsed();
         let io = store.stats().snapshot().since(&io_before);
         let initial_time = reporter.time_to_first();
         let initial_pages = reporter.pages_to_first();
+        let mut trace = reporter.take_obs();
         let skyline = reporter.into_points();
+        finish_trace(&mut trace, &out, &io, 0, skyline.len());
         SkylineResult {
             skyline,
             stats: QueryStats {
@@ -344,6 +364,7 @@ impl SkylineEngine {
                 nodes_expanded: out.nodes_expanded,
                 index_reads: 0,
             },
+            trace,
         }
     }
 
@@ -383,6 +404,10 @@ impl SkylineEngine {
         self.mid.reset_node_reads();
         let started = Instant::now();
         let mut reporter = Reporter::with_io(io.clone());
+        reporter.obs().event(Event::QueryStart {
+            algo: algo.name(),
+            arity: input.arity() as u64,
+        });
         let out = match algo {
             Algorithm::Ce => crate::par::run_ce(&input, &mut reporter, workers, &io),
             Algorithm::Edc => crate::par::run_edc(&input, &mut reporter, false, workers, &io),
@@ -409,7 +434,10 @@ impl SkylineEngine {
         let io_totals = io.snapshot();
         let initial_time = reporter.time_to_first();
         let initial_pages = reporter.pages_to_first();
+        let mut trace = reporter.take_obs();
         let skyline = reporter.into_points();
+        let index_reads = self.obj_tree.node_reads() + self.mid.node_reads();
+        finish_trace(&mut trace, &out, &io_totals, index_reads, skyline.len());
         SkylineResult {
             skyline,
             stats: QueryStats {
@@ -420,8 +448,9 @@ impl SkylineEngine {
                 initial_time,
                 initial_pages,
                 nodes_expanded: out.nodes_expanded,
-                index_reads: self.obj_tree.node_reads() + self.mid.node_reads(),
+                index_reads,
             },
+            trace,
         }
     }
 
@@ -461,6 +490,40 @@ impl SkylineEngine {
         }
         result
     }
+}
+
+/// Completes a query trace with the aggregates only known once the
+/// algorithm returned: heap pops, index reads, page-fault attribution and
+/// the final candidate/skyline sizes. Shared by every result-construction
+/// site so the exported counter set is identical across `run`,
+/// `run_with_store` and `run_parallel`.
+fn finish_trace(
+    trace: &mut QueryTrace,
+    out: &AlgoOutput,
+    io: &IoSnapshot,
+    index_reads: u64,
+    skyline_len: usize,
+) {
+    trace.add(Metric::SpHeapPops, out.nodes_expanded);
+    trace.add(Metric::IndexNodeReads, index_reads);
+    trace.add(Metric::StoragePageRequests, io.logical);
+    trace.add(Metric::StoragePageFaultsCold, io.cold_faults);
+    trace.add(Metric::StoragePageFaultsWarm, io.warm_faults);
+    trace.add(Metric::QueryCandidates, out.candidates as u64);
+    trace.add(Metric::QuerySkylineSize, skyline_len as u64);
+    let confirms = trace.get(Metric::SpAstarConfirms);
+    trace.event(Event::HeapPops {
+        count: out.nodes_expanded,
+    });
+    trace.event(Event::AStarConfirms { count: confirms });
+    trace.event(Event::IndexReads { count: index_reads });
+    trace.event(Event::PageFaults {
+        cold: io.cold_faults,
+        warm: io.warm_faults,
+    });
+    trace.event(Event::QueryEnd {
+        skyline: skyline_len as u64,
+    });
 }
 
 /// Routes one sequential query to its algorithm module.

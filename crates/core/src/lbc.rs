@@ -36,6 +36,7 @@ use crate::engine::{AlgoOutput, QueryInput};
 use crate::stats::{Reporter, SkylinePoint};
 use rn_geom::{OrdF64, Point};
 use rn_graph::{NetPosition, ObjectId};
+use rn_obs::{Event, Metric, SessionOutcome};
 use rn_skyline::dominance::dominates;
 use rn_sp::AStar;
 use std::cmp::Reverse;
@@ -69,6 +70,31 @@ enum SessionEnd {
     /// Source dimension exact (bounds may remain elsewhere); re-queued
     /// keyed by the exact source distance.
     SourceExact,
+}
+
+/// Records one adjudication session in the query trace: the session
+/// counter always, the plb-outcome counter for discards/postponements,
+/// and (under the `trace` feature) a typed [`Event::SessionEnd`].
+/// Recording happens on the coordinator, after the session returns, so
+/// the trace is identical at every worker count (DESIGN.md §10).
+fn record_session(reporter: &mut Reporter, obj: ObjectId, end: &SessionEnd) {
+    let obs = reporter.obs();
+    obs.incr(Metric::LbcSessions);
+    let outcome = match end {
+        SessionEnd::Discarded => {
+            obs.incr(Metric::LbcPlbDiscards);
+            SessionOutcome::Discarded
+        }
+        SessionEnd::Postponed => {
+            obs.incr(Metric::LbcPlbPostponed);
+            SessionOutcome::Postponed
+        }
+        SessionEnd::SourceExact => SessionOutcome::SourceExact,
+    };
+    obs.event(Event::SessionEnd {
+        object: obj.0,
+        outcome,
+    });
 }
 
 pub(crate) fn run(input: &QueryInput<'_>, reporter: &mut Reporter, use_plb: bool) -> AlgoOutput {
@@ -269,6 +295,7 @@ fn run_mode(
                         pending_inexact = true;
                         let end =
                             session(&mut slab[i2], &mut engines, &skyline, dn0, false, use_plb);
+                        record_session(reporter, slab[i2].obj, &end);
                         if !matches!(end, SessionEnd::Discarded) {
                             requeue!(slab, frontier, i2);
                         } else {
@@ -300,10 +327,11 @@ fn run_mode(
             let mut confirmed: Vec<(usize, Vec<f64>)> = Vec::new();
             for i in batch {
                 let end = match par {
-                    Some(w) if w > 1 => {
-                        resolve_parallel(&mut slab[i], &mut engines, &skyline, w, use_plb)
-                    }
-                    _ => session(
+                    // Any parallel-mode run takes the shared-wavefront
+                    // resolution path — including w == 1 — so the recorded
+                    // trace is worker-count-invariant (DESIGN.md §10).
+                    Some(w) => resolve_parallel(&mut slab[i], &mut engines, &skyline, w, use_plb),
+                    None => session(
                         &mut slab[i],
                         &mut engines,
                         &skyline,
@@ -312,6 +340,7 @@ fn run_mode(
                         use_plb,
                     ),
                 };
+                record_session(reporter, slab[i].obj, &end);
                 match end {
                     SessionEnd::Discarded => slab[i].dead = true,
                     _ => {
@@ -352,6 +381,7 @@ fn run_mode(
                 false,
                 use_plb,
             );
+            record_session(reporter, slab[idx].obj, &end);
             match end {
                 SessionEnd::Discarded => slab[idx].dead = true,
                 SessionEnd::Postponed | SessionEnd::SourceExact => {
@@ -360,6 +390,19 @@ fn run_mode(
             }
         }
     }
+
+    // Harvest the per-engine A* counters into the query trace. Each
+    // engine's work is a pure function of the candidate sequence, so
+    // these sums are identical at every worker count.
+    let obs = reporter.obs();
+    obs.add(
+        Metric::SpAstarConfirms,
+        engines.iter().map(AStar::confirms).sum(),
+    );
+    obs.add(
+        Metric::SpAstarRetargets,
+        engines.iter().map(AStar::retargets).sum(),
+    );
 
     AlgoOutput {
         candidates,

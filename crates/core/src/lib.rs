@@ -76,3 +76,5 @@ pub use batch::{BatchEngine, BatchOutcome};
 pub use engine::{Algorithm, QueryInput, SkylineEngine, SkylineResult, SourceStrategy};
 pub use nnq::Aggregate;
 pub use stats::{QueryStats, Reporter, SkylinePoint};
+// Re-exported so trace consumers need no direct rn-obs dependency.
+pub use rn_obs::{Event, Metric, QueryTrace, SessionOutcome, METRIC_NAMES};

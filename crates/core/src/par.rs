@@ -23,6 +23,7 @@ use crate::edc::{self, VectorBackend};
 use crate::engine::{AlgoOutput, QueryInput};
 use crate::stats::Reporter;
 use rn_graph::{NetPosition, ObjectId};
+use rn_obs::{Event, Metric};
 use rn_sp::{AStar, IncrementalExpansion, NetCtx};
 use rn_storage::{IoStats, NetworkStore};
 
@@ -128,9 +129,25 @@ pub(crate) fn run_ce(
                 match r.emission {
                     None => st.on_exhausted(r.qi),
                     Some((id, d)) => {
+                        // Coordinator-side recording keeps the trace
+                        // worker-count-invariant: replies fold in qi order
+                        // regardless of which worker produced them.
+                        let was_phase1 = st.in_phase1();
+                        let obs = reporter.obs();
+                        obs.incr(Metric::SpIneEmissions);
+                        obs.incr(if was_phase1 {
+                            Metric::CeFilterDistanceComputations
+                        } else {
+                            Metric::CeRefinementDistanceComputations
+                        });
                         // Pre-round (stale) bounds: valid under-estimates
                         // for every emission of this round.
                         st.on_emission(r.qi, id, d, &bounds);
+                        if was_phase1 && !st.in_phase1() {
+                            reporter.obs().event(Event::Phase {
+                                label: "refinement",
+                            });
+                        }
                         advanced.push((r.qi, r.bound));
                     }
                 }

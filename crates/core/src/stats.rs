@@ -8,6 +8,7 @@
 //! reporter timestamps the first arrival.
 
 use rn_graph::ObjectId;
+use rn_obs::QueryTrace;
 use rn_storage::IoStats;
 use std::time::{Duration, Instant};
 
@@ -31,6 +32,7 @@ pub struct Reporter {
     io: Option<IoStats>,
     start_faults: u64,
     first_faults: Option<u64>,
+    trace: QueryTrace,
 }
 
 impl Reporter {
@@ -43,6 +45,7 @@ impl Reporter {
             io: None,
             start_faults: 0,
             first_faults: None,
+            trace: QueryTrace::new(),
         }
     }
 
@@ -57,7 +60,22 @@ impl Reporter {
             io: Some(io),
             start_faults,
             first_faults: None,
+            trace: QueryTrace::new(),
         }
+    }
+
+    /// The query's observability recorder. Algorithm drivers bump
+    /// [`rn_obs::Metric`] counters and emit [`rn_obs::Event`]s through
+    /// this; they must only do so from the coordinator side so the trace
+    /// stays worker-count-invariant (DESIGN.md §10).
+    pub fn obs(&mut self) -> &mut QueryTrace {
+        &mut self.trace
+    }
+
+    /// Detaches the recorded trace (leaving an empty one behind) so the
+    /// engine can finish assembling it after the points are consumed.
+    pub fn take_obs(&mut self) -> QueryTrace {
+        std::mem::take(&mut self.trace)
     }
 
     /// Records a confirmed skyline point (timestamping the first).

@@ -54,6 +54,10 @@ pub struct AStar<'a> {
     target: Option<Target>,
     rec: AdjRecord,
     expansions: u64,
+    /// Exact distances read via [`AStar::result`].
+    confirms: u64,
+    /// [`AStar::set_target`] calls on this engine since the last rebase.
+    retargets: u64,
 }
 
 impl<'a> AStar<'a> {
@@ -69,6 +73,8 @@ impl<'a> AStar<'a> {
             target: None,
             rec: AdjRecord::default(),
             expansions: 0,
+            confirms: 0,
+            retargets: 0,
         };
         let edge = ctx.net.edge(source.edge);
         let (du, dv) = ctx.net.position_endpoint_dists(&source);
@@ -91,6 +97,8 @@ impl<'a> AStar<'a> {
         self.heap.clear();
         self.target = None;
         self.expansions = 0;
+        self.confirms = 0;
+        self.retargets = 0;
         let edge = self.ctx.net.edge(source.edge);
         let (du, dv) = self.ctx.net.position_endpoint_dists(&source);
         self.open.insert(edge.u, (du, self.ctx.net.point(edge.u)));
@@ -112,6 +120,16 @@ impl<'a> AStar<'a> {
         self.expansions
     }
 
+    /// Exact distances read via [`AStar::result`] so far.
+    pub fn confirms(&self) -> u64 {
+        self.confirms
+    }
+
+    /// [`AStar::set_target`] calls so far (across all targets).
+    pub fn retargets(&self) -> u64 {
+        self.retargets
+    }
+
     /// Exact distance of `n` if it has been settled by any past target run.
     pub fn settled_distance(&self, n: NodeId) -> Option<f64> {
         self.dist.get_copied(n)
@@ -121,6 +139,7 @@ impl<'a> AStar<'a> {
     /// new heuristic and seeding the best-known path from state already
     /// settled. Any previous target is abandoned.
     pub fn set_target(&mut self, pos: NetPosition) {
+        self.retargets += 1;
         let point = self.ctx.net.position_point(&pos);
         let mut known = f64::INFINITY;
         if pos.edge == self.source.edge {
@@ -198,7 +217,9 @@ impl<'a> AStar<'a> {
 
     /// The network distance to the current target; only meaningful once
     /// [`AStar::is_resolved`] returns `true` (infinite if unreachable).
-    pub fn result(&self) -> f64 {
+    /// Counted as a confirmation ([`AStar::confirms`]).
+    pub fn result(&mut self) -> f64 {
+        self.confirms += 1;
         self.target
             .as_ref()
             .expect("result requires a target")

@@ -38,6 +38,8 @@ pub struct IncrementalExpansion<'a> {
     pending: BinaryHeap<Reverse<(OrdF64, ObjectId)>>,
     /// Objects already reported.
     emitted: BTreeSet<ObjectId>,
+    /// Objects emitted so far (`next_nearest` returning `Some`).
+    emissions: u64,
 }
 
 impl<'a> IncrementalExpansion<'a> {
@@ -49,6 +51,7 @@ impl<'a> IncrementalExpansion<'a> {
             best: BTreeMap::new(),
             pending: BinaryHeap::new(),
             emitted: BTreeSet::new(),
+            emissions: 0,
         };
         // Objects sharing the source edge are reachable directly along it.
         for rec in ctx.mid.objects_on_edge(source.edge) {
@@ -61,6 +64,11 @@ impl<'a> IncrementalExpansion<'a> {
     /// The underlying wavefront (for radius/settled-count introspection).
     pub fn wavefront(&self) -> &Dijkstra<'a> {
         &self.dij
+    }
+
+    /// Objects emitted so far in ascending network-distance order.
+    pub fn emissions(&self) -> u64 {
+        self.emissions
     }
 
     /// A certified lower bound on the network distance of every object
@@ -127,6 +135,7 @@ impl<'a> IncrementalExpansion<'a> {
                 if d <= self.dij.radius() || self.dij.is_exhausted() {
                     self.pending.pop();
                     self.emitted.insert(obj);
+                    self.emissions += 1;
                     return Some((obj, d));
                 }
             } else if self.dij.is_exhausted() {

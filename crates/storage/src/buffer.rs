@@ -8,7 +8,7 @@
 use crate::page::{Disk, PageId, PAGE_SIZE};
 use crate::stats::IoStats;
 use bytes::Bytes;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Default buffer size in bytes (1 MB, as in the paper).
 pub const DEFAULT_BUFFER_BYTES: usize = 1 << 20;
@@ -41,6 +41,12 @@ pub struct BufferPool {
     tail: usize,
     capacity: usize,
     stats: IoStats,
+    /// Every page this pool has ever faulted in, for cold/warm fault
+    /// attribution: a miss on a never-seen page is compulsory (cold), a
+    /// miss on a seen page is a re-fault of an evicted page (warm).
+    /// Cleared together with the cache so a `clear()`ed pool attributes
+    /// like a fresh one.
+    seen: HashSet<PageId>,
 }
 
 impl BufferPool {
@@ -57,6 +63,7 @@ impl BufferPool {
             tail: NIL,
             capacity,
             stats,
+            seen: HashSet::new(),
         }
     }
 
@@ -93,18 +100,25 @@ impl BufferPool {
             self.touch(fi);
             return self.frames[fi].data.clone();
         }
-        self.stats.record_fault();
+        if self.seen.insert(page) {
+            self.stats.record_fault_cold();
+        } else {
+            self.stats.record_fault_warm();
+        }
         let data = disk.read(page);
         self.insert(page, data.clone());
         data
     }
 
-    /// Drops every cached page (the counters are left untouched).
+    /// Drops every cached page (the counters are left untouched). The
+    /// cold/warm attribution history is dropped too, so a cleared pool
+    /// classifies faults exactly like a freshly built one.
     pub fn clear(&mut self) {
         self.frames.clear();
         self.map.clear();
         self.head = NIL;
         self.tail = NIL;
+        self.seen.clear();
     }
 
     /// `true` when `page` is currently cached (no recency update, no
@@ -248,6 +262,36 @@ mod tests {
         pool.get(&d, PageId(0));
         assert_eq!(stats.snapshot().faults, 3);
         assert_eq!(pool.len(), 1);
+    }
+
+    #[test]
+    fn classifies_cold_and_warm_faults() {
+        let d = disk_with(4);
+        let stats = IoStats::new();
+        let mut pool = BufferPool::new(2, stats.clone());
+        pool.get(&d, PageId(0)); // cold
+        pool.get(&d, PageId(1)); // cold
+        pool.get(&d, PageId(2)); // cold, evicts 0
+        pool.get(&d, PageId(0)); // warm re-fault, evicts 1
+        pool.get(&d, PageId(0)); // hit
+        let s = stats.snapshot();
+        assert_eq!(s.faults, 4);
+        assert_eq!(s.cold_faults, 3);
+        assert_eq!(s.warm_faults, 1);
+        assert_eq!(s.cold_faults + s.warm_faults, s.faults);
+    }
+
+    #[test]
+    fn clear_resets_cold_warm_attribution() {
+        let d = disk_with(2);
+        let stats = IoStats::new();
+        let mut pool = BufferPool::new(2, stats.clone());
+        pool.get(&d, PageId(0));
+        pool.clear();
+        pool.get(&d, PageId(0)); // cold again: history was dropped
+        let s = stats.snapshot();
+        assert_eq!(s.cold_faults, 2);
+        assert_eq!(s.warm_faults, 0);
     }
 
     #[test]

@@ -31,4 +31,4 @@ pub mod stats;
 pub use buffer::BufferPool;
 pub use netstore::{AdjEntry, AdjRecord, NetworkStore};
 pub use page::{PageId, PAGE_SIZE};
-pub use stats::IoStats;
+pub use stats::{IoSnapshot, IoStats};

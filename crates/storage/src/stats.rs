@@ -17,6 +17,8 @@ pub struct IoStats {
 struct Counters {
     logical: AtomicU64,
     faults: AtomicU64,
+    cold_faults: AtomicU64,
+    warm_faults: AtomicU64,
 }
 
 /// A point-in-time copy of the counters.
@@ -27,6 +29,10 @@ pub struct IoSnapshot {
     /// Buffer misses that had to touch the simulated disk — the paper's
     /// "disk pages accessed".
     pub faults: u64,
+    /// Compulsory faults: first-ever touch of a page by this pool.
+    pub cold_faults: u64,
+    /// Re-faults: the page had been cached before and was evicted.
+    pub warm_faults: u64,
 }
 
 impl IoSnapshot {
@@ -36,6 +42,8 @@ impl IoSnapshot {
         IoSnapshot {
             logical: self.logical.saturating_sub(earlier.logical),
             faults: self.faults.saturating_sub(earlier.faults),
+            cold_faults: self.cold_faults.saturating_sub(earlier.cold_faults),
+            warm_faults: self.warm_faults.saturating_sub(earlier.warm_faults),
         }
     }
 
@@ -61,11 +69,26 @@ impl IoStats {
         self.inner.logical.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Records one page request that missed the buffer and hit the disk.
+    /// Records one page request that missed the buffer and hit the disk,
+    /// without cold/warm attribution (legacy callers).
     #[inline]
     pub fn record_fault(&self) {
         self.inner.logical.fetch_add(1, Ordering::Relaxed);
         self.inner.faults.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a compulsory (first-touch) fault.
+    #[inline]
+    pub fn record_fault_cold(&self) {
+        self.record_fault();
+        self.inner.cold_faults.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a re-fault of a page that was cached before and evicted.
+    #[inline]
+    pub fn record_fault_warm(&self) {
+        self.record_fault();
+        self.inner.warm_faults.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Copies the current counter values.
@@ -73,13 +96,17 @@ impl IoStats {
         IoSnapshot {
             logical: self.inner.logical.load(Ordering::Relaxed),
             faults: self.inner.faults.load(Ordering::Relaxed),
+            cold_faults: self.inner.cold_faults.load(Ordering::Relaxed),
+            warm_faults: self.inner.warm_faults.load(Ordering::Relaxed),
         }
     }
 
-    /// Resets both counters to zero.
+    /// Resets all counters to zero.
     pub fn reset(&self) {
         self.inner.logical.store(0, Ordering::Relaxed);
         self.inner.faults.store(0, Ordering::Relaxed);
+        self.inner.cold_faults.store(0, Ordering::Relaxed);
+        self.inner.warm_faults.store(0, Ordering::Relaxed);
     }
 }
 
@@ -97,6 +124,29 @@ mod tests {
         assert_eq!(snap.logical, 3);
         assert_eq!(snap.faults, 1);
         assert!((snap.hit_ratio() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn attributes_cold_and_warm_faults() {
+        let s = IoStats::new();
+        s.record_fault_cold();
+        s.record_fault_cold();
+        s.record_fault_warm();
+        s.record_hit();
+        let snap = s.snapshot();
+        assert_eq!(snap.logical, 4);
+        assert_eq!(snap.faults, 3);
+        assert_eq!(snap.cold_faults, 2);
+        assert_eq!(snap.warm_faults, 1);
+        let d = s.snapshot().since(&snap);
+        assert_eq!(d, IoSnapshot::default());
+        s.record_fault_warm();
+        let d = s.snapshot().since(&snap);
+        assert_eq!(d.faults, 1);
+        assert_eq!(d.cold_faults, 0);
+        assert_eq!(d.warm_faults, 1);
+        s.reset();
+        assert_eq!(s.snapshot(), IoSnapshot::default());
     }
 
     #[test]

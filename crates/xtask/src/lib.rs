@@ -11,6 +11,7 @@
 //! | `unsafe` | every crate root keeps `#![forbid(unsafe_code)]` |
 //! | `apsp` | the paper's complexity class — no pre-computed all-pairs distance structures (Theorem 1's instance-optimality is proven over on-the-fly algorithms) |
 //! | `hot-lock` | scalability of the parallel engine — no `Mutex`/`RwLock` on the per-node hot path; shared state must be atomics or thread-local accumulation merged after the join |
+//! | `metric-name` | the observability contract — every string literal passed to `Metric::from_name` / `QueryTrace::get_name` must appear in the `METRIC_NAMES` registry of `crates/obs` |
 //!
 //! The pass is purely lexical: comments and string literals are blanked
 //! before matching, `#[cfg(test)]` regions are tracked so test-only code
@@ -58,6 +59,67 @@ pub const RULE_UNSAFE: &str = "unsafe";
 pub const RULE_APSP: &str = "apsp";
 /// See [`RULE_FLOAT_ORD`].
 pub const RULE_HOT_LOCK: &str = "hot-lock";
+/// See [`RULE_FLOAT_ORD`].
+pub const RULE_METRIC_NAME: &str = "metric-name";
+
+/// The set of legal metric names, parsed from the marker-bracketed
+/// `METRIC_NAMES` table in `crates/obs/src/lib.rs`. The `metric-name`
+/// rule checks every string literal passed to `Metric::from_name` /
+/// `QueryTrace::get_name` against it, so a typo'd counter name fails
+/// `cargo run -p xtask -- lint` instead of silently reading zero.
+pub struct MetricRegistry {
+    names: Vec<String>,
+}
+
+impl MetricRegistry {
+    /// Builds a registry from an explicit name list (fixture tests).
+    pub fn new(names: Vec<String>) -> MetricRegistry {
+        MetricRegistry { names }
+    }
+
+    /// Parses the registry out of the obs crate root: every string
+    /// literal on the lines between `metric-names:begin` and
+    /// `metric-names:end`. Returns `None` when the markers are missing
+    /// (the rule is then skipped rather than mass-firing).
+    pub fn parse(obs_source: &str) -> Option<MetricRegistry> {
+        let mut names = Vec::new();
+        let mut inside = false;
+        let mut seen_markers = false;
+        for line in obs_source.lines() {
+            if line.contains("metric-names:begin") {
+                inside = true;
+                seen_markers = true;
+                continue;
+            }
+            if line.contains("metric-names:end") {
+                inside = false;
+                continue;
+            }
+            if inside {
+                names.extend(quoted_literals(line));
+            }
+        }
+        (seen_markers && !names.is_empty()).then_some(MetricRegistry { names })
+    }
+
+    fn contains(&self, name: &str) -> bool {
+        self.names.iter().any(|n| n == name)
+    }
+}
+
+/// Every `"..."` literal on one line (no escapes — metric names are
+/// plain dotted identifiers).
+fn quoted_literals(line: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = line;
+    while let Some(open) = rest.find('"') {
+        let after = &rest[open + 1..];
+        let Some(close) = after.find('"') else { break };
+        out.push(after[..close].to_string());
+        rest = &after[close + 1..];
+    }
+    out
+}
 
 /// Lints every Rust source under `root` and returns the findings,
 /// sorted by file then line.
@@ -66,6 +128,10 @@ pub fn lint_workspace(root: &Path) -> Vec<Violation> {
     for top in ["crates", "shims", "tests", "examples"] {
         collect_rs_files(&root.join(top), &mut files);
     }
+    // The metric-name registry: parsed once from the obs crate root.
+    let registry = std::fs::read_to_string(root.join("crates/obs/src/lib.rs"))
+        .ok()
+        .and_then(|s| MetricRegistry::parse(&s));
     let mut out = Vec::new();
     for file in files {
         let rel = rel_path(root, &file);
@@ -76,15 +142,26 @@ pub fn lint_workspace(root: &Path) -> Vec<Violation> {
         let Ok(source) = std::fs::read_to_string(&file) else {
             continue;
         };
-        out.extend(lint_file(&rel, &source));
+        out.extend(lint_file_with(&rel, &source, registry.as_ref()));
     }
     out.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
     out
 }
 
 /// Lints a single file given its workspace-relative path (which decides
-/// rule scope) and contents. Exposed for the fixture tests.
+/// rule scope) and contents. Exposed for the fixture tests. The
+/// `metric-name` rule needs the workspace-level registry, so this form
+/// runs every rule except it; see [`lint_file_with`].
 pub fn lint_file(rel: &str, source: &str) -> Vec<Violation> {
+    lint_file_with(rel, source, None)
+}
+
+/// [`lint_file`] plus the `metric-name` rule when a registry is given.
+pub fn lint_file_with(
+    rel: &str,
+    source: &str,
+    registry: Option<&MetricRegistry>,
+) -> Vec<Violation> {
     let scope = Scope::of(rel);
     let clean = CleanSource::new(source, scope.whole_file_is_test);
     let mut out = Vec::new();
@@ -106,6 +183,9 @@ pub fn lint_file(rel: &str, source: &str) -> Vec<Violation> {
     }
     if scope.check_hot_lock {
         rule_hot_lock(rel, &clean, &mut out);
+    }
+    if let Some(reg) = registry {
+        rule_metric_name(rel, source, &clean, reg, &mut out);
     }
     out
 }
@@ -674,6 +754,81 @@ fn rule_hot_lock(rel: &str, clean: &CleanSource, out: &mut Vec<Violation>) {
     }
 }
 
+/// `metric-name`: a string literal passed to `Metric::from_name` or
+/// `QueryTrace::get_name` that is not in the `METRIC_NAMES` registry can
+/// never resolve — the lookup silently yields `None`/zero. Blanking keeps
+/// byte offsets stable, so the literal's text is read from the *raw*
+/// source at the offsets the cleaned scan found. Applies to test code
+/// too (a typo'd counter name in an assertion hides a regression);
+/// deliberate negative lookups carry `// lint: allow(metric-name)`.
+fn rule_metric_name(
+    rel: &str,
+    raw: &str,
+    clean: &CleanSource,
+    registry: &MetricRegistry,
+    out: &mut Vec<Violation>,
+) {
+    let bytes = clean.text.as_bytes();
+    for token in ["from_name", "get_name"] {
+        for at in find_idents(&clean.text, token) {
+            // Method/function call: the ident must be followed by `(`.
+            let mut i = at + token.len();
+            while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+                i += 1;
+            }
+            if bytes.get(i) != Some(&b'(') {
+                continue;
+            }
+            i += 1;
+            while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+                i += 1;
+            }
+            // Only literal arguments are checkable; variables pass.
+            if bytes.get(i) != Some(&b'"') {
+                continue;
+            }
+            let Some(name) = read_string_literal(raw, i) else {
+                continue;
+            };
+            if registry.contains(&name) {
+                continue;
+            }
+            let lineno = clean.line_of(at);
+            if clean.allowed(lineno, RULE_METRIC_NAME) {
+                continue;
+            }
+            out.push(Violation {
+                file: rel.to_string(),
+                line: lineno + 1,
+                rule: RULE_METRIC_NAME,
+                message: format!(
+                    "\"{name}\" is not in the METRIC_NAMES registry \
+                     (crates/obs/src/lib.rs); the lookup can never resolve — \
+                     fix the name or register the metric"
+                ),
+            });
+        }
+    }
+}
+
+/// Reads the `"..."` literal opening at byte `open` of the raw source.
+fn read_string_literal(raw: &str, open: usize) -> Option<String> {
+    let bytes = raw.as_bytes();
+    if bytes.get(open) != Some(&b'"') {
+        return None;
+    }
+    let mut i = open + 1;
+    let start = i;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return Some(raw[start..i].to_string()),
+            _ => i += 1,
+        }
+    }
+    None
+}
+
 /// If the text after a map ident is `<(T, T)` (whitespace-tolerant),
 /// returns `T`.
 fn pair_key_of(text: &str, after: usize) -> Option<String> {
@@ -901,6 +1056,42 @@ mod tests {
         assert!(lint_file("crates/par/src/pool.rs", in_test).is_empty());
         let allowed = "use std::sync::RwLock; // lint: allow(hot-lock)\n";
         assert!(lint_file("crates/sp/src/dijkstra.rs", allowed).is_empty());
+    }
+
+    #[test]
+    fn metric_name_checks_literals_against_registry() {
+        let reg = MetricRegistry::new(vec!["sp.heap_pops".into(), "query.candidates".into()]);
+        let src = "fn f(t: &QueryTrace) {\n    let _ = t.get_name(\"sp.heap_pops\");\n    let _ = t.get_name(\"sp.heap_popz\");\n    let _ = Metric::from_name(\"query.candidate\");\n    let name = pick();\n    let _ = Metric::from_name(name);\n}\n";
+        let v = lint_file_with("crates/core/src/stats.rs", src, Some(&reg));
+        let mut lines: Vec<usize> = v
+            .iter()
+            .filter(|v| v.rule == RULE_METRIC_NAME)
+            .map(|v| v.line)
+            .collect();
+        lines.sort_unstable();
+        assert_eq!(lines, vec![3, 4], "got: {v:?}");
+        // Without a registry the rule never runs.
+        assert!(lint_file("crates/core/src/stats.rs", src).is_empty());
+    }
+
+    #[test]
+    fn metric_name_suppressible_and_skips_definitions() {
+        let reg = MetricRegistry::new(vec!["sp.heap_pops".into()]);
+        let suppressed = "fn f() {\n    // lint: allow(metric-name) — deliberate negative probe\n    let _ = Metric::from_name(\"no.such.metric\");\n}\n";
+        assert!(lint_file_with("tests/x.rs", suppressed, Some(&reg)).is_empty());
+        // The registry function's own definition is not a call site.
+        let def = "pub fn from_name(name: &str) -> Option<Metric> { None }\n";
+        assert!(lint_file_with("crates/obs/src/metrics.rs", def, Some(&reg)).is_empty());
+    }
+
+    #[test]
+    fn metric_registry_parses_marker_bracketed_table() {
+        let src = "pub const METRIC_NAMES: [&str; 2] = [\n    // metric-names:begin\n    \"sp.heap_pops\",\n    \"query.candidates\",\n    // metric-names:end\n];\n";
+        let reg = MetricRegistry::parse(src).expect("markers present");
+        assert!(reg.contains("sp.heap_pops"));
+        assert!(reg.contains("query.candidates"));
+        assert!(!reg.contains("sp.heap_popz"));
+        assert!(MetricRegistry::parse("no markers here").is_none());
     }
 
     #[test]

@@ -47,7 +47,8 @@ fn print_usage() {
          unwrap       no bare .unwrap() in core/sp hot paths\n    \
          unsafe       every crate root keeps #![forbid(unsafe_code)]\n    \
          apsp         no pre-computed all-pairs distance structures (Theorem 1 class)\n    \
-         hot-lock     no Mutex/RwLock on the per-node hot path (atomics or merge)\n\n\
+         hot-lock     no Mutex/RwLock on the per-node hot path (atomics or merge)\n    \
+         metric-name  metric-name literals must be in the crates/obs METRIC_NAMES registry\n\n\
          Suppress a finding with `// lint: allow(<rule>)` on the same or preceding line."
     );
 }
@@ -71,7 +72,8 @@ fn run_lint(root: &std::path::Path) -> ExitCode {
     }
     if violations.is_empty() {
         println!(
-            "xtask lint: clean (rules: float-ord, hash-order, unwrap, unsafe, apsp, hot-lock)"
+            "xtask lint: clean (rules: float-ord, hash-order, unwrap, unsafe, apsp, hot-lock, \
+             metric-name)"
         );
         ExitCode::SUCCESS
     } else {

@@ -3,7 +3,7 @@
 //! loudly. The fixtures live under `tests/fixtures/`, which
 //! `lint_workspace` skips — they must never fail the real workspace lint.
 
-use xtask::{lint_file, Violation};
+use xtask::{lint_file, lint_file_with, MetricRegistry, Violation};
 
 fn lines_for<'a>(violations: &'a [Violation], rule: &str) -> Vec<(usize, &'a str)> {
     violations
@@ -93,6 +93,23 @@ fn hot_lock_fixture_fires() {
             (9, "hot-lock"),
             (14, "hot-lock"),
         ],
+        "got: {v:?}"
+    );
+}
+
+#[test]
+fn metric_name_fixture_fires() {
+    let src = include_str!("fixtures/metric_name.rs");
+    // The real registry, parsed from the obs crate root exactly as
+    // `lint_workspace` does it.
+    let obs = include_str!("../../obs/src/lib.rs");
+    let reg = MetricRegistry::parse(obs).expect("obs crate carries metric-names markers");
+    let v = lint_file_with("crates/core/src/stats.rs", src, Some(&reg));
+    let mut got = lines_for(&v, xtask::RULE_METRIC_NAME);
+    got.sort_unstable();
+    assert_eq!(
+        got,
+        vec![(7, "metric-name"), (8, "metric-name")],
         "got: {v:?}"
     );
 }

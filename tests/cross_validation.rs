@@ -6,65 +6,11 @@
 //! agreement across dozens of random networks, object densities and query
 //! arities is strong evidence each is individually correct.
 
+mod common;
+
+use common::{assert_all_agree, workload};
 use msq_core::{Algorithm, SkylineEngine};
-use rn_graph::NetPosition;
 use rn_workload::{generate_network, generate_objects, generate_queries, NetGenConfig};
-
-#[allow(clippy::too_many_arguments)]
-fn workload(
-    seed: u64,
-    cols: usize,
-    rows: usize,
-    edges: usize,
-    omega: f64,
-    nq: usize,
-    detour_prob: f64,
-    detour_max: f64,
-) -> (SkylineEngine, Vec<NetPosition>) {
-    let net = generate_network(&NetGenConfig {
-        cols,
-        rows,
-        edges,
-        jitter: 0.3,
-        detour_prob,
-        detour_stretch: (1.05, detour_max.max(1.05)),
-        seed,
-    });
-    let objects = generate_objects(&net, omega, seed + 1);
-    let queries = generate_queries(&net, nq, 0.2, seed + 2);
-    (SkylineEngine::build(net, objects), queries)
-}
-
-fn assert_all_agree(engine: &SkylineEngine, queries: &[NetPosition], label: &str) {
-    let brute = engine.run(Algorithm::Brute, queries);
-    for algo in [
-        Algorithm::Ce,
-        Algorithm::Edc,
-        Algorithm::EdcBatch,
-        Algorithm::Lbc,
-        Algorithm::LbcNoPlb,
-    ] {
-        let r = engine.run(algo, queries);
-        assert_eq!(
-            r.ids(),
-            brute.ids(),
-            "{label}: {} disagrees with brute force",
-            algo.name()
-        );
-        // Vectors must agree too, not just membership.
-        for p in &r.skyline {
-            let want = brute.vector_of(p.object).expect("object in brute skyline");
-            for (a, b) in p.vector.iter().zip(want) {
-                assert!(
-                    rn_geom::approx_eq(*a, *b),
-                    "{label}: {} vector mismatch for {:?}: {a} vs {b}",
-                    algo.name(),
-                    p.object
-                );
-            }
-        }
-    }
-}
 
 #[test]
 fn agreement_across_seeds_two_queries() {

@@ -2,16 +2,11 @@
 //! engine → queries → statistics, exercised the way the benchmark harness
 //! (and a downstream user) drives the library.
 
-use msq_core::{Algorithm, SkylineEngine};
-use rn_graph::connectivity::is_connected;
-use rn_workload::{ca_like, generate_objects, generate_queries};
+mod common;
 
-fn ca_engine(omega: f64) -> SkylineEngine {
-    let net = ca_like(11);
-    assert!(is_connected(&net));
-    let objects = generate_objects(&net, omega, 111);
-    SkylineEngine::build(net, objects)
-}
+use common::ca_engine;
+use msq_core::{Algorithm, SkylineEngine};
+use rn_workload::{ca_like, generate_objects, generate_queries};
 
 #[test]
 fn full_pipeline_on_ca_preset() {

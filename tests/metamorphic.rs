@@ -1,0 +1,179 @@
+//! Metamorphic test suite (ISSUE 3, satellite c).
+//!
+//! Property-based invariances no oracle is needed for — each transforms
+//! a query (or the whole network) in a way with a *provable* effect on
+//! the skyline, then checks the engine observes it:
+//!
+//! * **Query-point permutation** — the skyline is a set property of the
+//!   distance vectors; permuting `Q` permutes vector dimensions but
+//!   cannot change membership. Trace-level corollaries: the
+//!   `query.skyline.size` counter is invariant, and brute's
+//!   `query.candidates` stays `m` (it always materialises every object).
+//! * **Uniform edge scaling** — scaling all geometry by a power of two
+//!   `k` multiplies every network distance by exactly `k` (IEEE doubles:
+//!   scaling by `2^j` shifts exponents; `sqrt(2^{2j}·s) = 2^j·sqrt(s)`),
+//!   so domination comparisons — and the skyline — are bit-for-bit
+//!   unchanged, and every vector is exactly `k ×` the original.
+//! * **Query-point duplication** — a duplicated dimension duplicates a
+//!   coordinate in every vector, which never flips a domination.
+
+mod common;
+
+use msq_core::{Algorithm, Metric, SkylineEngine};
+use proptest::prelude::*;
+use rn_geom::{Point, Polyline};
+use rn_graph::{NetPosition, NetworkBuilder, RoadNetwork};
+use rn_workload::{generate_objects, generate_queries};
+
+/// Sorted skyline object ids.
+fn ids(r: &msq_core::SkylineResult) -> Vec<u32> {
+    let mut v: Vec<u32> = r.skyline.iter().map(|p| p.object.0).collect();
+    v.sort_unstable();
+    v
+}
+
+/// Rebuilds `net` with every coordinate and length scaled by `k`.
+/// Straight chords are re-derived from the scaled endpoints; stretched
+/// (weighted) edges keep their stretch via `add_weighted_edge`; shaped
+/// polylines are rebuilt from their scaled vertices.
+fn scale_network(net: &RoadNetwork, k: f64) -> RoadNetwork {
+    let scale = |p: Point| Point::new(p.x * k, p.y * k);
+    let mut b = NetworkBuilder::new();
+    for node in net.nodes() {
+        b.add_node(scale(node.point));
+    }
+    for e in net.edges() {
+        let verts = e.geometry.vertices();
+        if verts.len() > 2 {
+            let scaled: Vec<Point> = verts.iter().map(|&p| scale(p)).collect();
+            b.add_polyline_edge(e.u, e.v, Polyline::new(scaled))
+                .expect("scaled polyline edge stays valid");
+        } else {
+            // Chord geometry: the length may exceed the chord (stretched
+            // detour edges) — preserve the stretch exactly.
+            b.add_weighted_edge(e.u, e.v, e.length * k)
+                .expect("scaled weighted edge stays valid");
+        }
+    }
+    b.build().expect("scaled network builds")
+}
+
+/// The same position on the scaled network: offsets are measured along
+/// edge geometry, so they scale with it.
+fn scale_positions(ps: &[NetPosition], k: f64) -> Vec<NetPosition> {
+    ps.iter()
+        .map(|p| NetPosition::new(p.edge, p.offset * k))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Permuting the query points never changes the skyline set, and the
+    /// permuted run's vectors are the original vectors re-indexed.
+    #[test]
+    fn skyline_invariant_under_query_permutation(p in common::params()) {
+        let Some(engine) = common::build(&p) else { return Ok(()) };
+        let queries = generate_queries(engine.network(), p.nq.max(2), 0.5, p.seed + 7);
+        // A deterministic non-trivial permutation: rotate by one.
+        let mut permuted = queries.clone();
+        permuted.rotate_left(1);
+
+        for algo in Algorithm::PAPER_SET {
+            let a = engine.run(algo, &queries);
+            let b = engine.run(algo, &permuted);
+            prop_assert_eq!(
+                ids(&a), ids(&b),
+                "{} skyline changed under permutation: {:?}", algo.name(), p
+            );
+            prop_assert_eq!(
+                a.trace.get(Metric::QuerySkylineSize),
+                b.trace.get(Metric::QuerySkylineSize),
+                "{} skyline-size counter changed under permutation: {:?}",
+                algo.name(), p
+            );
+            // Vectors are re-indexed by the same rotation, bit for bit.
+            let n = queries.len();
+            for point in &a.skyline {
+                let rotated = b.vector_of(point.object).expect("same membership");
+                for (j, got) in rotated.iter().enumerate() {
+                    prop_assert_eq!(
+                        point.vector[(j + 1) % n].to_bits(),
+                        got.to_bits(),
+                        "{} vector not permuted for {:?}: {:?}",
+                        algo.name(), point.object, p
+                    );
+                }
+            }
+        }
+        // Brute materialises every object regardless of query order.
+        let br_a = engine.run(Algorithm::Brute, &queries);
+        let br_b = engine.run(Algorithm::Brute, &permuted);
+        prop_assert_eq!(
+            br_a.trace.get(Metric::QueryCandidates),
+            engine.object_count() as u64
+        );
+        prop_assert_eq!(
+            br_a.trace.get(Metric::QueryCandidates),
+            br_b.trace.get(Metric::QueryCandidates)
+        );
+    }
+
+    /// Scaling all geometry by a power of two scales every vector by
+    /// exactly that factor and keeps the skyline identical.
+    #[test]
+    fn skyline_invariant_under_uniform_scaling(p in common::params(), k_exp in -1i32..=2) {
+        let k = 2.0f64.powi(k_exp); // 0.5, 1, 2 or 4: exact in IEEE f64
+        let Some(engine) = common::build(&p) else { return Ok(()) };
+        let objects = generate_objects(engine.network(), p.omega, p.seed + 1);
+        let queries = generate_queries(engine.network(), p.nq, 0.5, p.seed + 7);
+
+        let scaled_net = scale_network(engine.network(), k);
+        let scaled_engine = SkylineEngine::build(scaled_net, scale_positions(&objects, k));
+        let scaled_queries = scale_positions(&queries, k);
+
+        for algo in Algorithm::PAPER_SET {
+            let a = engine.run(algo, &queries);
+            let b = scaled_engine.run(algo, &scaled_queries);
+            prop_assert_eq!(
+                ids(&a), ids(&b),
+                "{} skyline changed under x{} scaling: {:?}", algo.name(), k, p
+            );
+            for point in &a.skyline {
+                let scaled = b.vector_of(point.object).expect("same membership");
+                for (orig, got) in point.vector.iter().zip(scaled) {
+                    prop_assert_eq!(
+                        (orig * k).to_bits(),
+                        got.to_bits(),
+                        "{} vector not exactly x{} for {:?}: {} vs {}: {:?}",
+                        algo.name(), k, point.object, orig * k, got, p
+                    );
+                }
+            }
+        }
+    }
+
+    /// Duplicating a query point duplicates a vector dimension, which
+    /// never changes domination — the skyline set is unchanged.
+    #[test]
+    fn skyline_invariant_under_query_duplication(p in common::params()) {
+        let Some(engine) = common::build(&p) else { return Ok(()) };
+        let queries = generate_queries(engine.network(), p.nq, 0.5, p.seed + 7);
+        let mut doubled = queries.clone();
+        doubled.push(queries[p.seed as usize % queries.len()]);
+
+        for algo in Algorithm::PAPER_SET {
+            let a = engine.run(algo, &queries);
+            let b = engine.run(algo, &doubled);
+            prop_assert_eq!(
+                ids(&a), ids(&b),
+                "{} skyline changed when a query point was duplicated: {:?}",
+                algo.name(), p
+            );
+            prop_assert_eq!(
+                a.trace.get(Metric::QuerySkylineSize),
+                b.trace.get(Metric::QuerySkylineSize)
+            );
+        }
+    }
+}

@@ -13,75 +13,13 @@
 //! does) to execute the same property with the runtime contract layer
 //! live on every heap pop, bound confirmation and dominance test.
 
-use msq_core::{Algorithm, BatchEngine, SkylineEngine, SkylineResult};
+mod common;
+
+use common::{build, canon, params};
+use msq_core::{Algorithm, BatchEngine, SkylineResult};
 use proptest::prelude::*;
 use rn_graph::NetPosition;
-use rn_workload::{generate_network, generate_objects, generate_queries, NetGenConfig};
-
-#[derive(Debug, Clone)]
-struct Params {
-    cols: usize,
-    rows: usize,
-    extra_edges: usize,
-    detour_prob: f64,
-    omega: f64,
-    nq: usize,
-    seed: u64,
-}
-
-fn params() -> impl Strategy<Value = Params> {
-    (
-        4usize..10,
-        4usize..10,
-        0usize..60,
-        0.0..0.8f64,
-        0.2..1.2f64,
-        1usize..6,
-        0u64..10_000,
-    )
-        .prop_map(
-            |(cols, rows, extra_edges, detour_prob, omega, nq, seed)| Params {
-                cols,
-                rows,
-                extra_edges,
-                detour_prob,
-                omega,
-                nq,
-                seed,
-            },
-        )
-}
-
-fn build(p: &Params) -> Option<SkylineEngine> {
-    let nodes = p.cols * p.rows;
-    let net = generate_network(&NetGenConfig {
-        cols: p.cols,
-        rows: p.rows,
-        edges: nodes - 1 + p.extra_edges,
-        jitter: 0.3,
-        detour_prob: p.detour_prob,
-        detour_stretch: (1.05, 1.6),
-        seed: p.seed,
-    });
-    let objects = generate_objects(&net, p.omega, p.seed + 1);
-    if objects.is_empty() {
-        return None;
-    }
-    Some(SkylineEngine::build(net, objects))
-}
-
-/// Canonical bitwise form of a result: `(object, vector bits)` sorted by
-/// object id. Two results with equal canon have identical skyline sets
-/// with identical `f64` vectors down to the last bit.
-fn canon(r: &SkylineResult) -> Vec<(u32, Vec<u64>)> {
-    let mut v: Vec<(u32, Vec<u64>)> = r
-        .skyline
-        .iter()
-        .map(|p| (p.object.0, p.vector.iter().map(|d| d.to_bits()).collect()))
-        .collect();
-    v.sort();
-    v
-}
+use rn_workload::generate_queries;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
@@ -99,9 +37,22 @@ proptest! {
                 .iter()
                 .map(|qs| engine.run_cold(algo, qs))
                 .collect();
+            let mut base_trace: Option<String> = None;
             for workers in [1usize, 2, 8] {
                 let out = BatchEngine::new(&engine, workers).run(algo, &batch);
                 prop_assert_eq!(out.results.len(), batch.len());
+                // The merged batch trace is bitwise identical at every
+                // worker count (DESIGN.md §10).
+                let trace_json = out.trace.to_json();
+                match &base_trace {
+                    None => base_trace = Some(trace_json),
+                    Some(base) => prop_assert_eq!(
+                        &trace_json,
+                        base,
+                        "{} merged trace diverged: workers={}, {:?}",
+                        algo.name(), workers, p
+                    ),
+                }
                 for (q, (par, seq)) in out.results.iter().zip(&sequential).enumerate() {
                     prop_assert_eq!(
                         canon(par),
@@ -147,6 +98,14 @@ proptest! {
                     r.stats.network_pages,
                     base.stats.network_pages,
                     "{} fault count not worker-count-invariant: workers={}, {:?}",
+                    algo.name(), workers, p
+                );
+                // Coordinator-side recording: counters and events are
+                // bitwise identical at every worker count.
+                prop_assert_eq!(
+                    r.trace.to_json(),
+                    base.trace.to_json(),
+                    "{} trace not worker-count-invariant: workers={}, {:?}",
                     algo.name(), workers, p
                 );
             }
