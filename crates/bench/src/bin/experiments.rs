@@ -32,6 +32,9 @@ fn main() {
     if want("throughput") {
         rn_bench::throughput::throughput();
     }
+    if want("sweep") {
+        rn_bench::sweep::sweep_report();
+    }
     if want("obs") || want("observability") {
         rn_bench::observability::observability();
     }

@@ -147,10 +147,20 @@ pub fn throughput() {
         let vals: Vec<f64> = s.cells.iter().map(|c| c.modeled_qps).collect();
         println!("{}", crate::harness::format_row(s.algo.name(), &vals, 2));
     }
-    print_header("T2  measured wall queries/sec (same batches)", &col_refs);
+    print_header(
+        "T2  measured wall queries/sec (same batches; '-' = oversubscribed, workers > host cores)",
+        &col_refs,
+    );
     for s in &series {
-        let vals: Vec<f64> = s.cells.iter().map(|c| c.measured_qps).collect();
-        println!("{}", crate::harness::format_row(s.algo.name(), &vals, 2));
+        let mut line = format!("{:>12} |", s.algo.name());
+        for c in &s.cells {
+            if c.workers > host_cores {
+                line.push_str(&format!(" {:>12}", "-"));
+            } else {
+                line.push_str(&format!(" {:>12.2}", c.measured_qps));
+            }
+        }
+        println!("{line}");
     }
 
     let json = render_json(&series, nsets, host_cores);
@@ -171,7 +181,7 @@ fn render_json(series: &[ThroughputSeries], nsets: usize, host_cores: usize) -> 
     out.push_str(&format!("  \"io_ms\": {},\n", io_ms()));
     out.push_str(&format!("  \"host_cores\": {host_cores},\n"));
     out.push_str(
-        "  \"note\": \"modeled_* = deterministic round-robin makespan over measured 1-worker per-query costs (wall + faults*io_ms); measured_* = actual concurrent wall on this host\",\n",
+        "  \"note\": \"modeled_* = deterministic round-robin makespan over measured 1-worker per-query costs (wall + faults*io_ms); measured_* = actual concurrent wall on this host; cells with workers > host_cores are flagged oversubscribed and their measured_qps is not a meaningful scaling signal\",\n",
     );
     out.push_str("  \"series\": [\n");
     for (si, s) in series.iter().enumerate() {
@@ -181,8 +191,9 @@ fn render_json(series: &[ThroughputSeries], nsets: usize, host_cores: usize) -> 
         out.push_str("      \"workers\": [\n");
         for (ci, c) in s.cells.iter().enumerate() {
             out.push_str(&format!(
-                "        {{\"workers\": {}, \"measured_wall_ms\": {:.3}, \"measured_qps\": {:.3}, \"modeled_makespan_ms\": {:.3}, \"modeled_qps\": {:.3}, \"modeled_speedup\": {:.3}}}{}\n",
+                "        {{\"workers\": {}, \"oversubscribed\": {}, \"measured_wall_ms\": {:.3}, \"measured_qps\": {:.3}, \"modeled_makespan_ms\": {:.3}, \"modeled_qps\": {:.3}, \"modeled_speedup\": {:.3}}}{}\n",
                 c.workers,
+                c.workers > host_cores,
                 c.measured_wall_ms,
                 c.measured_qps,
                 c.modeled_makespan_ms,
@@ -251,5 +262,9 @@ mod tests {
         assert_eq!(j.matches('[').count(), j.matches(']').count());
         assert!(j.contains("\"algo\": \"CE\""));
         assert!(j.contains("\"host_cores\": 1"));
+        // workers == host_cores: not oversubscribed.
+        assert!(j.contains("\"oversubscribed\": false"));
+        let j2 = render_json(&series, 8, 0);
+        assert!(j2.contains("\"oversubscribed\": true"));
     }
 }

@@ -32,14 +32,14 @@
 //! definition; on adversarial inputs it restores correctness — all three
 //! algorithms always return identical skylines.
 
-use crate::engine::{AlgoOutput, QueryInput};
+use crate::engine::{AlgoOutput, QueryInput, SweepMode};
 use crate::stats::{Reporter, SkylinePoint};
 use rn_geom::Point;
-use rn_graph::ObjectId;
+use rn_graph::{NetPosition, ObjectId};
 use rn_obs::{Event, Metric};
 use rn_skyline::dominance::{dominates, dominates_or_equal};
 use rn_skyline::EuclideanSkylineIter;
-use rn_sp::AStar;
+use rn_sp::{AStar, AStarStats};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// How EDC obtains network distance vectors — the only part of the
@@ -59,8 +59,9 @@ pub(crate) trait VectorBackend {
     /// Network distance vectors (plus static attributes) for each object,
     /// in `objs` order.
     fn vectors(&mut self, input: &QueryInput<'_>, objs: &[ObjectId]) -> Vec<Vec<f64>>;
-    /// Total nodes expanded across all engines so far.
-    fn expansions(&mut self) -> u64;
+    /// Cumulative engine counters summed across all engines so far — the
+    /// coordinator harvests these into the trace once, at end of run.
+    fn stats(&mut self) -> AStarStats;
 }
 
 /// The in-thread backend: one A\* engine per query point, settled tables
@@ -83,22 +84,44 @@ impl<'a> SeqBackend<'a> {
 
 impl VectorBackend for SeqBackend<'_> {
     fn vectors(&mut self, input: &QueryInput<'_>, objs: &[ObjectId]) -> Vec<Vec<f64>> {
-        objs.iter()
-            .map(|&obj| {
-                let pos = input.ctx.mid.position(obj);
-                let mut vec: Vec<f64> = self
-                    .engines
-                    .iter_mut()
-                    .map(|e| e.distance_to(pos))
+        let positions: Vec<NetPosition> = objs.iter().map(|&o| input.ctx.mid.position(o)).collect();
+        let mut rows: Vec<Vec<f64>> = match input.sweep {
+            // One pack sweep per dimension engine: the whole batch of
+            // destinations rides a single wavefront expansion.
+            SweepMode::Batched => {
+                let mut rows: Vec<Vec<f64>> = objs
+                    .iter()
+                    .map(|_| Vec::with_capacity(input.full_arity()))
                     .collect();
-                input.extend_with_attrs(obj, &mut vec);
-                vec
-            })
-            .collect()
+                for e in &mut self.engines {
+                    for (row, d) in rows.iter_mut().zip(e.distances_to_pack(&positions)) {
+                        row.push(d);
+                    }
+                }
+                rows
+            }
+            SweepMode::SingleTarget => positions
+                .iter()
+                .map(|&pos| {
+                    self.engines
+                        .iter_mut()
+                        .map(|e| e.distance_to(pos))
+                        .collect()
+                })
+                .collect(),
+        };
+        for (row, &obj) in rows.iter_mut().zip(objs) {
+            input.extend_with_attrs(obj, row);
+        }
+        rows
     }
 
-    fn expansions(&mut self) -> u64 {
-        self.engines.iter().map(AStar::expansions).sum()
+    fn stats(&mut self) -> AStarStats {
+        let mut total = AStarStats::default();
+        for e in &self.engines {
+            total.merge(&e.stats());
+        }
+        total
     }
 }
 
@@ -122,17 +145,6 @@ pub(crate) fn run_mode_with<B: VectorBackend>(
     backend: &mut B,
 ) -> AlgoOutput {
     let qpts: Vec<Point> = input.queries.iter().map(|q| q.point).collect();
-    // Coordinator-side A* accounting: every backend vector costs exactly
-    // one retarget + one confirmation per query dimension per object
-    // (`distance_to` = `set_target` + `run`), under both the sequential
-    // and the fanned-out backend — so recording it here keeps the trace
-    // identical at every worker count.
-    let n_dims = input.arity() as u64;
-    let count_vectors = |reporter: &mut Reporter, k: u64| {
-        let obs = reporter.obs();
-        obs.add(Metric::SpAstarRetargets, k * n_dims);
-        obs.add(Metric::SpAstarConfirms, k * n_dims);
-    };
 
     // Network vectors of every candidate we have paid to compute. Ordered
     // maps keep the ready/rest iteration deterministic across runs.
@@ -159,7 +171,6 @@ pub(crate) fn run_mode_with<B: VectorBackend>(
         }
         // Step 2: shift the Euclidean skyline point into network space.
         reporter.obs().incr(Metric::EdcGuideShifts);
-        count_vectors(reporter, 1);
         let shifted = backend
             .vectors(input, &[obj])
             .pop()
@@ -178,7 +189,6 @@ pub(crate) fn run_mode_with<B: VectorBackend>(
                 candidates: in_cube.len() as u64,
             });
         }
-        count_vectors(reporter, in_cube.len() as u64);
         for (cand, v) in in_cube.iter().zip(backend.vectors(input, &in_cube)) {
             computed.insert(*cand, v);
             undetermined.insert(*cand);
@@ -233,7 +243,6 @@ pub(crate) fn run_mode_with<B: VectorBackend>(
             break;
         }
         reporter.obs().incr(Metric::EdcClosureRounds);
-        count_vectors(reporter, fresh.len() as u64);
         for (cand, v) in fresh.iter().zip(backend.vectors(input, &fresh)) {
             computed.insert(*cand, v);
             undetermined.insert(*cand);
@@ -257,9 +266,21 @@ pub(crate) fn run_mode_with<B: VectorBackend>(
         }
     }
 
+    // Harvest the engines' own counters into the trace. Every dimension's
+    // engine sees the same target sequence under every backend (sequential
+    // or fanned-out — batches preserve object order), so these sums are
+    // identical at every worker count.
+    let stats = backend.stats();
+    let obs = reporter.obs();
+    obs.add(Metric::SpAstarConfirms, stats.confirms);
+    obs.add(Metric::SpAstarRetargets, stats.retargets);
+    obs.add(Metric::SpAstarPackSweeps, stats.pack_sweeps);
+    obs.add(Metric::SpAstarPackTargets, stats.pack_targets);
+    obs.add(Metric::SpAstarPackRekeysAvoided, stats.pack_rekeys_avoided);
+
     AlgoOutput {
         candidates: computed.len(),
-        nodes_expanded: backend.expansions(),
+        nodes_expanded: stats.expansions,
     }
 }
 

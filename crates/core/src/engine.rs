@@ -48,6 +48,22 @@ impl Algorithm {
     pub const PAPER_SET: [Algorithm; 3] = [Algorithm::Ce, Algorithm::Edc, Algorithm::Lbc];
 }
 
+/// How EDC and LBC resolve a *batch* of exact network distances against
+/// one A\* engine (DESIGN.md §11).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum SweepMode {
+    /// Multi-target pack sweeps ([`rn_sp::AStar::distances_to_pack`]):
+    /// one wavefront expansion amortised across every open destination of
+    /// the batch, re-keying the frontier heap only when a resolved target
+    /// stops steering it usefully.
+    #[default]
+    Batched,
+    /// The pre-pack behaviour — one `set_target` re-key plus a full
+    /// resolution per destination. Retained as the ablation baseline the
+    /// `sweep` benchmark compares against.
+    SingleTarget,
+}
+
 /// Borrowed view of one query execution: substrates plus resolved query
 /// points. Constructed by [`SkylineEngine::run`]; algorithm modules consume
 /// it.
@@ -60,6 +76,8 @@ pub struct QueryInput<'a> {
     pub queries: Vec<QueryPoint>,
     /// Optional static attribute dimensions (§4.3's extension).
     pub attrs: Option<&'a crate::attrs::AttrTable>,
+    /// Batched pack sweeps (default) or single-target distance resolution.
+    pub sweep: SweepMode,
 }
 
 impl<'a> QueryInput<'a> {
@@ -223,7 +241,36 @@ impl SkylineEngine {
     /// # Panics
     /// Panics when `queries` is empty.
     pub fn run(&self, algo: Algorithm, queries: &[NetPosition]) -> SkylineResult {
-        self.run_inner(algo, queries, None)
+        self.run_inner(algo, queries, None, SweepMode::default())
+    }
+
+    /// [`SkylineEngine::run`] with an explicit [`SweepMode`] — the ablation
+    /// hook the `sweep` benchmark uses to compare batched pack sweeps
+    /// against single-target resolution on identical workloads.
+    ///
+    /// # Panics
+    /// Panics when `queries` is empty.
+    pub fn run_with_mode(
+        &self,
+        algo: Algorithm,
+        queries: &[NetPosition],
+        sweep: SweepMode,
+    ) -> SkylineResult {
+        self.run_inner(algo, queries, None, sweep)
+    }
+
+    /// [`SkylineEngine::run_with_mode`] preceded by a buffer flush.
+    ///
+    /// # Panics
+    /// Panics when `queries` is empty.
+    pub fn run_cold_with_mode(
+        &self,
+        algo: Algorithm,
+        queries: &[NetPosition],
+        sweep: SweepMode,
+    ) -> SkylineResult {
+        self.clear_buffer();
+        self.run_inner(algo, queries, None, sweep)
     }
 
     /// Runs `algo` with additional static attribute dimensions (§4.3's
@@ -245,7 +292,7 @@ impl SkylineEngine {
             self.object_count(),
             "attribute table must cover every object"
         );
-        self.run_inner(algo, queries, Some(attrs))
+        self.run_inner(algo, queries, Some(attrs), SweepMode::default())
     }
 
     fn run_inner(
@@ -253,6 +300,7 @@ impl SkylineEngine {
         algo: Algorithm,
         queries: &[NetPosition],
         attrs: Option<&crate::attrs::AttrTable>,
+        sweep: SweepMode,
     ) -> SkylineResult {
         assert!(!queries.is_empty(), "need at least one query point");
         let input = QueryInput {
@@ -263,6 +311,7 @@ impl SkylineEngine {
                 .map(|pos| QueryPoint::on_network(&self.net, *pos))
                 .collect(),
             attrs,
+            sweep,
         };
 
         let io_before = self.store.stats().snapshot();
@@ -336,6 +385,7 @@ impl SkylineEngine {
                 .map(|pos| QueryPoint::on_network(&self.net, *pos))
                 .collect(),
             attrs,
+            sweep: SweepMode::default(),
         };
         let io_before = store.stats().snapshot();
         let started = Instant::now();
@@ -389,6 +439,22 @@ impl SkylineEngine {
         queries: &[NetPosition],
         workers: usize,
     ) -> SkylineResult {
+        self.run_parallel_with_mode(algo, queries, workers, SweepMode::default())
+    }
+
+    /// [`SkylineEngine::run_parallel`] with an explicit [`SweepMode`] —
+    /// same ablation hook as [`SkylineEngine::run_with_mode`], applied to
+    /// the intra-query parallel drivers.
+    ///
+    /// # Panics
+    /// Panics when `queries` is empty.
+    pub fn run_parallel_with_mode(
+        &self,
+        algo: Algorithm,
+        queries: &[NetPosition],
+        workers: usize,
+        sweep: SweepMode,
+    ) -> SkylineResult {
         assert!(!queries.is_empty(), "need at least one query point");
         let input = QueryInput {
             ctx: NetCtx::new(&self.net, &self.store, &self.mid),
@@ -398,6 +464,7 @@ impl SkylineEngine {
                 .map(|pos| QueryPoint::on_network(&self.net, *pos))
                 .collect(),
             attrs: None,
+            sweep,
         };
         let io = rn_storage::IoStats::new();
         self.obj_tree.reset_node_reads();
@@ -426,6 +493,7 @@ impl SkylineEngine {
                     obj_tree: input.obj_tree,
                     queries: input.queries.clone(),
                     attrs: None,
+                    sweep: input.sweep,
                 };
                 crate::brute::run(&brute_input, &mut reporter)
             }

@@ -73,7 +73,7 @@ pub mod stats;
 
 pub use attrs::AttrTable;
 pub use batch::{BatchEngine, BatchOutcome};
-pub use engine::{Algorithm, QueryInput, SkylineEngine, SkylineResult, SourceStrategy};
+pub use engine::{Algorithm, QueryInput, SkylineEngine, SkylineResult, SourceStrategy, SweepMode};
 pub use nnq::Aggregate;
 pub use stats::{QueryStats, Reporter, SkylinePoint};
 // Re-exported so trace consumers need no direct rn-obs dependency.

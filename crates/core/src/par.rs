@@ -20,11 +20,11 @@
 
 use crate::ce::CeState;
 use crate::edc::{self, VectorBackend};
-use crate::engine::{AlgoOutput, QueryInput};
+use crate::engine::{AlgoOutput, QueryInput, SweepMode};
 use crate::stats::Reporter;
 use rn_graph::{NetPosition, ObjectId};
 use rn_obs::{Event, Metric};
-use rn_sp::{AStar, IncrementalExpansion, NetCtx};
+use rn_sp::{AStar, AStarStats, IncrementalExpansion, NetCtx};
 use rn_storage::{IoStats, NetworkStore};
 
 /// One round-trip of the CE wavefront pool.
@@ -174,8 +174,8 @@ pub(crate) fn run_ce(
 }
 
 /// Per-dimension A\* replies: `(dimension, distances per requested
-/// position, cumulative expansions of that dimension's engine)`.
-type EdcReply = Vec<(usize, Vec<f64>, u64)>;
+/// position, cumulative counters of that dimension's engine)`.
+type EdcReply = Vec<(usize, Vec<f64>, AStarStats)>;
 
 /// EDC's [`VectorBackend`] over a worker pool: each worker owns the
 /// dimensions `j ≡ wi (mod w)`, one A\* engine + private store session
@@ -183,8 +183,10 @@ type EdcReply = Vec<(usize, Vec<f64>, u64)>;
 struct ParBackend<'p> {
     pool: &'p rn_par::PoolHandle<Vec<NetPosition>, EdcReply>,
     n: usize,
-    /// Last reported cumulative expansion count per dimension.
-    expansions: Vec<u64>,
+    /// Last reported cumulative counters per dimension. Cumulative values
+    /// (not deltas) make the merge order-independent, so the totals are
+    /// identical at every worker count.
+    stats: Vec<AStarStats>,
 }
 
 impl VectorBackend for ParBackend<'_> {
@@ -199,7 +201,7 @@ impl VectorBackend for ParBackend<'_> {
         let mut rows: Vec<Vec<f64>> = vec![vec![0.0; self.n]; objs.len()];
         for _ in 0..self.pool.workers() {
             for (j, dists, cum) in self.pool.recv() {
-                self.expansions[j] = cum;
+                self.stats[j] = cum;
                 for (i, d) in dists.into_iter().enumerate() {
                     rows[i][j] = d;
                 }
@@ -211,8 +213,12 @@ impl VectorBackend for ParBackend<'_> {
         rows
     }
 
-    fn expansions(&mut self) -> u64 {
-        self.expansions.iter().sum()
+    fn stats(&mut self) -> AStarStats {
+        let mut total = AStarStats::default();
+        for s in &self.stats {
+            total.merge(s);
+        }
+        total
     }
 }
 
@@ -255,8 +261,13 @@ pub(crate) fn run_edc(
                 .iter()
                 .zip(engines.iter_mut())
                 .map(|(&j, e)| {
-                    let dists: Vec<f64> = positions.iter().map(|&p| e.distance_to(p)).collect();
-                    (j, dists, e.expansions())
+                    let dists: Vec<f64> = match input.sweep {
+                        SweepMode::Batched => e.distances_to_pack(&positions),
+                        SweepMode::SingleTarget => {
+                            positions.iter().map(|&p| e.distance_to(p)).collect()
+                        }
+                    };
+                    (j, dists, e.stats())
                 })
                 .collect();
             if tx.send(reply).is_err() {
@@ -269,7 +280,7 @@ pub(crate) fn run_edc(
         let mut backend = ParBackend {
             pool: &pool,
             n,
-            expansions: vec![0u64; n],
+            stats: vec![AStarStats::default(); n],
         };
         edc::run_mode_with(input, reporter, batch, &mut backend)
     })

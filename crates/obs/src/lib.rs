@@ -80,6 +80,16 @@ pub enum Metric {
     QueryCandidates,
     /// Skyline size |S| of the final answer.
     QuerySkylineSize,
+    /// A\*: multi-target pack sweeps opened (one shared wavefront serving
+    /// a batch of destinations).
+    SpAstarPackSweeps,
+    /// A\*: destinations resolved through pack sweeps (summed over
+    /// sweeps; `targets / sweeps` is the mean batch width).
+    SpAstarPackTargets,
+    /// A\*: frontier heap re-keys pack sweeps saved versus single-target
+    /// resolution, which pays one `set_target`-sized re-key per
+    /// destination (pack re-keys spent are counted in `SpAstarRetargets`).
+    SpAstarPackRekeysAvoided,
 }
 
 /// String table for [`Metric`], indexed by discriminant.
@@ -108,12 +118,15 @@ pub const METRIC_NAMES: [&str; Metric::COUNT] = [
     "storage.page.faults.warm",
     "query.candidates",
     "query.skyline.size",
+    "sp.astar.pack.sweeps",
+    "sp.astar.pack.targets",
+    "sp.astar.pack.rekeys_avoided",
     // metric-names:end
 ];
 
 impl Metric {
     /// Number of registered metrics.
-    pub const COUNT: usize = 19;
+    pub const COUNT: usize = 22;
 
     /// Every metric, in export order.
     pub const ALL: [Metric; Metric::COUNT] = [
@@ -136,6 +149,9 @@ impl Metric {
         Metric::StoragePageFaultsWarm,
         Metric::QueryCandidates,
         Metric::QuerySkylineSize,
+        Metric::SpAstarPackSweeps,
+        Metric::SpAstarPackTargets,
+        Metric::SpAstarPackRekeysAvoided,
     ];
 
     /// The registered dotted name of this metric.

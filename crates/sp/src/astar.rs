@@ -39,6 +39,83 @@ struct Target {
     plb: f64,
 }
 
+/// Per-target state inside a multi-target pack sweep
+/// ([`AStar::distances_to_pack`]).
+struct PackTarget {
+    point: Point,
+    /// Target-edge endpoints and the along-edge offsets from each to the
+    /// target position (cached so the per-pop scan stays arithmetic-only).
+    eu: NodeId,
+    ev: NodeId,
+    tu: f64,
+    tv: f64,
+    /// Best known (upper-bound) path; equals the exact network distance
+    /// once `resolved`.
+    known: f64,
+    /// Whether this target is part of the current *heuristic epoch*: the
+    /// target set the live heap keys were computed over. A resolved
+    /// target stays in the epoch (its `d_E` keeps contributing to the
+    /// pushed `h`, which is still a min of consistent heuristics, hence
+    /// consistent — settling stays exact) until a popped node turns out
+    /// to have been steered by a resolved target; only then is the heap
+    /// re-keyed and the epoch shrunk to the unresolved targets.
+    in_epoch: bool,
+    resolved: bool,
+}
+
+/// Index of the epoch target nearest to `p` in the Euclidean plane — the
+/// minimizer defining the pack heuristic `h(p)` for new heap keys. Ties
+/// break to the lowest index; `None` when the epoch is empty.
+fn pack_argmin(ts: &[PackTarget], p: Point) -> Option<usize> {
+    let mut h = f64::INFINITY;
+    let mut arg = None;
+    for (j, t) in ts.iter().enumerate() {
+        if !t.in_epoch {
+            continue;
+        }
+        let d = p.distance(&t.point);
+        if d < h {
+            h = d;
+            arg = Some(j);
+        }
+    }
+    arg
+}
+
+/// A snapshot of one engine's cumulative counters, harvested by the query
+/// coordinators into the observability trace (and shipped across worker
+/// channels by the parallel backends). Plain cumulative values: subtract
+/// two snapshots for a delta, sum across engines for a query total.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AStarStats {
+    /// Nodes settled ([`AStar::expansions`]).
+    pub expansions: u64,
+    /// Exact distances read ([`AStar::confirms`]).
+    pub confirms: u64,
+    /// Frontier-heap re-keys ([`AStar::retargets`]).
+    pub retargets: u64,
+    /// Pack sweeps opened ([`AStar::pack_sweeps`]).
+    pub pack_sweeps: u64,
+    /// Destinations resolved through packs ([`AStar::pack_targets`]).
+    pub pack_targets: u64,
+    /// Re-keys saved versus single-target resolution
+    /// ([`AStar::pack_rekeys_avoided`]).
+    pub pack_rekeys_avoided: u64,
+}
+
+impl AStarStats {
+    /// Accumulates another snapshot into this one (field-wise sum) — how
+    /// coordinators total the counters of a whole engine fleet.
+    pub fn merge(&mut self, other: &AStarStats) {
+        self.expansions += other.expansions;
+        self.confirms += other.confirms;
+        self.retargets += other.retargets;
+        self.pack_sweeps += other.pack_sweeps;
+        self.pack_targets += other.pack_targets;
+        self.pack_rekeys_avoided += other.pack_rekeys_avoided;
+    }
+}
+
 /// A single-source A\* engine whose settled state survives retargeting.
 pub struct AStar<'a> {
     ctx: &'a NetCtx<'a>,
@@ -56,11 +133,27 @@ pub struct AStar<'a> {
     expansions: u64,
     /// Exact distances read via [`AStar::result`].
     confirms: u64,
-    /// [`AStar::set_target`] calls on this engine since the last rebase.
+    /// Frontier-heap re-keys since the last rebase: one per
+    /// [`AStar::set_target`] call, one per pack-open re-key, one per
+    /// mid-sweep re-key forced by a confirmed heuristic minimizer.
     retargets: u64,
+    /// Pack sweeps opened via [`AStar::distances_to_pack`].
+    pack_sweeps: u64,
+    /// Destinations resolved through pack sweeps.
+    pack_targets: u64,
+    /// Re-keys pack sweeps saved versus single-target resolution (which
+    /// pays one `set_target` re-key per destination).
+    pack_rekeys_avoided: u64,
 }
 
 impl<'a> AStar<'a> {
+    /// Largest number of destinations one pack sweep drives at once;
+    /// [`AStar::distances_to_pack`] splits anything bigger into
+    /// consecutive chunked sweeps. Bounds the nearest-target scan every
+    /// heap push performs ([`pack_argmin`]) to a constant, keeping the
+    /// per-expansion cost independent of the caller's batch size.
+    pub const MAX_PACK: usize = 16;
+
     /// Starts an A\* engine at `source`.
     pub fn new(ctx: &'a NetCtx<'a>, source: NetPosition) -> Self {
         let mut a = AStar {
@@ -75,6 +168,9 @@ impl<'a> AStar<'a> {
             expansions: 0,
             confirms: 0,
             retargets: 0,
+            pack_sweeps: 0,
+            pack_targets: 0,
+            pack_rekeys_avoided: 0,
         };
         let edge = ctx.net.edge(source.edge);
         let (du, dv) = ctx.net.position_endpoint_dists(&source);
@@ -99,6 +195,9 @@ impl<'a> AStar<'a> {
         self.expansions = 0;
         self.confirms = 0;
         self.retargets = 0;
+        self.pack_sweeps = 0;
+        self.pack_targets = 0;
+        self.pack_rekeys_avoided = 0;
         let edge = self.ctx.net.edge(source.edge);
         let (du, dv) = self.ctx.net.position_endpoint_dists(&source);
         self.open.insert(edge.u, (du, self.ctx.net.point(edge.u)));
@@ -125,9 +224,40 @@ impl<'a> AStar<'a> {
         self.confirms
     }
 
-    /// [`AStar::set_target`] calls so far (across all targets).
+    /// Frontier-heap re-keys so far: [`AStar::set_target`] calls plus
+    /// pack-open and forced mid-sweep re-keys.
     pub fn retargets(&self) -> u64 {
         self.retargets
+    }
+
+    /// Pack sweeps opened via [`AStar::distances_to_pack`] so far.
+    pub fn pack_sweeps(&self) -> u64 {
+        self.pack_sweeps
+    }
+
+    /// Destinations resolved through pack sweeps so far.
+    pub fn pack_targets(&self) -> u64 {
+        self.pack_targets
+    }
+
+    /// Heap re-keys pack sweeps saved so far versus resolving each
+    /// destination with its own `set_target` re-key.
+    pub fn pack_rekeys_avoided(&self) -> u64 {
+        self.pack_rekeys_avoided
+    }
+
+    /// All engine counters in one bundle — what the query coordinators
+    /// harvest into the observability trace at end of run (and what the
+    /// parallel backends ship back in worker replies).
+    pub fn stats(&self) -> AStarStats {
+        AStarStats {
+            expansions: self.expansions,
+            confirms: self.confirms,
+            retargets: self.retargets,
+            pack_sweeps: self.pack_sweeps,
+            pack_targets: self.pack_targets,
+            pack_rekeys_avoided: self.pack_rekeys_avoided,
+        }
     }
 
     /// Exact distance of `n` if it has been settled by any past target run.
@@ -303,6 +433,236 @@ impl<'a> AStar<'a> {
     pub fn distance_to(&mut self, pos: NetPosition) -> f64 {
         self.set_target(pos);
         self.run()
+    }
+
+    /// Resolves a whole *pack* of destinations in one expansion sweep and
+    /// returns their exact network distances, in input order.
+    ///
+    /// The sweep runs under `h(v) = min over epoch targets of d_E(v, t)`;
+    /// a min of consistent heuristics is consistent, so settled `g`
+    /// values stay exact and the settled map remains reusable. Where k
+    /// single-target resolutions pay k frontier re-keys, a pack pays one
+    /// re-key up front and re-keys mid-sweep only when a popped node was
+    /// steered by an already-resolved target (see
+    /// [`PackTarget::in_epoch`]); targets whose edge endpoints are both
+    /// already settled confirm instantly with zero expansions and zero
+    /// re-keys.
+    ///
+    /// Any current single-target state is abandoned ([`AStar::target`]
+    /// returns `None` afterwards); the settled map, frontier and all
+    /// counters carry over in both directions.
+    ///
+    /// Packs larger than [`AStar::MAX_PACK`] are processed as consecutive
+    /// chunked sweeps: every heap push pays an O(|epoch|) nearest-target
+    /// scan, so an unbounded pack would trade the saved re-keys for a
+    /// per-expansion scan cost that grows with the batch. Chunking caps
+    /// that scan at a constant while still amortizing each chunk's
+    /// destinations over one shared re-key; distances are exact either
+    /// way, so the split never changes results.
+    pub fn distances_to_pack(&mut self, positions: &[NetPosition]) -> Vec<f64> {
+        if positions.len() > Self::MAX_PACK {
+            let mut out = Vec::with_capacity(positions.len());
+            for chunk in positions.chunks(Self::MAX_PACK) {
+                out.extend(self.distances_to_pack(chunk));
+            }
+            return out;
+        }
+        if positions.is_empty() {
+            return Vec::new();
+        }
+        self.pack_sweeps += 1;
+        self.pack_targets += positions.len() as u64;
+        self.target = None;
+
+        let mut ts: Vec<PackTarget> = positions
+            .iter()
+            .map(|&pos| {
+                let point = self.ctx.net.position_point(&pos);
+                let edge = self.ctx.net.edge(pos.edge);
+                let (tu, tv) = self.ctx.net.position_endpoint_dists(&pos);
+                let mut known = f64::INFINITY;
+                if pos.edge == self.source.edge {
+                    known = (pos.offset - self.source.offset).abs();
+                }
+                let du = self.dist.get_copied(edge.u);
+                let dv = self.dist.get_copied(edge.v);
+                if let Some(d) = du {
+                    known = known.min(d + tu);
+                }
+                if let Some(d) = dv {
+                    known = known.min(d + tv);
+                }
+                // Endpoint exactness: every route to a position on edge
+                // (u, v) goes through u, through v, or along the source's
+                // own edge, so two settled endpoints make `known` final.
+                let resolved = du.is_some() && dv.is_some();
+                PackTarget {
+                    point,
+                    eu: edge.u,
+                    ev: edge.v,
+                    tu,
+                    tv,
+                    known,
+                    in_epoch: !resolved,
+                    resolved,
+                }
+            })
+            .collect();
+
+        let k = ts.len() as u64;
+        if ts.iter().all(|t| t.resolved) {
+            // The whole pack is answered from settled state: no re-key,
+            // no expansion, the heap keeps its previous keys. Legacy
+            // `set_target` would have re-keyed once per destination.
+            self.confirms += k;
+            self.pack_rekeys_avoided += k;
+            return ts.into_iter().map(|t| t.known).collect();
+        }
+
+        // One shared re-key for the whole pack, where k single-target
+        // resolutions would pay k. Frontier `g` values are valid path
+        // lengths, so endpoint entries also seed `known` upper bounds.
+        let mut rekeys = 1u64;
+        self.retargets += 1;
+        self.rekey_pack(&mut ts, true);
+
+        #[cfg(feature = "invariant-checks")]
+        let mut last_popped = 0.0f64;
+        loop {
+            let fmin = self.frontier_key();
+            for t in ts.iter_mut() {
+                if t.resolved {
+                    continue;
+                }
+                // `fmin` under the epoch heuristic lower-bounds every
+                // frontier continuation to every pack target (the epoch
+                // min ranges over a superset), so `known <= fmin` proves
+                // exactness; so do two settled target-edge endpoints.
+                let exact = self.dist.contains(t.eu) && self.dist.contains(t.ev);
+                let done = exact
+                    || match fmin {
+                        None => true,
+                        Some(f) => t.known <= f,
+                    };
+                if done {
+                    t.resolved = true;
+                }
+            }
+            if ts.iter().all(|t| t.resolved) {
+                break;
+            }
+            // frontier_key() cleaned stale heads, so the top is live.
+            let Some(Reverse((_key, g, n))) = self.heap.pop() else {
+                continue;
+            };
+            let g = g.get();
+            debug_assert_eq!(self.open.get(n).map(|&(d, _)| d), Some(g));
+            // Same contract as the single-target path: keys within a
+            // heuristic epoch pop in non-decreasing order, and a re-key
+            // only grows keys (the heuristic min ranges over fewer
+            // targets), so popped keys are monotone across the sweep.
+            #[cfg(feature = "invariant-checks")]
+            {
+                assert!(
+                    _key.get() + rn_geom::EPSILON >= last_popped,
+                    "pack heap-pop monotonicity violated: popped key {} < previous {}",
+                    _key.get(),
+                    last_popped
+                );
+                last_popped = last_popped.max(_key.get());
+            }
+            // Was this pop steered by a target that has since resolved?
+            // Settling it is still exact (epoch keys are homogeneous),
+            // but the wavefront is now wasting expansions on a dead
+            // destination — tighten the heuristic after this settle.
+            let steered_dead = self
+                .open
+                .get(n)
+                .and_then(|&(_, p)| pack_argmin(&ts, p))
+                .is_some_and(|j| ts[j].resolved);
+            self.open.remove(n);
+            self.dist.insert(n, g);
+            self.expansions += 1;
+
+            for t in ts.iter_mut() {
+                if t.resolved {
+                    continue;
+                }
+                if n == t.eu {
+                    t.known = t.known.min(g + t.tu);
+                }
+                if n == t.ev {
+                    t.known = t.known.min(g + t.tv);
+                }
+            }
+
+            // Expand: one counted page access.
+            self.ctx.store.read_adjacency_into(n, &mut self.rec);
+            for i in 0..self.rec.entries.len() {
+                let ent = self.rec.entries[i];
+                if self.dist.contains(ent.node) {
+                    continue;
+                }
+                let ng = g + ent.length;
+                let better = match self.open.get(ent.node) {
+                    Some(&(cur, _)) => ng < cur,
+                    None => true,
+                };
+                if better {
+                    self.open.insert(ent.node, (ng, ent.point));
+                    if let Some(arg) = pack_argmin(&ts, ent.point) {
+                        let h = ent.point.distance(&ts[arg].point);
+                        self.heap
+                            .push(Reverse((OrdF64::new(ng + h), OrdF64::new(ng), ent.node)));
+                    }
+                }
+            }
+
+            if steered_dead {
+                rekeys += 1;
+                self.retargets += 1;
+                self.rekey_pack(&mut ts, false);
+            }
+        }
+
+        self.confirms += k;
+        // Legacy single-target resolution pays one `set_target` re-key
+        // per destination; whatever the sweep did not spend is saved.
+        self.pack_rekeys_avoided += k.saturating_sub(rekeys);
+        ts.into_iter().map(|t| t.known).collect()
+    }
+
+    /// Rebuilds the frontier heap under the pack heuristic, starting a
+    /// fresh epoch over the currently unresolved targets. With
+    /// `seed_known`, endpoint frontier entries also tighten `known`
+    /// (tentative `g` values are valid path lengths, hence valid upper
+    /// bounds).
+    fn rekey_pack(&mut self, ts: &mut [PackTarget], seed_known: bool) {
+        for t in ts.iter_mut() {
+            t.in_epoch = !t.resolved;
+        }
+        self.heap.clear();
+        for (n, &(g, p)) in self.open.iter() {
+            let Some(arg) = pack_argmin(ts, p) else {
+                continue;
+            };
+            let h = p.distance(&ts[arg].point);
+            self.heap
+                .push(Reverse((OrdF64::new(g + h), OrdF64::new(g), n)));
+        }
+        if seed_known {
+            for t in ts.iter_mut() {
+                if t.resolved {
+                    continue;
+                }
+                if let Some(&(g, _)) = self.open.get(t.eu) {
+                    t.known = t.known.min(g + t.tu);
+                }
+                if let Some(&(g, _)) = self.open.get(t.ev) {
+                    t.known = t.known.min(g + t.tv);
+                }
+            }
+        }
     }
 }
 
@@ -504,6 +864,236 @@ mod tests {
         let mut astar = AStar::new(&ctx, NetPosition::new(EdgeId(0), 0.5));
         let d = astar.distance_to(NetPosition::new(EdgeId(1), 0.5));
         assert!(d.is_infinite());
+    }
+
+    #[test]
+    fn pack_matches_single_target_bitwise() {
+        // The tentpole contract: one pack sweep returns the same f64
+        // bits as k independent single-target resolutions.
+        for seed in 0..6u64 {
+            let g = random_net(70, seed + 300);
+            let store = NetworkStore::build(&g);
+            let mid = MiddleLayer::build(&g, &[]);
+            let ctx = NetCtx::new(&g, &store, &mid);
+            let mut rng = StdRng::seed_from_u64(seed + 40);
+            let src = rand_pos(&g, &mut rng);
+            let targets: Vec<NetPosition> = (0..8).map(|_| rand_pos(&g, &mut rng)).collect();
+
+            let mut packed = AStar::new(&ctx, src);
+            let got = packed.distances_to_pack(&targets);
+
+            let mut single = AStar::new(&ctx, src);
+            for (i, t) in targets.iter().enumerate() {
+                let want = single.distance_to(*t);
+                assert_eq!(
+                    got[i].to_bits(),
+                    want.to_bits(),
+                    "seed {seed}: pack[{i}]={} single={} src={src:?} t={t:?}",
+                    got[i],
+                    want
+                );
+            }
+            // A deferred re-key wastes at most one steered-dead pop per
+            // re-key event, so the pack can exceed the single-target
+            // expansion count by at most its re-key count.
+            assert!(
+                packed.expansions() <= single.expansions() + packed.retargets(),
+                "seed {seed}: pack expanded {} > single-target {} + {} re-keys",
+                packed.expansions(),
+                single.expansions(),
+                packed.retargets()
+            );
+            assert!(
+                packed.retargets() < single.retargets(),
+                "seed {seed}: pack re-keyed {} >= single-target {}",
+                packed.retargets(),
+                single.retargets()
+            );
+        }
+    }
+
+    #[test]
+    fn pack_matches_dijkstra_oracle() {
+        let g = random_net(80, 17);
+        let store = NetworkStore::build(&g);
+        let mid = MiddleLayer::build(&g, &[]);
+        let ctx = NetCtx::new(&g, &store, &mid);
+        let mut rng = StdRng::seed_from_u64(23);
+        let src = rand_pos(&g, &mut rng);
+        let targets: Vec<NetPosition> = (0..12).map(|_| rand_pos(&g, &mut rng)).collect();
+        let mut astar = AStar::new(&ctx, src);
+        let got = astar.distances_to_pack(&targets);
+        let mut dij = Dijkstra::new(&ctx, src);
+        for (i, t) in targets.iter().enumerate() {
+            let want = dij.distance_to_position(t);
+            assert!(
+                approx_eq(got[i], want),
+                "pack[{i}]={} dijkstra={want} src={src:?} t={t:?}",
+                got[i]
+            );
+        }
+    }
+
+    #[test]
+    fn pack_on_settled_state_confirms_without_expansion() {
+        // After a sweep has settled the whole component, a second pack
+        // answers from the endpoint-exactness shortcut: zero expansions,
+        // zero re-keys, no sweep work at all.
+        let g = random_net(50, 9);
+        let store = NetworkStore::build(&g);
+        let mid = MiddleLayer::build(&g, &[]);
+        let ctx = NetCtx::new(&g, &store, &mid);
+        let mut rng = StdRng::seed_from_u64(61);
+        let src = rand_pos(&g, &mut rng);
+        let targets: Vec<NetPosition> = (0..6).map(|_| rand_pos(&g, &mut rng)).collect();
+
+        let mut astar = AStar::new(&ctx, src);
+        // Settle everything reachable by resolving an unreachable-ish far
+        // sweep: a pack over every target exhausts nothing, so force the
+        // frontier empty by resolving each target once first.
+        let first = astar.distances_to_pack(&targets);
+        // Drain the remaining frontier so every node is settled.
+        while astar.frontier_key().is_some() {
+            let Some(Reverse((_, gk, n))) = astar.heap.pop() else {
+                break;
+            };
+            let gk = gk.get();
+            astar.open.remove(n);
+            astar.dist.insert(n, gk);
+            astar.ctx.store.read_adjacency_into(n, &mut astar.rec);
+            for i in 0..astar.rec.entries.len() {
+                let ent = astar.rec.entries[i];
+                if astar.dist.contains(ent.node) {
+                    continue;
+                }
+                let ng = gk + ent.length;
+                let better = match astar.open.get(ent.node) {
+                    Some(&(cur, _)) => ng < cur,
+                    None => true,
+                };
+                if better {
+                    astar.open.insert(ent.node, (ng, ent.point));
+                    astar
+                        .heap
+                        .push(Reverse((OrdF64::new(ng), OrdF64::new(ng), ent.node)));
+                }
+            }
+        }
+        let exp_before = astar.expansions();
+        let rt_before = astar.retargets();
+        let again = astar.distances_to_pack(&targets);
+        assert_eq!(
+            astar.expansions(),
+            exp_before,
+            "no expansions on settled state"
+        );
+        assert_eq!(astar.retargets(), rt_before, "no re-key on settled state");
+        assert_eq!(astar.pack_sweeps(), 2);
+        assert_eq!(astar.pack_targets(), 2 * targets.len() as u64);
+        for (a, b) in first.iter().zip(&again) {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "repeat pack must be bitwise stable"
+            );
+        }
+    }
+
+    #[test]
+    fn pack_counters_and_edge_cases() {
+        let g = random_net(40, 13);
+        let store = NetworkStore::build(&g);
+        let mid = MiddleLayer::build(&g, &[]);
+        let ctx = NetCtx::new(&g, &store, &mid);
+        let mut rng = StdRng::seed_from_u64(7);
+        let src = rand_pos(&g, &mut rng);
+
+        let mut astar = AStar::new(&ctx, src);
+        assert!(astar.distances_to_pack(&[]).is_empty());
+        assert_eq!(astar.pack_sweeps(), 0, "empty pack opens no sweep");
+
+        let targets: Vec<NetPosition> = (0..5).map(|_| rand_pos(&g, &mut rng)).collect();
+        let d = astar.distances_to_pack(&targets);
+        assert_eq!(d.len(), 5);
+        assert_eq!(astar.pack_sweeps(), 1);
+        assert_eq!(astar.pack_targets(), 5);
+        assert_eq!(astar.confirms(), 5);
+        assert!(
+            astar.target().is_none(),
+            "a pack leaves no single-target state"
+        );
+        // Self-distance inside a pack is zero.
+        let selfd = astar.distances_to_pack(&[src]);
+        assert!(approx_eq(selfd[0], 0.0));
+        // Rebase resets the pack counters with everything else.
+        astar.rebase(src);
+        assert_eq!(astar.pack_sweeps(), 0);
+        assert_eq!(astar.pack_targets(), 0);
+        assert_eq!(astar.pack_rekeys_avoided(), 0);
+    }
+
+    #[test]
+    fn pack_unreachable_targets_are_infinite() {
+        let mut b = NetworkBuilder::new();
+        let n0 = b.add_node(Point::new(0.0, 0.0));
+        let n1 = b.add_node(Point::new(1.0, 0.0));
+        let n2 = b.add_node(Point::new(5.0, 0.0));
+        let n3 = b.add_node(Point::new(6.0, 0.0));
+        b.add_straight_edge(n0, n1).unwrap();
+        b.add_straight_edge(n2, n3).unwrap();
+        let g = b.build().unwrap();
+        let store = NetworkStore::build(&g);
+        let mid = MiddleLayer::build(&g, &[]);
+        let ctx = NetCtx::new(&g, &store, &mid);
+        let mut astar = AStar::new(&ctx, NetPosition::new(EdgeId(0), 0.5));
+        let d = astar.distances_to_pack(&[
+            NetPosition::new(EdgeId(1), 0.5),
+            NetPosition::new(EdgeId(0), 0.25),
+            NetPosition::new(EdgeId(1), 0.1),
+        ]);
+        assert!(d[0].is_infinite());
+        assert!(d[1].is_finite());
+        assert!(d[2].is_infinite());
+    }
+
+    #[test]
+    fn many_rebase_cycles_match_fresh_engines() {
+        // Regression for the generation-stamped O(1) NodeMap reset:
+        // hundreds of rebase cycles on one engine must behave exactly
+        // like a fresh engine per source — pack sweeps and single-target
+        // runs alike riding the reused maps.
+        let g = random_net(40, 29);
+        let store = NetworkStore::build(&g);
+        let mid = MiddleLayer::build(&g, &[]);
+        let ctx = NetCtx::new(&g, &store, &mid);
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut reused = AStar::new(&ctx, rand_pos(&g, &mut rng));
+        for round in 0..200 {
+            let src = rand_pos(&g, &mut rng);
+            let targets: Vec<NetPosition> = (0..3).map(|_| rand_pos(&g, &mut rng)).collect();
+            reused.rebase(src);
+            let mut fresh = AStar::new(&ctx, src);
+            let (got, want): (Vec<f64>, Vec<f64>) = if round % 2 == 0 {
+                (
+                    reused.distances_to_pack(&targets),
+                    fresh.distances_to_pack(&targets),
+                )
+            } else {
+                (
+                    targets.iter().map(|&t| reused.distance_to(t)).collect(),
+                    targets.iter().map(|&t| fresh.distance_to(t)).collect(),
+                )
+            };
+            for (i, (a, b)) in got.iter().zip(&want).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "round {round}, target {i}: reused engine diverged from fresh"
+                );
+            }
+            assert_eq!(reused.expansions(), fresh.expansions(), "round {round}");
+            assert_eq!(reused.retargets(), fresh.retargets(), "round {round}");
+        }
     }
 
     #[test]

@@ -34,7 +34,7 @@ pub mod nodemap;
 pub mod oracle;
 pub mod path;
 
-pub use astar::AStar;
+pub use astar::{AStar, AStarStats};
 pub use ctx::{NetCtx, QueryPoint};
 pub use dijkstra::Dijkstra;
 pub use ine::IncrementalExpansion;

@@ -229,4 +229,58 @@ mod tests {
             assert!(m.is_empty());
         }
     }
+
+    #[test]
+    fn generation_wraparound_refills_without_resurrection() {
+        let mut m: NodeMap<u32> = NodeMap::new(4);
+        // A slot written in generation 1, then left untouched while ~4
+        // billion clears advance the counter to its ceiling (the key list
+        // and length are reset here as those clears would have done).
+        m.insert(NodeId(2), 7);
+        m.gen = u32::MAX;
+        m.keys.clear();
+        m.len = 0;
+        assert_eq!(m.get(NodeId(2)), None, "stale stamp must not read back");
+        // Entries written at the ceiling generation behave normally...
+        m.insert(NodeId(1), 9);
+        assert_eq!(m.get_copied(NodeId(1)), Some(9));
+        assert_eq!(m.len(), 1);
+        // ...and die at the wrapping clear. The clear's full refill is
+        // what keeps the ancient gen-1 slot from colliding with the
+        // restarted counter.
+        m.clear();
+        assert_eq!(m.gen, 1, "counter restarts after the wrap");
+        assert!(m.is_empty());
+        assert_eq!(m.get(NodeId(1)), None);
+        assert_eq!(
+            m.get(NodeId(2)),
+            None,
+            "pre-wrap slot resurrected after the stamp wrap"
+        );
+        assert_eq!(m.insert(NodeId(2), 11), None);
+        assert_eq!(m.get_copied(NodeId(2)), Some(11));
+        assert_eq!(m.iter().count(), 1);
+    }
+
+    #[test]
+    fn clear_cycles_across_the_wrap_stay_consistent() {
+        let mut m: NodeMap<u32> = NodeMap::new(8);
+        // Start close enough to the ceiling that the loop crosses it.
+        m.gen = u32::MAX - 500;
+        for round in 0..1000u32 {
+            let a = NodeId(round % 8);
+            let b = NodeId((round + 3) % 8);
+            assert_eq!(m.insert(a, round), None);
+            assert_eq!(m.insert(b, round + 1), None);
+            assert_eq!(m.len(), 2);
+            assert_eq!(m.get_copied(a), Some(round));
+            assert_eq!(m.get_copied(b), Some(round + 1));
+            let keys: Vec<NodeId> = m.iter().map(|(n, _)| n).collect();
+            assert_eq!(keys, vec![a, b], "round {round}");
+            m.clear();
+            assert!(m.is_empty());
+            assert_eq!(m.get(a), None, "round {round}: entry survived clear");
+        }
+        assert!(m.gen < 600, "counter wrapped and restarted low");
+    }
 }

@@ -6,6 +6,8 @@ pub fn lookups(t: &rn_obs::QueryTrace) {
     let _ = rn_obs::Metric::from_name("sp.heap_pops"); // registered: clean
     let _ = rn_obs::Metric::from_name("sp.heap_popz"); // typo: fires
     let _ = t.get_name("query.skyline.sizes"); // typo: fires
+    let _ = t.get_name("sp.astar.pack.sweeps"); // registered (pack): clean
+    let _ = t.get_name("sp.astar.pack.rekeys"); // truncated pack name: fires
     let name = std::env::var("METRIC").unwrap_or_default();
     let _ = rn_obs::Metric::from_name(&name); // non-literal: clean
     // lint: allow(metric-name) — deliberate negative probe

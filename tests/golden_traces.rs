@@ -2,7 +2,7 @@
 //!
 //! CE, EDC and LBC run cold on one small fixed network; the exported
 //! phase-counter trace (`QueryTrace::counters_json`, a feature-stable
-//! format: the 19 registered counters in export order) must match the
+//! format: the registered counters in export order) must match the
 //! snapshots committed under `tests/golden/`. A real behaviour change
 //! shows up as a counter diff; refresh the snapshots deliberately with:
 //!
