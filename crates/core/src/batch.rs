@@ -12,7 +12,7 @@
 
 use crate::engine::{Algorithm, SkylineEngine, SkylineResult};
 use rn_graph::NetPosition;
-use rn_obs::{Event, Metric, QueryTrace};
+use rn_obs::{Event, Metric, QueryBudget, QueryTrace};
 use std::time::{Duration, Instant};
 
 /// Executes batches of independent queries concurrently over one shared
@@ -68,12 +68,32 @@ impl<'e> BatchEngine<'e> {
     /// # Panics
     /// Panics when any query set in the batch is empty.
     pub fn run(&self, algo: Algorithm, batch: &[Vec<NetPosition>]) -> BatchOutcome {
+        self.run_with_budget(algo, batch, &QueryBudget::unlimited())
+    }
+
+    /// [`BatchEngine::run`] under a per-query [`QueryBudget`].
+    ///
+    /// The budget applies to **each query independently** — every query
+    /// gets its own guard over its own private session, so which queries
+    /// come back [`Completion::Partial`](crate::Completion::Partial) is a
+    /// pure function of the budget and the query, never of the worker
+    /// count or scheduling.
+    ///
+    /// # Panics
+    /// Panics when any query set in the batch is empty.
+    pub fn run_with_budget(
+        &self,
+        algo: Algorithm,
+        batch: &[Vec<NetPosition>],
+        budget: &QueryBudget,
+    ) -> BatchOutcome {
         self.engine.object_tree().reset_node_reads();
         self.engine.mid_ref().reset_node_reads();
         let started = Instant::now();
         let results = rn_par::par_map_indexed(batch.len(), self.workers, |i| {
             let session = self.engine.store_ref().session();
-            self.engine.run_with_store(&session, algo, &batch[i], None)
+            self.engine
+                .run_with_store_budget(&session, algo, &batch[i], None, budget)
         });
         let index_reads =
             self.engine.object_tree().node_reads() + self.engine.mid_ref().node_reads();

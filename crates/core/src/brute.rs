@@ -47,6 +47,7 @@ pub(crate) fn run(input: &QueryInput<'_>, reporter: &mut Reporter) -> AlgoOutput
     AlgoOutput {
         candidates: m,
         nodes_expanded: expanded,
+        partial: None,
     }
 }
 

@@ -22,11 +22,11 @@
 //!   are dominated get pruned — the `∩_q C(p, q)` pruning of the paper —
 //!   letting the expansion stop well before visiting everything.
 
-use crate::engine::{AlgoOutput, QueryInput};
+use crate::engine::{AlgoOutput, PartialInfo, QueryInput, UnresolvedCandidate};
 use crate::stats::{Reporter, SkylinePoint};
 use rn_geom::OrdF64;
 use rn_graph::ObjectId;
-use rn_obs::{Event, Metric};
+use rn_obs::{Event, IncompleteReason, Metric};
 use rn_skyline::dominance::dominates;
 use rn_sp::IncrementalExpansion;
 use std::cmp::Reverse;
@@ -394,6 +394,41 @@ impl CeState {
         self.frozen_candidates
     }
 
+    /// The candidate-set size as known right now: the frozen `|C|` after
+    /// phase 1, or every discovered object while still filtering.
+    /// Partial results use this; complete runs report
+    /// [`CeState::candidates`].
+    pub(crate) fn candidates_now(&self) -> usize {
+        if self.phase1 {
+            self.objs.len()
+        } else {
+            self.frozen_candidates
+        }
+    }
+
+    /// Every discovered-but-unclassified object with its certified
+    /// lower-bound vector (exact where visited, emission bound
+    /// elsewhere; static attributes exact), sorted by object id — the
+    /// unresolved remainder a budget-tripped run reports.
+    pub(crate) fn unresolved(
+        &self,
+        input: &QueryInput<'_>,
+        bounds: &[f64],
+    ) -> Vec<UnresolvedCandidate> {
+        self.objs
+            .iter()
+            .filter(|(_, o)| matches!(o.state, State::Open | State::Waiting))
+            .map(|(&id, o)| {
+                let mut lb = o.certified(bounds);
+                input.extend_with_attrs(id, &mut lb);
+                UnresolvedCandidate {
+                    object: id,
+                    lower_bounds: lb,
+                }
+            })
+            .collect()
+    }
+
     /// `true` while the filter phase runs (the candidate set has not
     /// frozen yet). Drivers use this to attribute each consumed emission
     /// to the filter or the refinement phase; the emission that *ends*
@@ -418,6 +453,7 @@ pub(crate) fn run(input: &QueryInput<'_>, reporter: &mut Reporter) -> AlgoOutput
     // engine afresh.
     let mut bounds: Vec<f64> = ines.iter().map(|i| i.emission_bound()).collect();
     let mut turn = 0usize;
+    let mut interrupted = false;
 
     loop {
         if st.should_stop(input, &bounds) {
@@ -433,7 +469,17 @@ pub(crate) fn run(input: &QueryInput<'_>, reporter: &mut Reporter) -> AlgoOutput
         turn = (turn + 1) % n;
 
         match ines[qi].next_nearest() {
-            None => st.on_exhausted(qi),
+            None => {
+                if ines[qi].interrupted() {
+                    // Budget tripped mid-wavefront. Crucially this is NOT
+                    // exhaustion: releasing this dimension's waiting
+                    // objects would classify against incomplete
+                    // expansions. Stop with whatever is certified.
+                    interrupted = true;
+                    break;
+                }
+                st.on_exhausted(qi)
+            }
             Some((id, d)) => {
                 bounds[qi] = ines[qi].emission_bound();
                 let was_phase1 = st.in_phase1();
@@ -459,6 +505,25 @@ pub(crate) fn run(input: &QueryInput<'_>, reporter: &mut Reporter) -> AlgoOutput
         st.classify_ready(input, reporter, &bounds);
     }
 
+    let nodes_expanded: u64 = ines.iter().map(|i| i.wavefront().settled_count()).sum();
+    if interrupted {
+        // Sound wrap-up: classify what every gate has certified (those
+        // classifications are exact — all potential dominators completed
+        // earlier), then report the rest as unresolved. The exhaustive
+        // finalisation is skipped: its infinite-distance argument assumes
+        // exhausted wavefronts.
+        st.classify_ready(input, reporter, &bounds);
+        let guard = input.ctx.guard.expect("interruption implies a guard");
+        return AlgoOutput {
+            candidates: st.candidates_now(),
+            nodes_expanded,
+            partial: Some(PartialInfo {
+                reason: guard.reason().unwrap_or(IncompleteReason::Cancelled),
+                unresolved: st.unresolved(input, &bounds),
+            }),
+        };
+    }
+
     // Wavefronts exhausted with C members incomplete: their missing
     // dimensions are unreachable (infinite). Finalise exactly.
     st.classify_ready(input, reporter, &bounds);
@@ -466,7 +531,8 @@ pub(crate) fn run(input: &QueryInput<'_>, reporter: &mut Reporter) -> AlgoOutput
 
     AlgoOutput {
         candidates: st.candidates(),
-        nodes_expanded: ines.iter().map(|i| i.wavefront().settled_count()).sum(),
+        nodes_expanded,
+        partial: None,
     }
 }
 

@@ -32,11 +32,11 @@
 //! definition; on adversarial inputs it restores correctness — all three
 //! algorithms always return identical skylines.
 
-use crate::engine::{AlgoOutput, QueryInput, SweepMode};
+use crate::engine::{AlgoOutput, PartialInfo, QueryInput, SweepMode, UnresolvedCandidate};
 use crate::stats::{Reporter, SkylinePoint};
 use rn_geom::Point;
 use rn_graph::{NetPosition, ObjectId};
-use rn_obs::{Event, Metric};
+use rn_obs::{Event, IncompleteReason, Metric};
 use rn_skyline::dominance::{dominates, dominates_or_equal};
 use rn_skyline::EuclideanSkylineIter;
 use rn_sp::{AStar, AStarStats};
@@ -145,6 +145,7 @@ pub(crate) fn run_mode_with<B: VectorBackend>(
     backend: &mut B,
 ) -> AlgoOutput {
     let qpts: Vec<Point> = input.queries.iter().map(|q| q.point).collect();
+    let guard = input.ctx.guard;
 
     // Network vectors of every candidate we have paid to compute. Ordered
     // maps keep the ready/rest iteration deterministic across runs.
@@ -153,6 +154,12 @@ pub(crate) fn run_mode_with<B: VectorBackend>(
     let mut undetermined: BTreeSet<ObjectId> = BTreeSet::new();
     // Confirmed network skyline vectors (reported as they are found).
     let mut confirmed: Vec<(ObjectId, Vec<f64>)> = Vec::new();
+    // Objects whose vector computation a budget trip cut short. The
+    // values an interrupted engine returns are *upper* bounds, so they
+    // are discarded wholesale; the unresolved report falls back to the
+    // Euclidean lower bound (always sound for network distances).
+    let mut aborted: Vec<ObjectId> = Vec::new();
+    let mut tripped = false;
 
     let mut eskyline = match input.attrs {
         None => EuclideanSkylineIter::new(input.obj_tree, &qpts),
@@ -171,10 +178,13 @@ pub(crate) fn run_mode_with<B: VectorBackend>(
         }
         // Step 2: shift the Euclidean skyline point into network space.
         reporter.obs().incr(Metric::EdcGuideShifts);
-        let shifted = backend
-            .vectors(input, &[obj])
-            .pop()
-            .expect("one vector per object");
+        let shifted_row = backend.vectors(input, &[obj]).pop();
+        if guard.is_some_and(|g| g.tripped()) {
+            aborted.push(obj);
+            tripped = true;
+            break;
+        }
+        let shifted = shifted_row.expect("one vector per object");
         computed.insert(obj, shifted.clone());
         undetermined.insert(obj);
 
@@ -189,7 +199,13 @@ pub(crate) fn run_mode_with<B: VectorBackend>(
                 candidates: in_cube.len() as u64,
             });
         }
-        for (cand, v) in in_cube.iter().zip(backend.vectors(input, &in_cube)) {
+        let cube_rows = backend.vectors(input, &in_cube);
+        if guard.is_some_and(|g| g.tripped()) {
+            aborted.extend(in_cube);
+            tripped = true;
+            break;
+        }
+        for (cand, v) in in_cube.iter().zip(cube_rows) {
             computed.insert(*cand, v);
             undetermined.insert(*cand);
         }
@@ -232,7 +248,7 @@ pub(crate) fn run_mode_with<B: VectorBackend>(
     // Closure fetch (correctness guard): any uncomputed object whose
     // Euclidean vector escapes every confirmed-skyline dominance region
     // could still be a skyline point.
-    loop {
+    while !tripped {
         let sky_vecs: Vec<Vec<f64>> = {
             let idx = rn_skyline::bnl::bnl_skyline(&computed.values().cloned().collect::<Vec<_>>());
             let all: Vec<&Vec<f64>> = computed.values().collect();
@@ -243,28 +259,66 @@ pub(crate) fn run_mode_with<B: VectorBackend>(
             break;
         }
         reporter.obs().incr(Metric::EdcClosureRounds);
-        for (cand, v) in fresh.iter().zip(backend.vectors(input, &fresh)) {
+        let rows = backend.vectors(input, &fresh);
+        if guard.is_some_and(|g| g.tripped()) {
+            aborted.extend(fresh);
+            tripped = true;
+            break;
+        }
+        for (cand, v) in fresh.iter().zip(rows) {
             computed.insert(*cand, v);
             undetermined.insert(*cand);
         }
     }
 
-    // Final classification of whatever is still undetermined.
-    let mut rest: Vec<ObjectId> = undetermined.into_iter().collect();
-    rest.sort_unstable();
-    for o in rest {
-        let vec = &computed[&o];
-        let dominated = computed
+    let partial = if tripped {
+        // Everything computed is exact, but classification against an
+        // incompletely-explored candidate set would be unsound — report
+        // the remainder as unresolved instead. Computed members keep
+        // their exact vectors as (tight) lower bounds; aborted members
+        // fall back to Euclidean geometry.
+        let mut unresolved: Vec<UnresolvedCandidate> = undetermined
             .iter()
-            .any(|(other, v)| *other != o && dominates(v, vec));
-        if !dominated {
-            confirmed.push((o, vec.clone()));
-            reporter.report(SkylinePoint {
+            .map(|&o| UnresolvedCandidate {
                 object: o,
-                vector: vec.clone(),
+                lower_bounds: computed[&o].clone(),
+            })
+            .collect();
+        for &o in &aborted {
+            let p = input.ctx.point_of(&input.ctx.mid.position(o));
+            let mut lb: Vec<f64> = qpts.iter().map(|q| q.distance(&p)).collect();
+            input.extend_with_attrs(o, &mut lb);
+            unresolved.push(UnresolvedCandidate {
+                object: o,
+                lower_bounds: lb,
             });
         }
-    }
+        unresolved.sort_by_key(|u| u.object);
+        Some(PartialInfo {
+            reason: guard
+                .and_then(|g| g.reason())
+                .unwrap_or(IncompleteReason::Cancelled),
+            unresolved,
+        })
+    } else {
+        // Final classification of whatever is still undetermined.
+        let mut rest: Vec<ObjectId> = std::mem::take(&mut undetermined).into_iter().collect();
+        rest.sort_unstable();
+        for o in rest {
+            let vec = &computed[&o];
+            let dominated = computed
+                .iter()
+                .any(|(other, v)| *other != o && dominates(v, vec));
+            if !dominated {
+                confirmed.push((o, vec.clone()));
+                reporter.report(SkylinePoint {
+                    object: o,
+                    vector: vec.clone(),
+                });
+            }
+        }
+        None
+    };
 
     // Harvest the engines' own counters into the trace. Every dimension's
     // engine sees the same target sequence under every backend (sequential
@@ -281,6 +335,7 @@ pub(crate) fn run_mode_with<B: VectorBackend>(
     AlgoOutput {
         candidates: computed.len(),
         nodes_expanded: stats.expansions,
+        partial,
     }
 }
 

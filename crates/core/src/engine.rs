@@ -5,9 +5,9 @@ use crate::stats::{QueryStats, Reporter, SkylinePoint};
 use rn_geom::Mbr;
 use rn_graph::{NetPosition, ObjectId, RoadNetwork};
 use rn_index::{MiddleLayer, RTree};
-use rn_obs::{Event, Metric, QueryTrace};
+use rn_obs::{Event, ExecGuard, IncompleteReason, Metric, QueryBudget, QueryTrace};
 use rn_sp::{NetCtx, QueryPoint};
-use rn_storage::{IoSnapshot, NetworkStore};
+use rn_storage::{FaultPlan, IoSnapshot, NetworkStore};
 use std::time::Instant;
 
 /// Which of the paper's algorithms to execute.
@@ -107,12 +107,71 @@ impl<'a> QueryInput<'a> {
 }
 
 /// What an algorithm hands back besides the progressively reported points.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub(crate) struct AlgoOutput {
     /// Candidate-set size `|C|` under the algorithm's own definition.
     pub candidates: usize,
     /// Wavefront/engine node expansions performed.
     pub nodes_expanded: u64,
+    /// Set when the run stopped early on a tripped [`QueryBudget`].
+    pub partial: Option<PartialInfo>,
+}
+
+/// An object a budget-limited run discovered but could not classify
+/// before its [`rn_obs::ExecGuard`] tripped.
+#[derive(Clone, Debug, PartialEq)]
+pub struct UnresolvedCandidate {
+    /// The unclassified object.
+    pub object: ObjectId,
+    /// Certified per-dimension lower bounds on its distance vector
+    /// (spatial dimensions first, static attributes — always exact —
+    /// appended). Sources per algorithm: CE uses exact-where-visited /
+    /// wavefront-radius elsewhere, EDC falls back to Euclidean
+    /// distances (always a sound network lower bound), LBC reports the
+    /// candidate's live Euclidean → plb → exact bound vector.
+    pub lower_bounds: Vec<f64>,
+}
+
+/// Why and with what remainder a query stopped before completing.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PartialInfo {
+    /// The first budget limit that tripped.
+    pub reason: IncompleteReason,
+    /// Discovered-but-unclassified candidates with certified lower
+    /// bounds, sorted by object id. Objects the run never discovered
+    /// are not listed; their distances are bounded below by the
+    /// wavefront radii / Euclidean geometry as usual.
+    pub unresolved: Vec<UnresolvedCandidate>,
+}
+
+/// Whether a [`SkylineResult`] covers the full skyline or a certified
+/// prefix of it.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub enum Completion {
+    /// The full skyline: every reported point is in the true skyline
+    /// and nothing is missing.
+    #[default]
+    Complete,
+    /// A budget limit tripped. Every reported point is still in the
+    /// true skyline (engines only ever report certified points), but
+    /// the listed candidates — and anything undiscovered — may be
+    /// missing members.
+    Partial(PartialInfo),
+}
+
+impl Completion {
+    /// `true` for a complete skyline.
+    pub fn is_complete(&self) -> bool {
+        matches!(self, Completion::Complete)
+    }
+
+    /// The partial-result details, when the run was cut short.
+    pub fn partial(&self) -> Option<&PartialInfo> {
+        match self {
+            Completion::Complete => None,
+            Completion::Partial(p) => Some(p),
+        }
+    }
 }
 
 /// A finished query: the skyline and the measured statistics.
@@ -127,6 +186,9 @@ pub struct SkylineResult {
     /// the typed event log. Deterministic: bitwise identical at every
     /// worker count (DESIGN.md §10).
     pub trace: QueryTrace,
+    /// Whether the skyline is the full answer or a certified prefix cut
+    /// short by a tripped [`QueryBudget`] (DESIGN.md §12).
+    pub completion: Completion,
 }
 
 impl SkylineResult {
@@ -241,7 +303,32 @@ impl SkylineEngine {
     /// # Panics
     /// Panics when `queries` is empty.
     pub fn run(&self, algo: Algorithm, queries: &[NetPosition]) -> SkylineResult {
-        self.run_inner(algo, queries, None, SweepMode::default())
+        self.run_inner(
+            algo,
+            queries,
+            None,
+            SweepMode::default(),
+            &QueryBudget::unlimited(),
+        )
+    }
+
+    /// [`SkylineEngine::run`] under a [`QueryBudget`]: the run stops at
+    /// the first tripped limit and returns the certified-so-far skyline
+    /// with [`Completion::Partial`] carrying the unresolved candidates
+    /// (DESIGN.md §12).
+    ///
+    /// [`Algorithm::Brute`] is the testing oracle and is exempt: it
+    /// always runs to completion.
+    ///
+    /// # Panics
+    /// Panics when `queries` is empty.
+    pub fn run_with_budget(
+        &self,
+        algo: Algorithm,
+        queries: &[NetPosition],
+        budget: &QueryBudget,
+    ) -> SkylineResult {
+        self.run_inner(algo, queries, None, SweepMode::default(), budget)
     }
 
     /// [`SkylineEngine::run`] with an explicit [`SweepMode`] — the ablation
@@ -256,7 +343,7 @@ impl SkylineEngine {
         queries: &[NetPosition],
         sweep: SweepMode,
     ) -> SkylineResult {
-        self.run_inner(algo, queries, None, sweep)
+        self.run_inner(algo, queries, None, sweep, &QueryBudget::unlimited())
     }
 
     /// [`SkylineEngine::run_with_mode`] preceded by a buffer flush.
@@ -270,7 +357,7 @@ impl SkylineEngine {
         sweep: SweepMode,
     ) -> SkylineResult {
         self.clear_buffer();
-        self.run_inner(algo, queries, None, sweep)
+        self.run_inner(algo, queries, None, sweep, &QueryBudget::unlimited())
     }
 
     /// Runs `algo` with additional static attribute dimensions (§4.3's
@@ -292,7 +379,13 @@ impl SkylineEngine {
             self.object_count(),
             "attribute table must cover every object"
         );
-        self.run_inner(algo, queries, Some(attrs), SweepMode::default())
+        self.run_inner(
+            algo,
+            queries,
+            Some(attrs),
+            SweepMode::default(),
+            &QueryBudget::unlimited(),
+        )
     }
 
     fn run_inner(
@@ -301,10 +394,12 @@ impl SkylineEngine {
         queries: &[NetPosition],
         attrs: Option<&crate::attrs::AttrTable>,
         sweep: SweepMode,
+        budget: &QueryBudget,
     ) -> SkylineResult {
         assert!(!queries.is_empty(), "need at least one query point");
+        let guard = guard_for(algo, budget, self.store.stats().faults());
         let input = QueryInput {
-            ctx: NetCtx::new(&self.net, &self.store, &self.mid),
+            ctx: NetCtx::with_guard(&self.net, &self.store, &self.mid, guard.as_ref()),
             obj_tree: &self.obj_tree,
             queries: queries
                 .iter()
@@ -324,7 +419,7 @@ impl SkylineEngine {
             algo: algo.name(),
             arity: input.arity() as u64,
         });
-        let out = dispatch(algo, &input, &mut reporter);
+        let mut out = dispatch(algo, &input, &mut reporter);
         let total_time = started.elapsed();
         let io = self.store.stats().snapshot().since(&io_before);
 
@@ -334,6 +429,10 @@ impl SkylineEngine {
         let skyline = reporter.into_points();
         let index_reads = self.obj_tree.node_reads() + self.mid.node_reads();
         finish_trace(&mut trace, &out, &io, index_reads, skyline.len());
+        let completion = match out.partial.take() {
+            Some(p) => Completion::Partial(p),
+            None => Completion::Complete,
+        };
         SkylineResult {
             skyline,
             stats: QueryStats {
@@ -347,6 +446,7 @@ impl SkylineEngine {
                 index_reads,
             },
             trace,
+            completion,
         }
     }
 
@@ -376,9 +476,29 @@ impl SkylineEngine {
         queries: &[NetPosition],
         attrs: Option<&crate::attrs::AttrTable>,
     ) -> SkylineResult {
+        self.run_with_store_budget(store, algo, queries, attrs, &QueryBudget::unlimited())
+    }
+
+    /// [`SkylineEngine::run_with_store`] under a [`QueryBudget`]. Each
+    /// call gets its own [`rn_obs::ExecGuard`], so a batch running many
+    /// queries against private sessions enforces the budget per query —
+    /// which keeps budget trips deterministic at every batch worker
+    /// count.
+    ///
+    /// # Panics
+    /// Panics when `queries` is empty.
+    pub fn run_with_store_budget(
+        &self,
+        store: &NetworkStore,
+        algo: Algorithm,
+        queries: &[NetPosition],
+        attrs: Option<&crate::attrs::AttrTable>,
+        budget: &QueryBudget,
+    ) -> SkylineResult {
         assert!(!queries.is_empty(), "need at least one query point");
+        let guard = guard_for(algo, budget, store.stats().faults());
         let input = QueryInput {
-            ctx: NetCtx::new(&self.net, store, &self.mid),
+            ctx: NetCtx::with_guard(&self.net, store, &self.mid, guard.as_ref()),
             obj_tree: &self.obj_tree,
             queries: queries
                 .iter()
@@ -394,7 +514,7 @@ impl SkylineEngine {
             algo: algo.name(),
             arity: input.arity() as u64,
         });
-        let out = dispatch(algo, &input, &mut reporter);
+        let mut out = dispatch(algo, &input, &mut reporter);
         let total_time = started.elapsed();
         let io = store.stats().snapshot().since(&io_before);
         let initial_time = reporter.time_to_first();
@@ -402,6 +522,10 @@ impl SkylineEngine {
         let mut trace = reporter.take_obs();
         let skyline = reporter.into_points();
         finish_trace(&mut trace, &out, &io, 0, skyline.len());
+        let completion = match out.partial.take() {
+            Some(p) => Completion::Partial(p),
+            None => Completion::Complete,
+        };
         SkylineResult {
             skyline,
             stats: QueryStats {
@@ -415,6 +539,7 @@ impl SkylineEngine {
                 index_reads: 0,
             },
             trace,
+            completion,
         }
     }
 
@@ -442,6 +567,26 @@ impl SkylineEngine {
         self.run_parallel_with_mode(algo, queries, workers, SweepMode::default())
     }
 
+    /// [`SkylineEngine::run_parallel`] under a [`QueryBudget`]. The
+    /// guard is checked **coordinator-side only** — at CE's round
+    /// barriers, EDC's merged vector batches and LBC's frontier loop —
+    /// against deterministically-merged totals, so cap-based trips (and
+    /// the resulting partial skyline and trace) are bitwise identical at
+    /// every worker count. Deadline and cancellation trips are sound but
+    /// inherently timing-dependent (DESIGN.md §12).
+    ///
+    /// # Panics
+    /// Panics when `queries` is empty.
+    pub fn run_parallel_with_budget(
+        &self,
+        algo: Algorithm,
+        queries: &[NetPosition],
+        workers: usize,
+        budget: &QueryBudget,
+    ) -> SkylineResult {
+        self.run_parallel_inner(algo, queries, workers, SweepMode::default(), budget)
+    }
+
     /// [`SkylineEngine::run_parallel`] with an explicit [`SweepMode`] —
     /// same ablation hook as [`SkylineEngine::run_with_mode`], applied to
     /// the intra-query parallel drivers.
@@ -455,9 +600,23 @@ impl SkylineEngine {
         workers: usize,
         sweep: SweepMode,
     ) -> SkylineResult {
+        self.run_parallel_inner(algo, queries, workers, sweep, &QueryBudget::unlimited())
+    }
+
+    fn run_parallel_inner(
+        &self,
+        algo: Algorithm,
+        queries: &[NetPosition],
+        workers: usize,
+        sweep: SweepMode,
+        budget: &QueryBudget,
+    ) -> SkylineResult {
         assert!(!queries.is_empty(), "need at least one query point");
+        // The parallel drivers meter a fresh query-wide IoStats, so the
+        // guard's fault baseline is zero by construction.
+        let guard = guard_for(algo, budget, 0);
         let input = QueryInput {
-            ctx: NetCtx::new(&self.net, &self.store, &self.mid),
+            ctx: NetCtx::with_guard(&self.net, &self.store, &self.mid, guard.as_ref()),
             obj_tree: &self.obj_tree,
             queries: queries
                 .iter()
@@ -475,7 +634,7 @@ impl SkylineEngine {
             algo: algo.name(),
             arity: input.arity() as u64,
         });
-        let out = match algo {
+        let mut out = match algo {
             Algorithm::Ce => crate::par::run_ce(&input, &mut reporter, workers, &io),
             Algorithm::Edc => crate::par::run_edc(&input, &mut reporter, false, workers, &io),
             Algorithm::EdcBatch => crate::par::run_edc(&input, &mut reporter, true, workers, &io),
@@ -506,6 +665,10 @@ impl SkylineEngine {
         let skyline = reporter.into_points();
         let index_reads = self.obj_tree.node_reads() + self.mid.node_reads();
         finish_trace(&mut trace, &out, &io_totals, index_reads, skyline.len());
+        let completion = match out.partial.take() {
+            Some(p) => Completion::Partial(p),
+            None => Completion::Complete,
+        };
         SkylineResult {
             skyline,
             stats: QueryStats {
@@ -519,7 +682,22 @@ impl SkylineEngine {
                 index_reads,
             },
             trace,
+            completion,
         }
+    }
+
+    /// Installs (or clears, with `None`) a deterministic page-read fault
+    /// plan on the engine's store. Subsequent reads — including those of
+    /// sessions created afterwards, which inherit the plan — retry
+    /// injected failures with capped exponential backoff and meter them
+    /// in the `storage.io.*` counters (DESIGN.md §12).
+    pub fn set_fault_plan(&self, plan: Option<FaultPlan>) {
+        self.store.set_fault_plan(plan);
+    }
+
+    /// The currently installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        self.store.fault_plan()
     }
 
     /// Runs LBC with an explicit *source* query point selection (§4.3:
@@ -579,6 +757,13 @@ fn finish_trace(
     trace.add(Metric::StoragePageFaultsWarm, io.warm_faults);
     trace.add(Metric::QueryCandidates, out.candidates as u64);
     trace.add(Metric::QuerySkylineSize, skyline_len as u64);
+    trace.add(Metric::StorageIoInjectedErrors, io.injected_errors);
+    trace.add(Metric::StorageIoRetries, io.retries);
+    trace.add(Metric::StorageIoBackoffUs, io.backoff_us);
+    if let Some(p) = &out.partial {
+        trace.incr(Metric::QueryIncomplete);
+        trace.add(Metric::QueryUnresolvedCandidates, p.unresolved.len() as u64);
+    }
     let confirms = trace.get(Metric::SpAstarConfirms);
     trace.event(Event::HeapPops {
         count: out.nodes_expanded,
@@ -589,9 +774,26 @@ fn finish_trace(
         cold: io.cold_faults,
         warm: io.warm_faults,
     });
+    if let Some(p) = &out.partial {
+        trace.event(Event::Incomplete {
+            reason: p.reason,
+            unresolved: p.unresolved.len() as u64,
+        });
+    }
     trace.event(Event::QueryEnd {
         skyline: skyline_len as u64,
     });
+}
+
+/// Builds the execution guard for one query, or `None` when the budget
+/// is unlimited or the algorithm is the brute-force oracle (which always
+/// runs to completion so partial results can be validated against it).
+fn guard_for(algo: Algorithm, budget: &QueryBudget, fault_base: u64) -> Option<ExecGuard> {
+    if budget.is_unlimited() || algo == Algorithm::Brute {
+        None
+    } else {
+        Some(ExecGuard::new(budget, fault_base))
+    }
 }
 
 /// Routes one sequential query to its algorithm module.

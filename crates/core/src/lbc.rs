@@ -32,11 +32,11 @@
 //! distance vector eagerly, quantifying exactly what the lower-bound
 //! machinery saves.
 
-use crate::engine::{AlgoOutput, QueryInput, SweepMode};
+use crate::engine::{AlgoOutput, PartialInfo, QueryInput, SweepMode, UnresolvedCandidate};
 use crate::stats::{Reporter, SkylinePoint};
 use rn_geom::{OrdF64, Point};
 use rn_graph::{NetPosition, ObjectId};
-use rn_obs::{Event, Metric, SessionOutcome};
+use rn_obs::{Event, ExecGuard, IncompleteReason, Metric, SessionOutcome};
 use rn_skyline::dominance::dominates;
 use rn_sp::{AStar, AStarStats};
 use std::cmp::Reverse;
@@ -103,7 +103,7 @@ pub(crate) fn run(input: &QueryInput<'_>, reporter: &mut Reporter, use_plb: bool
         .iter()
         .map(|q| AStar::new(&input.ctx, q.pos))
         .collect();
-    run_mode(input, reporter, use_plb, engines, None)
+    run_mode(input, reporter, use_plb, engines, None, None)
 }
 
 /// The parallel entry: per-dimension A\* engines own **private store
@@ -133,7 +133,7 @@ pub(crate) fn run_parallel(
         .zip(&ctxs)
         .map(|(q, c)| AStar::new(c, q.pos))
         .collect();
-    run_mode(input, reporter, use_plb, engines, Some(workers))
+    run_mode(input, reporter, use_plb, engines, Some(workers), Some(io))
 }
 
 /// The LBC loop over caller-supplied engines. `par: Some(w)` fans the
@@ -147,10 +147,12 @@ fn run_mode(
     use_plb: bool,
     mut engines: Vec<AStar<'_>>,
     par: Option<usize>,
+    io: Option<&rn_storage::IoStats>,
 ) -> AlgoOutput {
     let qpts: Vec<Point> = input.queries.iter().map(|q| q.point).collect();
     let n = qpts.len();
     let source = input.queries[0];
+    let guard = input.ctx.guard;
 
     // Confirmed network skyline; mirrored into the RefCell the Euclidean
     // stream's pruning closure reads.
@@ -205,6 +207,21 @@ fn run_mode(
     }
 
     loop {
+        // ---- Budget check (DESIGN.md §12) ----
+        // Sequential engines tick the guard per heap pop themselves; the
+        // parallel mode keeps its engines guard-free and enforces the
+        // budget here, against deterministically merged totals, so cap
+        // trips land at the same frontier step at every worker count.
+        if let Some(g) = guard {
+            if par.is_some() {
+                let total: u64 = engines.iter().map(|e| e.stats().expansions).sum();
+                g.observe(total, io.map_or(0, |s| s.faults()));
+            }
+            if g.tripped() {
+                break;
+            }
+        }
+
         // ---- Drain the stream while it could still beat the frontier ----
         loop {
             if next_euclid.is_none() && !stream_done {
@@ -293,8 +310,15 @@ fn run_mode(
                         // A tying bound that is not yet exact: resolve it
                         // before the batch can be adjudicated.
                         pending_inexact = true;
-                        let end =
-                            session(&mut slab[i2], &mut engines, &skyline, dn0, false, use_plb);
+                        let end = session(
+                            &mut slab[i2],
+                            &mut engines,
+                            &skyline,
+                            dn0,
+                            false,
+                            use_plb,
+                            guard,
+                        );
                         record_session(reporter, slab[i2].obj, &end);
                         if !matches!(end, SessionEnd::Discarded) {
                             requeue!(slab, frontier, i2);
@@ -328,9 +352,15 @@ fn run_mode(
             // members one at a time (cheapest dimension first, discarding
             // early when sequential).
             let ends: Vec<SessionEnd> = match input.sweep {
-                SweepMode::Batched => {
-                    resolve_batch(&mut slab, &batch, &mut engines, &skyline, par, use_plb)
-                }
+                SweepMode::Batched => resolve_batch(
+                    &mut slab,
+                    &batch,
+                    &mut engines,
+                    &skyline,
+                    par,
+                    use_plb,
+                    guard,
+                ),
                 SweepMode::SingleTarget => batch
                     .iter()
                     .map(|&i| match par {
@@ -348,10 +378,19 @@ fn run_mode(
                             f64::INFINITY,
                             true,
                             use_plb,
+                            guard,
                         ),
                     })
                     .collect(),
             };
+            if guard.is_some_and(|g| g.tripped()) {
+                // The budget tripped mid-resolution: nothing below is
+                // certified (interrupted engines return upper bounds, and
+                // the resolvers leave the batch's bounds untouched on a
+                // trip). The batch members stay live and surface in the
+                // unresolved report.
+                break;
+            }
             let mut confirmed: Vec<(usize, Vec<f64>)> = Vec::new();
             for (&i, end) in batch.iter().zip(&ends) {
                 record_session(reporter, slab[i].obj, end);
@@ -394,6 +433,7 @@ fn run_mode(
                 horizon,
                 false,
                 use_plb,
+                guard,
             );
             record_session(reporter, slab[idx].obj, &end);
             match end {
@@ -419,9 +459,41 @@ fn run_mode(
     obs.add(Metric::SpAstarPackTargets, stats.pack_targets);
     obs.add(Metric::SpAstarPackRekeysAvoided, stats.pack_rekeys_avoided);
 
+    // On a budget trip, every live slab candidate — plus the Euclidean
+    // head popped from the stream but not yet ingested — is unresolved;
+    // its `lb` vector is certified (Euclidean seeds, monotone plbs, exact
+    // entries are all lower bounds) and goes out as-is.
+    let partial = guard.filter(|g| g.tripped()).map(|g| {
+        let mut unresolved: Vec<UnresolvedCandidate> = slab
+            .iter()
+            .filter(|c| !c.dead)
+            .map(|c| UnresolvedCandidate {
+                object: c.obj,
+                lower_bounds: c.lb.clone(),
+            })
+            .collect();
+        if let Some((de, obj)) = next_euclid {
+            let obj_pt = input.ctx.point_of(&input.ctx.mid.position(obj));
+            let mut lb = Vec::with_capacity(input.full_arity());
+            lb.push(de);
+            lb.extend(qpts[1..].iter().map(|q| q.distance(&obj_pt)));
+            input.extend_with_attrs(obj, &mut lb);
+            unresolved.push(UnresolvedCandidate {
+                object: obj,
+                lower_bounds: lb,
+            });
+        }
+        unresolved.sort_by_key(|u| u.object);
+        PartialInfo {
+            reason: g.reason().unwrap_or(IncompleteReason::Cancelled),
+            unresolved,
+        }
+    });
+
     AlgoOutput {
         candidates,
         nodes_expanded: stats.expansions,
+        partial,
     }
 }
 
@@ -459,8 +531,15 @@ fn session(
     ceiling: f64,
     resolve_fully: bool,
     use_plb: bool,
+    guard: Option<&ExecGuard>,
 ) -> SessionEnd {
     loop {
+        // A tripped budget freezes the engines (`advance` refuses), so
+        // continuing would spin forever; postpone with the bounds as
+        // they stand — they remain certified lower bounds.
+        if guard.is_some_and(|g| g.tripped()) {
+            return SessionEnd::Postponed;
+        }
         if use_plb && skyline.iter().any(|(_, s)| dominates(s, &cand.lb)) {
             return SessionEnd::Discarded;
         }
@@ -506,6 +585,10 @@ fn session(
             }
         } else {
             let exact = engine.run();
+            if guard.is_some_and(|g| g.tripped()) {
+                // The run was cut short: `exact` is only an upper bound.
+                return SessionEnd::Postponed;
+            }
             // Same admissibility contract for the Euclidean seed bound.
             #[cfg(feature = "invariant-checks")]
             assert!(
@@ -593,6 +676,7 @@ fn resolve_batch(
     skyline: &[(ObjectId, Vec<f64>)],
     par: Option<usize>,
     use_plb: bool,
+    guard: Option<&ExecGuard>,
 ) -> Vec<SessionEnd> {
     // Pre-check: members already dominated on their current bounds are
     // discarded without joining any pack.
@@ -636,6 +720,16 @@ fn resolve_batch(
             })
             .collect(),
     };
+    if guard.is_some_and(|g| g.tripped()) {
+        // A sweep was cut short, so the returned values are upper
+        // bounds; which sweeps completed before the trip is not
+        // recorded, so none of them may be applied. Leave every
+        // surviving member's bounds untouched.
+        return ends
+            .into_iter()
+            .map(|e| e.unwrap_or(SessionEnd::Postponed))
+            .collect();
+    }
     for (j, dists) in results.into_iter().enumerate() {
         for (&(slot, _), d) in wants[j].iter().zip(dists) {
             let i = batch[slot];

@@ -73,8 +73,16 @@ pub mod stats;
 
 pub use attrs::AttrTable;
 pub use batch::{BatchEngine, BatchOutcome};
-pub use engine::{Algorithm, QueryInput, SkylineEngine, SkylineResult, SourceStrategy, SweepMode};
+pub use engine::{
+    Algorithm, Completion, PartialInfo, QueryInput, SkylineEngine, SkylineResult, SourceStrategy,
+    SweepMode, UnresolvedCandidate,
+};
 pub use nnq::Aggregate;
 pub use stats::{QueryStats, Reporter, SkylinePoint};
 // Re-exported so trace consumers need no direct rn-obs dependency.
-pub use rn_obs::{Event, Metric, QueryTrace, SessionOutcome, METRIC_NAMES};
+pub use rn_obs::{
+    CancelToken, Event, IncompleteReason, Metric, QueryBudget, QueryTrace, SessionOutcome,
+    METRIC_NAMES,
+};
+// Re-exported so chaos-test harnesses need no direct rn-storage dependency.
+pub use rn_storage::FaultPlan;

@@ -20,10 +20,10 @@
 
 use crate::ce::CeState;
 use crate::edc::{self, VectorBackend};
-use crate::engine::{AlgoOutput, QueryInput, SweepMode};
+use crate::engine::{AlgoOutput, PartialInfo, QueryInput, SweepMode};
 use crate::stats::Reporter;
 use rn_graph::{NetPosition, ObjectId};
-use rn_obs::{Event, Metric};
+use rn_obs::{Event, IncompleteReason, Metric};
 use rn_sp::{AStar, AStarStats, IncrementalExpansion, NetCtx};
 use rn_storage::{IoStats, NetworkStore};
 
@@ -109,8 +109,19 @@ pub(crate) fn run_ce(
         // wavefront's true emission bound, which CeState accepts.
         let mut bounds = vec![0.0f64; n];
         let mut settled = vec![0u64; n];
+        let mut interrupted = false;
 
         loop {
+            // Budget enforcement happens here and only here: at the round
+            // barrier, against deterministically merged totals. Workers
+            // run guard-free, so cap trips land on the same round at
+            // every worker count (DESIGN.md §12).
+            if let Some(g) = input.ctx.guard {
+                if !g.observe(settled.iter().sum(), io.faults()) {
+                    interrupted = true;
+                    break;
+                }
+            }
             if st.should_stop(input, &bounds) || st.all_exhausted() {
                 break;
             }
@@ -164,11 +175,27 @@ pub(crate) fn run_ce(
             st.classify_ready(input, reporter, &bounds);
         }
 
+        if interrupted {
+            // Same sound wrap-up as the sequential driver: certified
+            // classifications only, no exhaustive finalisation.
+            st.classify_ready(input, reporter, &bounds);
+            let guard = input.ctx.guard.expect("interruption implies a guard");
+            return AlgoOutput {
+                candidates: st.candidates_now(),
+                nodes_expanded: settled.iter().sum(),
+                partial: Some(PartialInfo {
+                    reason: guard.reason().unwrap_or(IncompleteReason::Cancelled),
+                    unresolved: st.unresolved(input, &bounds),
+                }),
+            };
+        }
+
         st.classify_ready(input, reporter, &bounds);
         st.finish(input, reporter);
         AlgoOutput {
             candidates: st.candidates(),
             nodes_expanded: settled.iter().sum(),
+            partial: None,
         }
     })
 }
@@ -187,6 +214,9 @@ struct ParBackend<'p> {
     /// (not deltas) make the merge order-independent, so the totals are
     /// identical at every worker count.
     stats: Vec<AStarStats>,
+    /// The query-wide fault counter, read only at batch barriers for the
+    /// budget check below.
+    io: &'p IoStats,
 }
 
 impl VectorBackend for ParBackend<'_> {
@@ -209,6 +239,14 @@ impl VectorBackend for ParBackend<'_> {
         }
         for (row, &obj) in rows.iter_mut().zip(objs) {
             input.extend_with_attrs(obj, row);
+        }
+        // Coordinator-side budget check at the batch barrier: merged
+        // cumulative totals are worker-count invariant, so cap trips are
+        // too. The caller (edc::run_mode_with) sees the trip through the
+        // guard and discards this batch's rows.
+        if let Some(g) = input.ctx.guard {
+            let total: u64 = self.stats.iter().map(|s| s.expansions).sum();
+            g.observe(total, self.io.faults());
         }
         rows
     }
@@ -281,6 +319,7 @@ pub(crate) fn run_edc(
             pool: &pool,
             n,
             stats: vec![AStarStats::default(); n],
+            io,
         };
         edc::run_mode_with(input, reporter, batch, &mut backend)
     })

@@ -28,6 +28,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod budget;
+
+pub use budget::{CancelToken, ExecGuard, IncompleteReason, QueryBudget};
+
 /// Maximum number of events retained per trace. Further events are
 /// dropped (counted in [`QueryTrace::dropped_events`]) rather than
 /// reallocating — recording must stay O(1) per event.
@@ -90,6 +94,22 @@ pub enum Metric {
     /// resolution, which pays one `set_target`-sized re-key per
     /// destination (pack re-keys spent are counted in `SpAstarRetargets`).
     SpAstarPackRekeysAvoided,
+    /// 1 when the query stopped before completing (budget exhausted or
+    /// cancelled); 0 for a complete run. Additive across trace merges:
+    /// a batch trace counts its incomplete queries.
+    QueryIncomplete,
+    /// Candidates left unresolved (neither confirmed skyline nor
+    /// pruned) when an incomplete query stopped.
+    QueryUnresolvedCandidates,
+    /// Storage: page-read errors injected by the deterministic fault
+    /// plan (each one is retried; see `storage.io.retries`).
+    StorageIoInjectedErrors,
+    /// Storage: read retries performed after injected errors.
+    StorageIoRetries,
+    /// Storage: total simulated exponential-backoff delay, in
+    /// microseconds, accumulated across those retries (modeled, not
+    /// slept — deterministic).
+    StorageIoBackoffUs,
 }
 
 /// String table for [`Metric`], indexed by discriminant.
@@ -121,12 +141,17 @@ pub const METRIC_NAMES: [&str; Metric::COUNT] = [
     "sp.astar.pack.sweeps",
     "sp.astar.pack.targets",
     "sp.astar.pack.rekeys_avoided",
+    "query.incomplete",
+    "query.unresolved.candidates",
+    "storage.io.injected_errors",
+    "storage.io.retries",
+    "storage.io.backoff_us",
     // metric-names:end
 ];
 
 impl Metric {
     /// Number of registered metrics.
-    pub const COUNT: usize = 22;
+    pub const COUNT: usize = 27;
 
     /// Every metric, in export order.
     pub const ALL: [Metric; Metric::COUNT] = [
@@ -152,6 +177,11 @@ impl Metric {
         Metric::SpAstarPackSweeps,
         Metric::SpAstarPackTargets,
         Metric::SpAstarPackRekeysAvoided,
+        Metric::QueryIncomplete,
+        Metric::QueryUnresolvedCandidates,
+        Metric::StorageIoInjectedErrors,
+        Metric::StorageIoRetries,
+        Metric::StorageIoBackoffUs,
     ];
 
     /// The registered dotted name of this metric.
@@ -248,6 +278,14 @@ pub enum Event {
         /// Re-fault of a previously evicted page.
         warm: u64,
     },
+    /// The query stopped before completing: budget exhausted or
+    /// cancelled. The confirmed-so-far skyline is still sound.
+    Incomplete {
+        /// Which limit tripped.
+        reason: IncompleteReason,
+        /// Candidates left unresolved at the stop point.
+        unresolved: u64,
+    },
     /// The query finished with a skyline of the given size.
     QueryEnd {
         /// Skyline size |S|.
@@ -294,6 +332,13 @@ impl Event {
                 let _ = write!(
                     out,
                     r#"{{"type":"page_faults","cold":{cold},"warm":{warm}}}"#
+                );
+            }
+            Event::Incomplete { reason, unresolved } => {
+                let _ = write!(
+                    out,
+                    r#"{{"type":"incomplete","reason":"{}","unresolved":{unresolved}}}"#,
+                    reason.label()
                 );
             }
             Event::QueryEnd { skyline } => {

@@ -362,6 +362,14 @@ impl<'a> AStar<'a> {
         if self.is_resolved() {
             return false;
         }
+        // Budget check at heap-pop granularity. On a trip the target is
+        // NOT resolved: `known` is an upper bound, not the distance —
+        // callers must consult the guard before trusting [`AStar::result`].
+        if let Some(guard) = self.ctx.guard {
+            if !guard.tick_expansion(self.ctx.store.stats().faults()) {
+                return false;
+            }
+        }
         // Pop the cheapest live frontier node. is_resolved() just cleaned
         // stale heads, so the top is live.
         let Some(Reverse((_key, g, n))) = self.heap.pop() else {
@@ -551,6 +559,14 @@ impl<'a> AStar<'a> {
             if ts.iter().all(|t| t.resolved) {
                 break;
             }
+            // Budget check once per sweep pop. On a trip, unresolved
+            // targets keep `known` as an upper bound (possibly infinite);
+            // callers must consult the guard before trusting the vector.
+            if let Some(guard) = self.ctx.guard {
+                if !guard.tick_expansion(self.ctx.store.stats().faults()) {
+                    break;
+                }
+            }
             // frontier_key() cleaned stale heads, so the top is live.
             let Some(Reverse((_key, g, n))) = self.heap.pop() else {
                 continue;
@@ -731,6 +747,52 @@ mod tests {
                     "seed {seed}: A*={da} Dijkstra={dd} src={src:?} dst={dst:?}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn expansion_cap_halts_single_target_and_pack_sweeps() {
+        let g = random_net(60, 21);
+        let store = NetworkStore::build(&g);
+        let mid = MiddleLayer::build(&g, &[]);
+        let mut rng = StdRng::seed_from_u64(4242);
+        let src = rand_pos(&g, &mut rng);
+        let dst = rand_pos(&g, &mut rng);
+        let pack: Vec<NetPosition> = (0..6).map(|_| rand_pos(&g, &mut rng)).collect();
+
+        // Single-target: run() must terminate with the guard tripped and
+        // the expansion count bounded by the cap.
+        let budget = rn_obs::QueryBudget::unlimited().with_max_expansions(4);
+        let guard = rn_obs::ExecGuard::new(&budget, store.stats().faults());
+        let ctx = NetCtx::with_guard(&g, &store, &mid, Some(&guard));
+        let mut astar = AStar::new(&ctx, src);
+        astar.set_target(dst);
+        let bound = astar.run();
+        assert!(guard.tripped());
+        assert!(astar.expansions() <= 4);
+        // `known` is an upper bound on the true distance (or infinite).
+        let free = NetCtx::new(&g, &store, &mid);
+        let mut dij = Dijkstra::new(&free, src);
+        let exact = dij.distance_to_position(&dst);
+        assert!(
+            bound + 1e-9 >= exact,
+            "tripped known {bound} < exact {exact}"
+        );
+
+        // Pack sweep: must break out of the sweep loop, returning sound
+        // upper bounds for whatever did not resolve.
+        let guard2 = rn_obs::ExecGuard::new(&budget, store.stats().faults());
+        let ctx2 = NetCtx::with_guard(&g, &store, &mid, Some(&guard2));
+        let mut sweep = AStar::new(&ctx2, src);
+        let got = sweep.distances_to_pack(&pack);
+        assert!(guard2.tripped());
+        assert_eq!(got.len(), pack.len());
+        for (i, ub) in got.iter().enumerate() {
+            let exact = dij.distance_to_position(&pack[i]);
+            assert!(
+                *ub + 1e-9 >= exact,
+                "pack {i}: tripped bound {ub} < {exact}"
+            );
         }
     }
 

@@ -4,6 +4,7 @@
 use rn_geom::Point;
 use rn_graph::{NetPosition, RoadNetwork};
 use rn_index::MiddleLayer;
+use rn_obs::ExecGuard;
 use rn_storage::NetworkStore;
 
 /// Borrowed bundle of everything a network query touches.
@@ -27,12 +28,44 @@ pub struct NetCtx<'a> {
     pub store: &'a NetworkStore,
     /// Edge-id-keyed object directory.
     pub mid: &'a MiddleLayer,
+    /// Budget enforcement for the query driving this context, if any.
+    /// Sequential engines check it at heap-pop granularity; parallel
+    /// worker contexts carry `None` so tripping stays coordinator-side
+    /// and worker-count independent (DESIGN.md §12).
+    pub guard: Option<&'a ExecGuard>,
 }
 
 impl<'a> NetCtx<'a> {
-    /// Bundles the three substrate references.
+    /// Bundles the three substrate references, with no budget guard.
     pub fn new(net: &'a RoadNetwork, store: &'a NetworkStore, mid: &'a MiddleLayer) -> Self {
-        NetCtx { net, store, mid }
+        NetCtx {
+            net,
+            store,
+            mid,
+            guard: None,
+        }
+    }
+
+    /// Like [`NetCtx::new`], but with a budget guard the shortest-path
+    /// engines will consult on every heap pop.
+    pub fn with_guard(
+        net: &'a RoadNetwork,
+        store: &'a NetworkStore,
+        mid: &'a MiddleLayer,
+        guard: Option<&'a ExecGuard>,
+    ) -> Self {
+        NetCtx {
+            net,
+            store,
+            mid,
+            guard,
+        }
+    }
+
+    /// `true` once the context's guard (if any) has tripped: the query
+    /// budget is exhausted and engines must stop expanding.
+    pub fn budget_exhausted(&self) -> bool {
+        self.guard.is_some_and(|g| g.tripped())
     }
 
     /// Resolves a network position to planar coordinates.

@@ -36,6 +36,9 @@ pub struct Dijkstra<'a> {
     rec: AdjRecord,
     /// Nodes settled so far (expansion count statistic).
     settled_count: u64,
+    /// Set when the context's budget guard tripped mid-expansion: the
+    /// wavefront stopped early and is *not* exhausted.
+    interrupted: bool,
 }
 
 impl<'a> Dijkstra<'a> {
@@ -50,6 +53,7 @@ impl<'a> Dijkstra<'a> {
             source,
             rec: AdjRecord::default(),
             settled_count: 0,
+            interrupted: false,
         };
         let edge = ctx.net.edge(source.edge);
         let (du, dv) = ctx.net.position_endpoint_dists(&source);
@@ -70,6 +74,7 @@ impl<'a> Dijkstra<'a> {
         self.radius = 0.0;
         self.source = source;
         self.settled_count = 0;
+        self.interrupted = false;
         let edge = self.ctx.net.edge(source.edge);
         let (du, dv) = self.ctx.net.position_endpoint_dists(&source);
         self.relax(edge.u, du);
@@ -94,8 +99,20 @@ impl<'a> Dijkstra<'a> {
     }
 
     /// `true` once the whole reachable component has been settled.
+    ///
+    /// An *interrupted* wavefront (budget guard tripped) is not
+    /// exhausted: unsettled frontier remains, so distance/emission
+    /// bounds derived from exhaustion would be unsound.
     pub fn is_exhausted(&self) -> bool {
-        self.heap.is_empty()
+        self.heap.is_empty() && !self.interrupted
+    }
+
+    /// `true` when the context's budget guard stopped this wavefront
+    /// before its reachable component was exhausted. Once set,
+    /// [`Dijkstra::settle_next`] keeps returning `None` without
+    /// touching the heap; the settled prefix stays valid.
+    pub fn interrupted(&self) -> bool {
+        self.interrupted
     }
 
     /// Finalised distance of `n`, if it has been settled.
@@ -136,8 +153,19 @@ impl<'a> Dijkstra<'a> {
     }
 
     /// Settles the next nearest node and expands it; returns `(node,
-    /// distance)`, or `None` when the reachable component is exhausted.
+    /// distance)`, or `None` when the reachable component is exhausted
+    /// — or when the budget guard trips, in which case
+    /// [`Dijkstra::interrupted`] distinguishes the two.
     pub fn settle_next(&mut self) -> Option<(NodeId, f64)> {
+        if self.interrupted {
+            return None;
+        }
+        if let Some(g) = self.ctx.guard {
+            if !self.heap.is_empty() && !g.tick_expansion(self.ctx.store.stats().faults()) {
+                self.interrupted = true;
+                return None;
+            }
+        }
         loop {
             let Reverse((d, n)) = self.heap.pop()?;
             let d = d.get();
@@ -444,6 +472,39 @@ mod tests {
             }
             assert_eq!(reused.settled_count(), fresh.settled_count());
         });
+    }
+
+    #[test]
+    fn expansion_cap_interrupts_without_exhausting() {
+        let g = grid3();
+        let store = NetworkStore::build(&g);
+        let mid = MiddleLayer::build(&g, &[]);
+        let budget = rn_obs::QueryBudget::unlimited().with_max_expansions(3);
+        let guard = rn_obs::ExecGuard::new(&budget, store.stats().faults());
+        let ctx = NetCtx::with_guard(&g, &store, &mid, Some(&guard));
+        let e = edge_between(&g, NodeId(0), NodeId(1));
+        let mut dij = Dijkstra::new(&ctx, NetPosition::new(e, 0.0));
+        let mut settles = 0u64;
+        while dij.settle_next().is_some() {
+            settles += 1;
+        }
+        assert_eq!(settles, 3, "cap admits exactly 3 settles");
+        assert!(dij.interrupted());
+        assert!(!dij.is_exhausted(), "interrupted != exhausted");
+        assert!(guard.tripped());
+        assert_eq!(guard.reason(), Some(rn_obs::IncompleteReason::ExpansionCap));
+        // Latches: further calls keep returning None without expanding.
+        assert_eq!(dij.settle_next(), None);
+        assert_eq!(dij.settled_count(), 3);
+        // The settled prefix stays valid and the radius stays frozen.
+        let r = dij.radius();
+        assert!(r >= 0.0);
+        // Rebase clears the interruption (the guard stays tripped, so
+        // the next settle attempt re-trips immediately).
+        dij.rebase(NetPosition::new(e, 0.0));
+        assert!(!dij.interrupted());
+        assert_eq!(dij.settle_next(), None);
+        assert!(dij.interrupted());
     }
 
     #[test]

@@ -66,6 +66,14 @@ impl<'a> IncrementalExpansion<'a> {
         &self.dij
     }
 
+    /// `true` when the budget guard stopped the underlying wavefront.
+    /// Objects already certified (tentative distance within the frozen
+    /// radius) can still be emitted; everything else stays pending with
+    /// [`Self::emission_bound`] as its certified lower bound.
+    pub fn interrupted(&self) -> bool {
+        self.dij.interrupted()
+    }
+
     /// Objects emitted so far in ascending network-distance order.
     pub fn emissions(&self) -> u64 {
         self.emissions
@@ -145,6 +153,13 @@ impl<'a> IncrementalExpansion<'a> {
             // Otherwise grow the wavefront by one node and probe the edges
             // around it for objects.
             let Some((node, dist)) = self.dij.settle_next() else {
+                if self.dij.interrupted() {
+                    // Budget tripped: the wavefront is frozen, not
+                    // exhausted. Any pending object within the radius
+                    // was already emitted by the peek above; the rest
+                    // cannot be certified, so stop rather than spin.
+                    return None;
+                }
                 continue; // exhausted; loop re-checks pending
             };
             // The adjacency record was just read (and paid for); probe the
@@ -312,6 +327,43 @@ mod tests {
             .find(|o| *o != first)
             .unwrap();
         assert_eq!(ine.emitted_distance(unemitted), None);
+    }
+
+    #[test]
+    fn interrupted_expansion_stops_instead_of_spinning() {
+        let g = random_net(40, 3);
+        let objs = rand_positions(&g, 25, 103);
+        let store = NetworkStore::build(&g);
+        let mid = MiddleLayer::build(&g, &objs);
+        let budget = rn_obs::QueryBudget::unlimited().with_max_expansions(5);
+        let guard = rn_obs::ExecGuard::new(&budget, store.stats().faults());
+        let ctx = NetCtx::with_guard(&g, &store, &mid, Some(&guard));
+        let src = rand_positions(&g, 1, 203)[0];
+        let mut ine = IncrementalExpansion::new(&ctx, src);
+        // Must terminate (the pre-fix failure mode was an infinite loop
+        // re-checking a frozen pending queue) and must not pretend the
+        // wavefront is exhausted.
+        let got = ine.drain();
+        assert!(ine.interrupted());
+        assert!(!ine.wavefront().is_exhausted());
+        assert!(
+            got.len() < objs.len(),
+            "budget of 5 settles cannot certify all"
+        );
+        // Everything emitted was certified against the frozen radius.
+        let bound = ine.emission_bound();
+        assert!(bound.is_finite());
+        for (_, d) in &got {
+            assert!(*d <= bound + 1e-9);
+        }
+        // The certified prefix matches what an unbudgeted run emits first.
+        let free = NetCtx::new(&g, &store, &mid);
+        let mut full = IncrementalExpansion::new(&free, src);
+        for (obj, d) in &got {
+            let (o2, d2) = full.next_nearest().unwrap();
+            assert_eq!(*obj, o2);
+            assert!(approx_eq(*d, d2));
+        }
     }
 
     #[test]

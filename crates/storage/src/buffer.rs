@@ -5,6 +5,7 @@
 //! simulated [`crate::page::Disk`]; every request is classified as a hit or
 //! a fault and tallied into [`crate::IoStats`].
 
+use crate::fault::FaultPlan;
 use crate::page::{Disk, PageId, PAGE_SIZE};
 use crate::stats::IoStats;
 use bytes::Bytes;
@@ -47,6 +48,9 @@ pub struct BufferPool {
     /// Cleared together with the cache so a `clear()`ed pool attributes
     /// like a fresh one.
     seen: HashSet<PageId>,
+    /// Deterministic fault schedule applied to disk reads on misses;
+    /// `None` injects nothing (the default).
+    plan: Option<FaultPlan>,
 }
 
 impl BufferPool {
@@ -64,6 +68,7 @@ impl BufferPool {
             capacity,
             stats,
             seen: HashSet::new(),
+            plan: None,
         }
     }
 
@@ -93,7 +98,23 @@ impl BufferPool {
         &self.stats
     }
 
+    /// Installs (or removes) a deterministic fault schedule for future
+    /// misses. The cache contents and counters are untouched.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.plan = plan;
+    }
+
+    /// The fault schedule currently applied to misses, if any.
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        self.plan
+    }
+
     /// Fetches a page through the cache, reading from `disk` on a miss.
+    ///
+    /// The miss is classified cold/warm exactly once, *before* the
+    /// retry loop: injected transient errors multiply the physical read
+    /// attempts, not the fault attribution — a faulted page retried
+    /// three times is still one cold (or warm) fault.
     pub fn get(&mut self, disk: &Disk, page: PageId) -> Bytes {
         if let Some(&fi) = self.map.get(&page) {
             self.stats.record_hit();
@@ -105,9 +126,27 @@ impl BufferPool {
         } else {
             self.stats.record_fault_warm();
         }
-        let data = disk.read(page);
+        let data = self.read_with_retries(disk, page);
         self.insert(page, data.clone());
         data
+    }
+
+    /// One disk read under the fault plan: replay the per-attempt error
+    /// schedule, accounting a capped-exponential simulated backoff per
+    /// retry. [`FaultPlan`] clamps consecutive failures below the
+    /// attempt budget, so this always returns the page's true bytes.
+    fn read_with_retries(&self, disk: &Disk, page: PageId) -> Bytes {
+        let Some(plan) = &self.plan else {
+            return disk.read(page);
+        };
+        let mut attempt = 0u32;
+        while plan.fails(page, attempt) {
+            self.stats
+                .record_injected_error(FaultPlan::backoff_us(attempt));
+            attempt += 1;
+        }
+        debug_assert!(attempt <= FaultPlan::MAX_CONSECUTIVE_FAILURES);
+        disk.read(page)
     }
 
     /// Drops every cached page (the counters are left untouched). The
@@ -359,6 +398,83 @@ mod tests {
                 },
             )
             .unwrap();
+    }
+
+    #[test]
+    fn faulted_page_retries_do_not_double_count_cold_faults() {
+        let d = disk_with(4);
+        let stats = IoStats::new();
+        let mut pool = BufferPool::new(2, stats.clone());
+        // "Always fail" plan: every miss pays the full retry ladder but
+        // is attributed exactly once.
+        pool.set_fault_plan(Some(FaultPlan::new(5, 1 << 16)));
+        pool.get(&d, PageId(0)); // cold + 3 injected errors
+        let s = stats.snapshot();
+        assert_eq!(s.cold_faults, 1, "one cold fault despite retries");
+        assert_eq!(s.warm_faults, 0);
+        assert_eq!(s.faults, 1);
+        assert_eq!(
+            s.injected_errors,
+            FaultPlan::MAX_CONSECUTIVE_FAILURES as u64
+        );
+        assert_eq!(s.retries, s.injected_errors);
+        assert_eq!(s.backoff_us, 100 + 200 + 400);
+
+        pool.get(&d, PageId(1)); // cold, evictions start next
+        pool.get(&d, PageId(2)); // cold, evicts 0
+        pool.get(&d, PageId(0)); // warm re-fetch of the faulted page
+        let s = stats.snapshot();
+        assert_eq!(s.cold_faults, 3, "re-fetch must not re-count cold");
+        assert_eq!(s.warm_faults, 1);
+        assert_eq!(
+            s.injected_errors,
+            4 * FaultPlan::MAX_CONSECUTIVE_FAILURES as u64,
+            "each of the 4 misses replays the same per-attempt schedule"
+        );
+
+        pool.get(&d, PageId(0)); // hit: no disk read, no injection
+        let s2 = stats.snapshot();
+        assert_eq!(s2.injected_errors, s.injected_errors);
+        assert_eq!(s2.logical, s.logical + 1);
+    }
+
+    #[test]
+    fn fault_plan_preserves_page_bytes_and_eviction_order() {
+        let d = disk_with(10);
+        let stats_plain = IoStats::new();
+        let stats_faulty = IoStats::new();
+        let mut plain = BufferPool::new(3, stats_plain.clone());
+        let mut faulty = BufferPool::new(3, stats_faulty.clone());
+        faulty.set_fault_plan(Some(FaultPlan::new(11, 1 << 14)));
+        for i in 0..1000u32 {
+            let p = PageId((i * 13 + i / 7) % 10);
+            let a = plain.get(&d, p);
+            let b = faulty.get(&d, p);
+            assert_eq!(a, b, "faulted read must return identical bytes");
+        }
+        let (a, b) = (stats_plain.snapshot(), stats_faulty.snapshot());
+        assert_eq!(a.logical, b.logical);
+        assert_eq!(a.faults, b.faults);
+        assert_eq!(a.cold_faults, b.cold_faults);
+        assert_eq!(a.warm_faults, b.warm_faults);
+        assert_eq!(a.injected_errors, 0);
+        assert!(b.injected_errors > 0, "the plan should have injected");
+        assert!(b.backoff_us >= b.retries * FaultPlan::BACKOFF_BASE_US);
+    }
+
+    #[test]
+    fn fault_schedule_is_reproducible_across_pools() {
+        let d = disk_with(8);
+        let run = || {
+            let stats = IoStats::new();
+            let mut pool = BufferPool::new(2, stats.clone());
+            pool.set_fault_plan(Some(FaultPlan::new(77, 1 << 15)));
+            for i in 0..200u32 {
+                pool.get(&d, PageId((i * 5 + 1) % 8));
+            }
+            stats.snapshot()
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

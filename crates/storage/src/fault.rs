@@ -1,0 +1,141 @@
+//! Deterministic page-read fault injection.
+//!
+//! Production storage fails: reads time out, devices return transient
+//! errors. The engines' determinism contract (DESIGN.md §10) must
+//! extend to that failure path, so faults here are not random at run
+//! time — a [`FaultPlan`] is a *pure function* of `(page, attempt)`
+//! derived from a seed. The same seed produces the same fault schedule,
+//! the same retries and the same simulated backoff on every run and at
+//! every worker count: each worker session owns a private buffer pool,
+//! its miss sequence is deterministic, and every miss replays the same
+//! per-attempt schedule regardless of what other threads do.
+//!
+//! Faults are **transient by construction**: the schedule never fails
+//! an attempt at or beyond [`FaultPlan::MAX_CONSECUTIVE_FAILURES`], so
+//! a read always succeeds within the retry loop's attempt budget and
+//! the returned bytes — and therefore every query result — are
+//! bitwise identical to a fault-free run. Only the I/O accounting
+//! (injected errors, retries, modeled backoff) differs. See
+//! DESIGN.md §12 for the fault model and backoff policy.
+
+use crate::page::PageId;
+
+/// Seeded per-page error schedule: `fails(page, attempt)` decides
+/// whether the `attempt`-th read of `page` (within one buffer-pool
+/// miss) is injected as a transient error.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultPlan {
+    seed: u64,
+    /// Per-attempt failure probability, as a numerator out of 2^16.
+    fail_per_64k: u32,
+}
+
+impl FaultPlan {
+    /// Upper bound on consecutive injected failures for one miss. The
+    /// retry loop in [`crate::BufferPool`] allows this many retries, so
+    /// every read is guaranteed to succeed — faults degrade I/O cost,
+    /// never results.
+    pub const MAX_CONSECUTIVE_FAILURES: u32 = 3;
+
+    /// First-retry backoff in simulated microseconds; doubles per
+    /// consecutive failure up to [`FaultPlan::BACKOFF_CAP_US`].
+    pub const BACKOFF_BASE_US: u64 = 100;
+
+    /// Cap on a single simulated backoff step.
+    pub const BACKOFF_CAP_US: u64 = 800;
+
+    /// A plan that injects an error on roughly `fail_per_64k / 65536`
+    /// of all `(page, attempt)` pairs, pseudo-randomly by `seed`.
+    pub fn new(seed: u64, fail_per_64k: u32) -> FaultPlan {
+        FaultPlan {
+            seed,
+            fail_per_64k: fail_per_64k.min(1 << 16),
+        }
+    }
+
+    /// Whether the `attempt`-th read (0-based) of `page` fails. Pure:
+    /// depends only on the plan and its arguments. Attempts at or past
+    /// [`FaultPlan::MAX_CONSECUTIVE_FAILURES`] always succeed.
+    pub fn fails(&self, page: PageId, attempt: u32) -> bool {
+        if attempt >= Self::MAX_CONSECUTIVE_FAILURES {
+            return false;
+        }
+        let h = mix(self
+            .seed
+            .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(u64::from(page.0)))
+            .wrapping_add(0xbf58_476d_1ce4_e5b9u64.wrapping_mul(u64::from(attempt) + 1)));
+        (h & 0xffff) < u64::from(self.fail_per_64k)
+    }
+
+    /// Simulated backoff before the retry that follows the
+    /// `attempt`-th failed read: capped exponential,
+    /// `min(BASE << attempt, CAP)` microseconds.
+    pub fn backoff_us(attempt: u32) -> u64 {
+        (Self::BACKOFF_BASE_US << attempt.min(16)).min(Self::BACKOFF_CAP_US)
+    }
+}
+
+/// SplitMix64 finalizer: cheap, well-distributed 64-bit mixing.
+fn mix(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_a_pure_function_of_seed_page_attempt() {
+        let a = FaultPlan::new(42, 20_000);
+        let b = FaultPlan::new(42, 20_000);
+        for p in 0..200u32 {
+            for att in 0..4u32 {
+                assert_eq!(a.fails(PageId(p), att), b.fails(PageId(p), att));
+            }
+        }
+        let c = FaultPlan::new(43, 20_000);
+        let diverges = (0..200u32).any(|p| a.fails(PageId(p), 0) != c.fails(PageId(p), 0));
+        assert!(diverges, "different seeds should give different schedules");
+    }
+
+    #[test]
+    fn failures_are_clamped_below_the_retry_budget() {
+        let plan = FaultPlan::new(7, 1 << 16); // "always fail" rate
+        for p in 0..50u32 {
+            for att in 0..FaultPlan::MAX_CONSECUTIVE_FAILURES {
+                assert!(plan.fails(PageId(p), att));
+            }
+            assert!(
+                !plan.fails(PageId(p), FaultPlan::MAX_CONSECUTIVE_FAILURES),
+                "attempt at the clamp must always succeed"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_rate_never_fails() {
+        let plan = FaultPlan::new(1, 0);
+        assert!((0..500u32).all(|p| !plan.fails(PageId(p), 0)));
+    }
+
+    #[test]
+    fn rate_is_roughly_honoured() {
+        // 25% nominal rate over 4096 pages: expect something in a wide
+        // band around 1024 first-attempt failures.
+        let plan = FaultPlan::new(99, 1 << 14);
+        let hits = (0..4096u32).filter(|&p| plan.fails(PageId(p), 0)).count();
+        assert!((700..1400).contains(&hits), "got {hits} failures");
+    }
+
+    #[test]
+    fn backoff_is_capped_exponential() {
+        assert_eq!(FaultPlan::backoff_us(0), 100);
+        assert_eq!(FaultPlan::backoff_us(1), 200);
+        assert_eq!(FaultPlan::backoff_us(2), 400);
+        assert_eq!(FaultPlan::backoff_us(3), 800);
+        assert_eq!(FaultPlan::backoff_us(10), 800);
+        assert_eq!(FaultPlan::backoff_us(u32::MAX), 800);
+    }
+}

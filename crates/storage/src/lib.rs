@@ -24,11 +24,13 @@
 #![warn(missing_docs)]
 
 pub mod buffer;
+pub mod fault;
 pub mod netstore;
 pub mod page;
 pub mod stats;
 
 pub use buffer::BufferPool;
+pub use fault::FaultPlan;
 pub use netstore::{AdjEntry, AdjRecord, NetworkStore};
 pub use page::{PageId, PAGE_SIZE};
 pub use stats::{IoSnapshot, IoStats};

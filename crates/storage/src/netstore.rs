@@ -17,6 +17,7 @@
 //! makes by keeping the network and object data linked.
 
 use crate::buffer::{BufferPool, DEFAULT_BUFFER_BYTES};
+use crate::fault::FaultPlan;
 use crate::page::{Disk, PageId, PAGE_SIZE};
 use crate::stats::IoStats;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
@@ -83,6 +84,10 @@ pub struct NetworkStore {
     stats: IoStats,
     /// Buffer size this store (and its sessions) was configured with.
     buffer_bytes: usize,
+    /// Deterministic fault schedule inherited by every derived session.
+    /// Guarded separately from the pool so installing a plan never
+    /// perturbs buffer recency state.
+    fault_plan: Mutex<Option<FaultPlan>>,
 }
 
 impl NetworkStore {
@@ -138,6 +143,7 @@ impl NetworkStore {
             node_loc: Arc::new(node_loc),
             stats,
             buffer_bytes,
+            fault_plan: Mutex::new(None),
         }
     }
 
@@ -156,13 +162,34 @@ impl NetworkStore {
     /// Like [`NetworkStore::session`], but reporting into caller-supplied
     /// counters (e.g. a per-query [`IoStats`] shared with a reporter).
     pub fn session_with_stats(&self, stats: IoStats) -> NetworkStore {
+        let plan = *self.fault_plan.lock();
+        let mut pool = BufferPool::with_bytes(self.buffer_bytes, stats.clone());
+        pool.set_fault_plan(plan);
         NetworkStore {
             disk: Arc::clone(&self.disk),
-            pool: Mutex::new(BufferPool::with_bytes(self.buffer_bytes, stats.clone())),
+            pool: Mutex::new(pool),
             node_loc: Arc::clone(&self.node_loc),
             stats,
             buffer_bytes: self.buffer_bytes,
+            fault_plan: Mutex::new(plan),
         }
+    }
+
+    /// Installs (or removes) a deterministic page-read fault schedule.
+    /// Applies to this store's own pool and is inherited by every
+    /// session derived afterwards; existing sessions are unaffected.
+    /// The schedule only ever injects *transient* errors ([`FaultPlan`]
+    /// clamps consecutive failures below the retry budget), so query
+    /// results are bitwise identical with or without a plan — only the
+    /// injected-error/retry/backoff counters change.
+    pub fn set_fault_plan(&self, plan: Option<FaultPlan>) {
+        *self.fault_plan.lock() = plan;
+        self.pool.lock().set_fault_plan(plan);
+    }
+
+    /// The fault schedule currently installed, if any.
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        *self.fault_plan.lock()
     }
 
     /// Number of nodes with records in the store.
@@ -364,6 +391,33 @@ mod tests {
             sess.stats().snapshot().faults,
             fresh.stats().snapshot().faults
         );
+    }
+
+    #[test]
+    fn sessions_inherit_the_fault_plan() {
+        let g = grid(10);
+        let store = NetworkStore::build(&g);
+        let before = store.session(); // derived before the plan
+        store.set_fault_plan(Some(FaultPlan::new(3, 1 << 16)));
+        let after = store.session();
+        assert_eq!(after.fault_plan(), store.fault_plan());
+        for n in g.node_ids() {
+            before.read_adjacency(n);
+            after.read_adjacency(n);
+        }
+        assert_eq!(before.stats().snapshot().injected_errors, 0);
+        let s = after.stats().snapshot();
+        assert!(s.injected_errors > 0, "inherited plan should inject");
+        assert_eq!(s.retries, s.injected_errors);
+        // The store's own pool injects too.
+        store.read_adjacency(NodeId(0));
+        assert!(store.stats().snapshot().injected_errors > 0);
+        // Removing the plan stops injection for new sessions.
+        store.set_fault_plan(None);
+        assert_eq!(store.fault_plan(), None);
+        let clean = store.session();
+        clean.read_adjacency(NodeId(0));
+        assert_eq!(clean.stats().snapshot().injected_errors, 0);
     }
 
     #[test]

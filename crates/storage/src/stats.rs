@@ -19,6 +19,9 @@ struct Counters {
     faults: AtomicU64,
     cold_faults: AtomicU64,
     warm_faults: AtomicU64,
+    injected_errors: AtomicU64,
+    retries: AtomicU64,
+    backoff_us: AtomicU64,
 }
 
 /// A point-in-time copy of the counters.
@@ -33,6 +36,15 @@ pub struct IoSnapshot {
     pub cold_faults: u64,
     /// Re-faults: the page had been cached before and was evicted.
     pub warm_faults: u64,
+    /// Page-read errors injected by a deterministic
+    /// [`crate::FaultPlan`]; each one triggered a retry.
+    pub injected_errors: u64,
+    /// Read retries performed after injected errors.
+    pub retries: u64,
+    /// Total simulated exponential-backoff delay across those retries,
+    /// in microseconds. Modeled (accumulated, never slept), so it is a
+    /// deterministic function of the fault schedule.
+    pub backoff_us: u64,
 }
 
 impl IoSnapshot {
@@ -44,6 +56,9 @@ impl IoSnapshot {
             faults: self.faults.saturating_sub(earlier.faults),
             cold_faults: self.cold_faults.saturating_sub(earlier.cold_faults),
             warm_faults: self.warm_faults.saturating_sub(earlier.warm_faults),
+            injected_errors: self.injected_errors.saturating_sub(earlier.injected_errors),
+            retries: self.retries.saturating_sub(earlier.retries),
+            backoff_us: self.backoff_us.saturating_sub(earlier.backoff_us),
         }
     }
 
@@ -91,6 +106,24 @@ impl IoStats {
         self.inner.warm_faults.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one injected page-read error and the retry that follows
+    /// it, with `backoff_us` of simulated backoff before the retry.
+    #[inline]
+    pub fn record_injected_error(&self, backoff_us: u64) {
+        self.inner.injected_errors.fetch_add(1, Ordering::Relaxed);
+        self.inner.retries.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .backoff_us
+            .fetch_add(backoff_us, Ordering::Relaxed);
+    }
+
+    /// Current total fault count (cold + warm) — the single load the
+    /// per-pop budget checks need, cheaper than a full snapshot.
+    #[inline]
+    pub fn faults(&self) -> u64 {
+        self.inner.faults.load(Ordering::Relaxed)
+    }
+
     /// Copies the current counter values.
     pub fn snapshot(&self) -> IoSnapshot {
         IoSnapshot {
@@ -98,6 +131,9 @@ impl IoStats {
             faults: self.inner.faults.load(Ordering::Relaxed),
             cold_faults: self.inner.cold_faults.load(Ordering::Relaxed),
             warm_faults: self.inner.warm_faults.load(Ordering::Relaxed),
+            injected_errors: self.inner.injected_errors.load(Ordering::Relaxed),
+            retries: self.inner.retries.load(Ordering::Relaxed),
+            backoff_us: self.inner.backoff_us.load(Ordering::Relaxed),
         }
     }
 
@@ -107,6 +143,9 @@ impl IoStats {
         self.inner.faults.store(0, Ordering::Relaxed);
         self.inner.cold_faults.store(0, Ordering::Relaxed);
         self.inner.warm_faults.store(0, Ordering::Relaxed);
+        self.inner.injected_errors.store(0, Ordering::Relaxed);
+        self.inner.retries.store(0, Ordering::Relaxed);
+        self.inner.backoff_us.store(0, Ordering::Relaxed);
     }
 }
 
@@ -176,8 +215,31 @@ mod tests {
     fn reset_zeroes() {
         let s = IoStats::new();
         s.record_fault();
+        s.record_injected_error(100);
         s.reset();
         assert_eq!(s.snapshot(), IoSnapshot::default());
         assert_eq!(s.snapshot().hit_ratio(), 1.0);
+    }
+
+    #[test]
+    fn injected_error_counters_accumulate_and_diff() {
+        let s = IoStats::new();
+        s.record_injected_error(100);
+        s.record_injected_error(200);
+        let early = s.snapshot();
+        assert_eq!(early.injected_errors, 2);
+        assert_eq!(early.retries, 2);
+        assert_eq!(early.backoff_us, 300);
+        s.record_injected_error(400);
+        let d = s.snapshot().since(&early);
+        assert_eq!(d.injected_errors, 1);
+        assert_eq!(d.retries, 1);
+        assert_eq!(d.backoff_us, 400);
+        // Injection never perturbs the logical/fault counters.
+        assert_eq!(s.snapshot().logical, 0);
+        assert_eq!(s.snapshot().faults, 0);
+        assert_eq!(s.faults(), 0);
+        s.record_fault_cold();
+        assert_eq!(s.faults(), 1);
     }
 }

@@ -21,6 +21,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod bench;
+
 use std::fmt;
 use std::path::{Path, PathBuf};
 

@@ -25,6 +25,23 @@ fn main() -> ExitCode {
             };
             run_lint(&root)
         }
+        Some("bench-gate") => {
+            let root = match args.next() {
+                Some(flag) if flag == "--root" => match args.next() {
+                    Some(p) => PathBuf::from(p),
+                    None => {
+                        eprintln!("--root requires a path");
+                        return ExitCode::FAILURE;
+                    }
+                },
+                Some(other) => {
+                    eprintln!("unknown argument: {other}");
+                    return ExitCode::FAILURE;
+                }
+                None => workspace_root(),
+            };
+            run_bench_gate(&root)
+        }
         Some("help") | Some("--help") | Some("-h") | None => {
             print_usage();
             ExitCode::SUCCESS
@@ -37,11 +54,41 @@ fn main() -> ExitCode {
     }
 }
 
+fn run_bench_gate(root: &std::path::Path) -> ExitCode {
+    match xtask::bench::run_gate(root) {
+        Err(e) => {
+            eprintln!("bench-gate: {e}");
+            ExitCode::FAILURE
+        }
+        Ok(outcomes) => {
+            let mut failed = 0usize;
+            for o in &outcomes {
+                println!("{o}");
+                if !o.pass() {
+                    failed += 1;
+                }
+            }
+            if failed == 0 {
+                println!("bench-gate: {} check(s) within tolerance", outcomes.len());
+                ExitCode::SUCCESS
+            } else {
+                println!(
+                    "bench-gate: {failed} of {} check(s) regressed (see BENCH_BASELINE.json \
+                     for the tolerance policy)",
+                    outcomes.len()
+                );
+                ExitCode::FAILURE
+            }
+        }
+    }
+}
+
 fn print_usage() {
     println!(
         "xtask — workspace automation\n\n\
          USAGE:\n    cargo run -p xtask -- <task>\n\n\
-         TASKS:\n    lint [--root <path>]   run the domain-specific static analysis\n\n\
+         TASKS:\n    lint [--root <path>]         run the domain-specific static analysis\n    \
+         bench-gate [--root <path>]   compare BENCH_*.json against BENCH_BASELINE.json\n\n\
          RULES:\n    float-ord    no NaN-unsafe partial_cmp().unwrap()/.expect() comparators\n    \
          hash-order   no HashMap/HashSet in the query path (deterministic tie-breaking)\n    \
          unwrap       no bare .unwrap() in core/sp hot paths\n    \

@@ -1,0 +1,301 @@
+//! Query budgets and partial results (ISSUE 5 tentpole, DESIGN.md §12).
+//!
+//! The robustness contract, checked property-style:
+//!
+//! * **Soundness** — a budget can only *truncate* the answer, never
+//!   corrupt it: every point a capped run confirms is in the true skyline
+//!   (per [`Algorithm::Brute`]) with a bitwise-identical vector, and
+//!   every unresolved candidate's reported lower bounds really are lower
+//!   bounds on its true distance vector.
+//! * **Determinism** — cap-based trips (expansion / page-fault caps) are
+//!   checked against deterministically-merged totals only, so the partial
+//!   skyline, the unresolved list and the whole trace are bitwise
+//!   identical at 1, 2 and 8 workers. (Deadlines and cancellation are
+//!   sound but timing-dependent, so the determinism properties here use
+//!   caps exclusively.)
+//! * **Transparency** — an unlimited budget is indistinguishable from no
+//!   budget at all, bitwise.
+
+mod common;
+
+use common::{build, canon, params, workload};
+use msq_core::{
+    Algorithm, BatchEngine, CancelToken, Completion, IncompleteReason, Metric, QueryBudget,
+    SkylineEngine, SkylineResult,
+};
+use proptest::prelude::*;
+use rn_graph::NetPosition;
+use rn_workload::generate_queries;
+
+/// Every budget-governed algorithm (the oracle is exempt by design).
+const GOVERNED: [Algorithm; 5] = [
+    Algorithm::Ce,
+    Algorithm::Edc,
+    Algorithm::EdcBatch,
+    Algorithm::Lbc,
+    Algorithm::LbcNoPlb,
+];
+
+/// The fixed medium workload used by the deterministic (non-proptest)
+/// tests: large enough that a halved expansion cap trips every algorithm
+/// mid-run.
+fn fixture() -> (SkylineEngine, Vec<NetPosition>) {
+    workload(42, 8, 8, 80, 0.9, 3, 0.3, 1.4)
+}
+
+/// Asserts the partial-result soundness contract of `r` against the brute
+/// oracle's answer.
+fn assert_sound_prefix(r: &SkylineResult, brute: &SkylineResult, label: &str) {
+    for p in &r.skyline {
+        let want = brute.vector_of(p.object).unwrap_or_else(|| {
+            panic!(
+                "{label}: confirmed {:?} is not in the true skyline",
+                p.object
+            )
+        });
+        for (a, b) in p.vector.iter().zip(want) {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "{label}: confirmed vector for {:?} differs from oracle",
+                p.object
+            );
+        }
+    }
+    if let Completion::Partial(info) = &r.completion {
+        for u in &info.unresolved {
+            // Confirmed and unresolved are disjoint.
+            assert!(
+                r.vector_of(u.object).is_none(),
+                "{label}: {:?} is both confirmed and unresolved",
+                u.object
+            );
+            // Where the oracle knows the true vector, the reported lower
+            // bounds must really be lower bounds.
+            if let Some(truth) = brute.vector_of(u.object) {
+                for (lb, t) in u.lower_bounds.iter().zip(truth) {
+                    assert!(
+                        *lb <= *t + 1e-9,
+                        "{label}: lower bound {lb} exceeds true distance {t} for {:?}",
+                        u.object
+                    );
+                }
+            }
+        }
+    } else {
+        // A complete run must be the full answer.
+        assert_eq!(canon(r), canon(brute), "{label}: complete run != oracle");
+    }
+}
+
+#[test]
+fn unlimited_budget_is_bitwise_transparent() {
+    let (engine, queries) = fixture();
+    for algo in GOVERNED {
+        // Warm the shared buffer first so both runs see identical
+        // cold/warm fault attribution.
+        engine.run(algo, &queries);
+        let plain = engine.run(algo, &queries);
+        let budgeted = engine.run_with_budget(algo, &queries, &QueryBudget::unlimited());
+        assert!(budgeted.completion.is_complete());
+        assert_eq!(canon(&plain), canon(&budgeted), "{}", algo.name());
+        assert_eq!(
+            plain.trace.to_json(),
+            budgeted.trace.to_json(),
+            "{} trace differs under unlimited budget",
+            algo.name()
+        );
+        assert_eq!(plain.trace.get(Metric::QueryIncomplete), 0);
+    }
+}
+
+#[test]
+fn brute_oracle_is_exempt_from_budgets() {
+    let (engine, queries) = fixture();
+    let budget = QueryBudget::unlimited().with_max_expansions(1);
+    let r = engine.run_with_budget(Algorithm::Brute, &queries, &budget);
+    assert!(r.completion.is_complete());
+    assert_eq!(canon(&r), canon(&engine.run(Algorithm::Brute, &queries)));
+}
+
+#[test]
+fn tripped_runs_report_reason_and_trace_metrics() {
+    let (engine, queries) = fixture();
+    let brute = engine.run(Algorithm::Brute, &queries);
+    for algo in GOVERNED {
+        let budget = QueryBudget::unlimited().with_max_expansions(1);
+        let r = engine.run_with_budget(algo, &queries, &budget);
+        let info = r
+            .completion
+            .partial()
+            .unwrap_or_else(|| panic!("{}: cap of 1 must trip", algo.name()));
+        assert_eq!(
+            info.reason,
+            IncompleteReason::ExpansionCap,
+            "{}",
+            algo.name()
+        );
+        assert_eq!(r.trace.get(Metric::QueryIncomplete), 1, "{}", algo.name());
+        assert_eq!(
+            r.trace.get(Metric::QueryUnresolvedCandidates),
+            info.unresolved.len() as u64,
+            "{}",
+            algo.name()
+        );
+        assert_sound_prefix(&r, &brute, algo.name());
+    }
+}
+
+#[test]
+fn pre_cancelled_token_yields_sound_partial() {
+    let (engine, queries) = fixture();
+    let brute = engine.run(Algorithm::Brute, &queries);
+    let token = CancelToken::new();
+    token.cancel();
+    for algo in GOVERNED {
+        let budget = QueryBudget::unlimited().with_cancel(token.clone());
+        let r = engine.run_with_budget(algo, &queries, &budget);
+        let info = r
+            .completion
+            .partial()
+            .unwrap_or_else(|| panic!("{}: cancelled token must trip", algo.name()));
+        assert_eq!(info.reason, IncompleteReason::Cancelled, "{}", algo.name());
+        assert_sound_prefix(&r, &brute, algo.name());
+    }
+}
+
+#[test]
+fn expired_deadline_yields_sound_partial() {
+    let (engine, queries) = fixture();
+    let brute = engine.run(Algorithm::Brute, &queries);
+    for algo in GOVERNED {
+        let budget = QueryBudget::unlimited().with_deadline(std::time::Duration::ZERO);
+        let r = engine.run_with_budget(algo, &queries, &budget);
+        let info = r
+            .completion
+            .partial()
+            .unwrap_or_else(|| panic!("{}: expired deadline must trip", algo.name()));
+        assert_eq!(info.reason, IncompleteReason::Deadline, "{}", algo.name());
+        assert_sound_prefix(&r, &brute, algo.name());
+    }
+}
+
+/// Cap-based trips are worker-count invariant: the partial skyline, the
+/// unresolved candidates, the reason and the full trace are bitwise
+/// identical at 1, 2 and 8 workers (DESIGN.md §12).
+#[test]
+fn capped_parallel_runs_are_worker_count_invariant() {
+    let (engine, queries) = fixture();
+    let brute = engine.run(Algorithm::Brute, &queries);
+    for algo in GOVERNED {
+        // Trip roughly mid-run: half the full parallel expansion count.
+        let full = engine.run_parallel(algo, &queries, 2);
+        let cap = (full.stats.nodes_expanded / 2).max(1);
+        let budget = QueryBudget::unlimited().with_max_expansions(cap);
+        let base = engine.run_parallel_with_budget(algo, &queries, 1, &budget);
+        assert_sound_prefix(&base, &brute, algo.name());
+        for workers in [2usize, 8] {
+            let r = engine.run_parallel_with_budget(algo, &queries, workers, &budget);
+            assert_eq!(
+                canon(&r),
+                canon(&base),
+                "{} capped skyline diverged at {} workers",
+                algo.name(),
+                workers
+            );
+            assert_eq!(
+                r.completion,
+                base.completion,
+                "{} completion diverged at {} workers",
+                algo.name(),
+                workers
+            );
+            assert_eq!(
+                r.trace.to_json(),
+                base.trace.to_json(),
+                "{} capped trace diverged at {} workers",
+                algo.name(),
+                workers
+            );
+        }
+    }
+}
+
+/// Batch budgets are per query: which queries come back partial — and
+/// their exact partial content — is invariant under the batch worker
+/// count.
+#[test]
+fn batch_budget_is_per_query_and_worker_count_invariant() {
+    let (engine, _) = fixture();
+    let batch: Vec<Vec<NetPosition>> = (0..4)
+        .map(|i| generate_queries(engine.network(), 3, 0.5, 1000 + i))
+        .collect();
+    for algo in [Algorithm::Ce, Algorithm::Edc, Algorithm::Lbc] {
+        let full = BatchEngine::new(&engine, 1).run(algo, &batch);
+        // A cap below the largest query's cost: some queries trip, the
+        // cheap ones may still complete — per query, not per batch.
+        let max_cost = full
+            .results
+            .iter()
+            .map(|r| r.stats.nodes_expanded)
+            .max()
+            .unwrap();
+        let budget = QueryBudget::unlimited().with_max_expansions((max_cost / 2).max(1));
+        let base = BatchEngine::new(&engine, 1).run_with_budget(algo, &batch, &budget);
+        assert!(
+            base.results.iter().any(|r| !r.completion.is_complete()),
+            "{}: cap below max query cost must trip at least one query",
+            algo.name()
+        );
+        for workers in [2usize, 8] {
+            let out = BatchEngine::new(&engine, workers).run_with_budget(algo, &batch, &budget);
+            for (q, (a, b)) in out.results.iter().zip(&base.results).enumerate() {
+                assert_eq!(
+                    canon(a),
+                    canon(b),
+                    "{} query {} skyline diverged at {} workers",
+                    algo.name(),
+                    q,
+                    workers
+                );
+                assert_eq!(
+                    a.completion,
+                    b.completion,
+                    "{} query {} completion diverged at {} workers",
+                    algo.name(),
+                    q,
+                    workers
+                );
+            }
+            assert_eq!(
+                out.trace.to_json(),
+                base.trace.to_json(),
+                "{} merged batch trace diverged at {} workers",
+                algo.name(),
+                workers
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Soundness under arbitrary expansion caps: whatever the cap, every
+    /// confirmed point is in the true skyline with the oracle's exact
+    /// vector, unresolved bounds are true lower bounds, and an untripped run
+    /// is the full answer.
+    #[test]
+    fn any_expansion_cap_yields_a_sound_prefix(p in params(), denom in 1u64..16) {
+        let Some(engine) = build(&p) else { return Ok(()) };
+        let queries = generate_queries(engine.network(), p.nq, 0.5, p.seed + 3);
+        let brute = engine.run(Algorithm::Brute, &queries);
+        for algo in GOVERNED {
+            let full = engine.run(algo, &queries);
+            let cap = (full.stats.nodes_expanded / denom).max(1);
+            let budget = QueryBudget::unlimited().with_max_expansions(cap);
+            let r = engine.run_with_budget(algo, &queries, &budget);
+            assert_sound_prefix(&r, &brute, algo.name());
+        }
+    }
+}
