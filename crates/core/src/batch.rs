@@ -11,9 +11,10 @@
 //! count; only the wall clock changes.
 
 use crate::engine::{Algorithm, SkylineEngine, SkylineResult};
+use crate::stats::Stopwatch;
 use rn_graph::NetPosition;
 use rn_obs::{Event, Metric, QueryBudget, QueryTrace};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Executes batches of independent queries concurrently over one shared
 /// [`SkylineEngine`].
@@ -89,7 +90,7 @@ impl<'e> BatchEngine<'e> {
     ) -> BatchOutcome {
         self.engine.object_tree().reset_node_reads();
         self.engine.mid_ref().reset_node_reads();
-        let started = Instant::now();
+        let started = Stopwatch::start();
         let results = rn_par::par_map_indexed(batch.len(), self.workers, |i| {
             let session = self.engine.store_ref().session();
             self.engine

@@ -1,14 +1,13 @@
 //! The query engine: owns the substrates, dispatches the algorithms, and
 //! collects the statistics the evaluation harness reports.
 
-use crate::stats::{QueryStats, Reporter, SkylinePoint};
+use crate::stats::{QueryStats, Reporter, SkylinePoint, Stopwatch};
 use rn_geom::Mbr;
 use rn_graph::{NetPosition, ObjectId, RoadNetwork};
 use rn_index::{MiddleLayer, RTree};
 use rn_obs::{Event, ExecGuard, IncompleteReason, Metric, QueryBudget, QueryTrace};
 use rn_sp::{NetCtx, QueryPoint};
 use rn_storage::{FaultPlan, IoSnapshot, NetworkStore};
-use std::time::Instant;
 
 /// Which of the paper's algorithms to execute.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -413,7 +412,7 @@ impl SkylineEngine {
         self.obj_tree.reset_node_reads();
         self.mid.reset_node_reads();
 
-        let started = Instant::now();
+        let started = Stopwatch::start();
         let mut reporter = Reporter::with_io(self.store.stats().clone());
         reporter.obs().event(Event::QueryStart {
             algo: algo.name(),
@@ -508,7 +507,7 @@ impl SkylineEngine {
             sweep: SweepMode::default(),
         };
         let io_before = store.stats().snapshot();
-        let started = Instant::now();
+        let started = Stopwatch::start();
         let mut reporter = Reporter::with_io(store.stats().clone());
         reporter.obs().event(Event::QueryStart {
             algo: algo.name(),
@@ -628,7 +627,7 @@ impl SkylineEngine {
         let io = rn_storage::IoStats::new();
         self.obj_tree.reset_node_reads();
         self.mid.reset_node_reads();
-        let started = Instant::now();
+        let started = Stopwatch::start();
         let mut reporter = Reporter::with_io(io.clone());
         reporter.obs().event(Event::QueryStart {
             algo: algo.name(),

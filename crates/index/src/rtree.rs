@@ -276,10 +276,15 @@ impl<T> RTree<T> {
         let (ga, gb) = quadratic_partition(&mbrs, self.min_entries);
         let mut ea = Vec::with_capacity(ga.len());
         let mut eb = Vec::with_capacity(gb.len());
-        let mut take = entries.into_iter().enumerate();
-        let in_a: std::collections::HashSet<usize> = ga.into_iter().collect();
-        for (i, e) in take.by_ref() {
-            if in_a.contains(&i) {
+        // Dense membership mask: group A is a set of indices into
+        // `entries`, and a Vec<bool> keeps the split order-independent
+        // of any hash state.
+        let mut in_a = vec![false; mbrs.len()];
+        for i in ga {
+            in_a[i] = true;
+        }
+        for (i, e) in entries.into_iter().enumerate() {
+            if in_a[i] {
                 ea.push(e);
             } else {
                 eb.push(e);
@@ -304,11 +309,14 @@ impl<T> RTree<T> {
         };
         let mbrs: Vec<Mbr> = children.iter().map(|&c| self.nodes[c].mbr).collect();
         let (ga, _) = quadratic_partition(&mbrs, self.min_entries);
-        let in_a: std::collections::HashSet<usize> = ga.into_iter().collect();
+        let mut in_a = vec![false; mbrs.len()];
+        for i in ga {
+            in_a[i] = true;
+        }
         let mut ca = Vec::new();
         let mut cb = Vec::new();
         for (i, c) in children.into_iter().enumerate() {
-            if in_a.contains(&i) {
+            if in_a[i] {
                 ca.push(c);
             } else {
                 cb.push(c);

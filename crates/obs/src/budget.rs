@@ -175,6 +175,10 @@ impl ExecGuard {
     /// Builds a guard for one query run. `fault_base` is the store's
     /// current total fault count (cold + warm); the page-fault cap
     /// applies to faults beyond it. The deadline clock starts now.
+    // lint: allow(det-taint) — deadline budgets are wall-clock by
+    // design (DESIGN.md §12): tripping one yields a *sound partial*
+    // result, it never alters the contents or order of what is
+    // returned, so the clock cannot leak into result bytes.
     pub fn new(budget: &QueryBudget, fault_base: u64) -> ExecGuard {
         ExecGuard {
             deadline: budget.deadline.map(|d| Instant::now() + d),
@@ -226,6 +230,9 @@ impl ExecGuard {
     }
 
     /// The cancel/fault/deadline checks shared by both entry points.
+    // lint: allow(det-taint) — the deadline comparison reads the wall
+    // clock, but a trip only truncates the search (sound partial); the
+    // surviving results are byte-identical to an untruncated prefix.
     fn check_common(&self, faults_now: u64) -> bool {
         if let Some(token) = &self.cancel {
             if token.is_cancelled() {

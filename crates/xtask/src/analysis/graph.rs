@@ -1,0 +1,360 @@
+//! Workspace symbol table and over-approximate call graph.
+//!
+//! Functions are resolved by *name*, optionally disambiguated by one
+//! qualifying path segment (`Owner::name`). That is deliberately
+//! over-approximate — `x.resolve(q)` links to every workspace function
+//! named `resolve` — which is the safe direction for the reachability
+//! rules built on top: they can report a path that dynamic dispatch
+//! would never take, but they cannot miss one the program does take
+//! (within the recognised syntax). Resolution rules:
+//!
+//! - `Owner::name(..)`: functions with that owner and name; when the
+//!   owner has no such method, the qualifier is assumed to be a module
+//!   path segment and the call falls back to *free* functions named
+//!   `name` (so `ce::run_ce(..)` resolves without linking `Vec::new(..)`
+//!   to every constructor in the workspace).
+//! - `Self::name(..)`: resolved against the enclosing impl's type.
+//! - `x.name(..)`: every *associated* function named `name` — Rust
+//!   method-call syntax can never invoke a free function.
+//! - `name(..)`: every *free* function named `name` — a plain call can
+//!   never invoke an associated function without a path qualifier.
+//! - Macro calls produce no edges (their sites are matched directly by
+//!   the rules).
+//!
+//! Test functions (`#[cfg(test)]` or test-only files) are excluded from
+//! the graph: they are neither edges' sources nor targets, so test
+//! scaffolding can never put a production entry point "on a path".
+
+use super::lexer::{lex, Token};
+use super::parser::{parse_fns, FnDef};
+use crate::source::CleanSource;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// One analyzed file: cleaned text, token stream, parsed items.
+pub struct FileAnalysis {
+    /// Workspace-relative path with `/` separators.
+    pub rel: String,
+    /// Cleaned source (comments/literals blanked).
+    pub clean: CleanSource,
+    /// Token stream of the cleaned text.
+    pub tokens: Vec<Token>,
+    /// Every `fn` item in the file.
+    pub fns: Vec<FnDef>,
+}
+
+impl FileAnalysis {
+    /// Cleans, lexes and parses one file.
+    pub fn new(rel: &str, source: &str, whole_file_is_test: bool) -> FileAnalysis {
+        let clean = CleanSource::new(source, whole_file_is_test);
+        let tokens = lex(clean.text());
+        let fns = parse_fns(&clean, &tokens);
+        FileAnalysis {
+            rel: rel.to_string(),
+            clean,
+            tokens,
+            fns,
+        }
+    }
+}
+
+/// Flat function id within a [`Workspace`].
+pub type FnId = usize;
+
+/// The workspace call graph over every non-test function.
+pub struct Workspace {
+    /// The analyzed files, in the (sorted) order they were given.
+    pub files: Vec<FileAnalysis>,
+    /// Flat id → (file index, fn index).
+    locs: Vec<(usize, usize)>,
+    /// Forward adjacency (callees), sorted and deduped per node.
+    callees: Vec<Vec<FnId>>,
+    /// Reverse adjacency (callers), sorted and deduped per node.
+    callers: Vec<Vec<FnId>>,
+}
+
+impl Workspace {
+    /// Builds the symbol table and call graph from analyzed files.
+    pub fn build(files: Vec<FileAnalysis>) -> Workspace {
+        let mut locs = Vec::new();
+        for (fi, file) in files.iter().enumerate() {
+            for (gi, f) in file.fns.iter().enumerate() {
+                if !f.is_test {
+                    locs.push((fi, gi));
+                }
+            }
+        }
+
+        // Symbol table: (owner, name) → ids, plus free and associated
+        // functions split by name.
+        let mut by_owner_name: BTreeMap<(&str, &str), Vec<FnId>> = BTreeMap::new();
+        let mut free_by_name: BTreeMap<&str, Vec<FnId>> = BTreeMap::new();
+        let mut methods_by_name: BTreeMap<&str, Vec<FnId>> = BTreeMap::new();
+        for (id, &(fi, gi)) in locs.iter().enumerate() {
+            let f = &files[fi].fns[gi];
+            match &f.owner {
+                Some(o) => {
+                    by_owner_name.entry((o, &f.name)).or_default().push(id);
+                    methods_by_name.entry(&f.name).or_default().push(id);
+                }
+                None => {
+                    free_by_name.entry(&f.name).or_default().push(id);
+                }
+            }
+        }
+
+        let mut callees: Vec<Vec<FnId>> = vec![Vec::new(); locs.len()];
+        for (id, &(fi, gi)) in locs.iter().enumerate() {
+            let f = &files[fi].fns[gi];
+            let mut out: BTreeSet<FnId> = BTreeSet::new();
+            for call in &f.calls {
+                if call.is_macro {
+                    continue;
+                }
+                let qualifier = match call.qualifier.as_deref() {
+                    Some("Self") => f.owner.as_deref(),
+                    q => q,
+                };
+                match qualifier {
+                    Some(q) => {
+                        if let Some(ids) = by_owner_name.get(&(q, call.name.as_str())) {
+                            out.extend(ids.iter().copied());
+                        } else if let Some(ids) = free_by_name.get(call.name.as_str()) {
+                            // Module-qualified free call (`ce::run_ce(..)`).
+                            out.extend(ids.iter().copied());
+                        }
+                    }
+                    None => {
+                        let table = if call.is_method {
+                            &methods_by_name
+                        } else {
+                            &free_by_name
+                        };
+                        if let Some(ids) = table.get(call.name.as_str()) {
+                            out.extend(ids.iter().copied());
+                        }
+                    }
+                }
+            }
+            out.remove(&id); // self-recursion adds nothing to reachability
+            callees[id] = out.into_iter().collect();
+        }
+
+        let mut callers: Vec<Vec<FnId>> = vec![Vec::new(); locs.len()];
+        for (id, outs) in callees.iter().enumerate() {
+            for &c in outs {
+                callers[c].push(id);
+            }
+        }
+        for c in &mut callers {
+            c.sort_unstable();
+            c.dedup();
+        }
+
+        Workspace {
+            files,
+            locs,
+            callees,
+            callers,
+        }
+    }
+
+    /// Every non-test function id, in deterministic (file, position) order.
+    pub fn fn_ids(&self) -> impl Iterator<Item = FnId> + '_ {
+        0..self.locs.len()
+    }
+
+    /// The function behind an id.
+    pub fn fn_def(&self, id: FnId) -> &FnDef {
+        let (fi, gi) = self.locs[id];
+        &self.files[fi].fns[gi]
+    }
+
+    /// The file a function lives in.
+    pub fn fn_file(&self, id: FnId) -> &FileAnalysis {
+        &self.files[self.locs[id].0]
+    }
+
+    /// 1-based definition line, for findings.
+    pub fn fn_line(&self, id: FnId) -> usize {
+        self.fn_def(id).line + 1
+    }
+
+    /// Whether `rule` is suppressed on the function's definition line
+    /// (trailing comment or the line directly above).
+    pub fn fn_allowed(&self, id: FnId, rule: &str) -> bool {
+        let (fi, gi) = self.locs[id];
+        let f = &self.files[fi].fns[gi];
+        self.files[fi].clean.allowed(f.line, rule)
+    }
+
+    /// Direct callees of `id`, sorted.
+    pub fn callees(&self, id: FnId) -> &[FnId] {
+        &self.callees[id]
+    }
+
+    /// BFS over the graph from `starts`, following callees when
+    /// `forward` (what does this function execute?) or callers otherwise
+    /// (who can end up here?). Nodes where `blocked` holds are neither
+    /// visited nor traversed — that is how blessed seams cut paths.
+    ///
+    /// Returns each reached id mapped to the id it was reached *from*
+    /// (`None` for the starts). Deterministic: starts and adjacency are
+    /// iterated in sorted order, so the parent of every node — and with
+    /// it every reported path — is stable across runs.
+    pub fn reach(
+        &self,
+        starts: &[FnId],
+        forward: bool,
+        blocked: &dyn Fn(FnId) -> bool,
+    ) -> BTreeMap<FnId, Option<FnId>> {
+        let mut parent: BTreeMap<FnId, Option<FnId>> = BTreeMap::new();
+        let mut queue: VecDeque<FnId> = VecDeque::new();
+        let mut sorted = starts.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        for &s in &sorted {
+            if !blocked(s) && !parent.contains_key(&s) {
+                parent.insert(s, None);
+                queue.push_back(s);
+            }
+        }
+        while let Some(at) = queue.pop_front() {
+            let next = if forward {
+                &self.callees[at]
+            } else {
+                &self.callers[at]
+            };
+            for &n in next {
+                if blocked(n) || parent.contains_key(&n) {
+                    continue;
+                }
+                parent.insert(n, Some(at));
+                queue.push_back(n);
+            }
+        }
+        parent
+    }
+
+    /// The chain `id → parent(id) → … → start`, as ids.
+    pub fn chain_ids(&self, parent: &BTreeMap<FnId, Option<FnId>>, id: FnId) -> Vec<FnId> {
+        let mut out = Vec::new();
+        let mut at = Some(id);
+        // Bounded by node count: parent pointers form a forest.
+        for _ in 0..=self.locs.len() {
+            let Some(cur) = at else { break };
+            out.push(cur);
+            at = parent.get(&cur).copied().flatten();
+        }
+        out
+    }
+
+    /// The chain `id → parent(id) → … → start`, rendered as display
+    /// names. For a reverse BFS this reads start-to-…-to-id backwards,
+    /// i.e. exactly the call direction "id calls … calls start".
+    pub fn chain(&self, parent: &BTreeMap<FnId, Option<FnId>>, id: FnId) -> Vec<String> {
+        self.chain_ids(parent, id)
+            .into_iter()
+            .map(|c| self.fn_def(c).display_name())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ws(files: &[(&str, &str)]) -> Workspace {
+        Workspace::build(
+            files
+                .iter()
+                .map(|(rel, src)| FileAnalysis::new(rel, src, false))
+                .collect(),
+        )
+    }
+
+    fn id_of(ws: &Workspace, name: &str) -> FnId {
+        ws.fn_ids()
+            .find(|&id| ws.fn_def(id).name == name)
+            .expect("fn present")
+    }
+
+    #[test]
+    fn cross_file_edges_resolve_by_name() {
+        let w = ws(&[
+            ("crates/a/src/lib.rs", "pub fn top() { middle(); }\n"),
+            (
+                "crates/b/src/lib.rs",
+                "pub fn middle() { leaf_step(); }\npub fn leaf_step() {}\n",
+            ),
+        ]);
+        let top = id_of(&w, "top");
+        let leaf = id_of(&w, "leaf_step");
+        let reach = w.reach(&[top], true, &|_| false);
+        assert!(reach.contains_key(&leaf));
+        let chain = w.chain(&reach, leaf);
+        assert_eq!(chain, vec!["leaf_step", "middle", "top"]);
+    }
+
+    #[test]
+    fn owner_qualified_calls_do_not_link_foreign_constructors() {
+        let w = ws(&[(
+            "crates/a/src/lib.rs",
+            "struct Rep;\nimpl Rep {\n    pub fn new() -> Rep { Rep }\n}\npub fn uses_vec() { let _v: Vec<u8> = Vec::new(); }\npub fn uses_rep() { let _r = Rep::new(); }\n",
+        )]);
+        let vec_user = id_of(&w, "uses_vec");
+        let rep_user = id_of(&w, "uses_rep");
+        let rep_new = id_of(&w, "new");
+        assert!(!w
+            .reach(&[vec_user], true, &|_| false)
+            .contains_key(&rep_new));
+        assert!(w
+            .reach(&[rep_user], true, &|_| false)
+            .contains_key(&rep_new));
+    }
+
+    #[test]
+    fn module_qualified_free_calls_resolve() {
+        let w = ws(&[
+            (
+                "crates/a/src/driver.rs",
+                "pub fn drive() { ce::run_ce(); }\n",
+            ),
+            ("crates/a/src/ce.rs", "pub fn run_ce() {}\n"),
+        ]);
+        let drive = id_of(&w, "drive");
+        let run_ce = id_of(&w, "run_ce");
+        assert!(w.reach(&[drive], true, &|_| false).contains_key(&run_ce));
+    }
+
+    #[test]
+    fn blocked_nodes_cut_paths() {
+        let w = ws(&[(
+            "crates/a/src/lib.rs",
+            "pub fn a() { b(); }\npub fn b() { c(); }\npub fn c() {}\n",
+        )]);
+        let (a, b, c) = (id_of(&w, "a"), id_of(&w, "b"), id_of(&w, "c"));
+        let reach = w.reach(&[a], true, &|id| id == b);
+        assert!(!reach.contains_key(&c));
+    }
+
+    #[test]
+    fn test_fns_are_outside_the_graph() {
+        let w = ws(&[(
+            "crates/a/src/lib.rs",
+            "pub fn prod() {}\n#[cfg(test)]\nmod tests {\n    fn helper() { prod(); }\n}\n",
+        )]);
+        assert!(w.fn_ids().all(|id| w.fn_def(id).name != "helper"));
+    }
+
+    #[test]
+    fn recursion_terminates_and_cycles_reach() {
+        let w = ws(&[(
+            "crates/a/src/lib.rs",
+            "pub fn ping() { pong(); }\npub fn pong() { ping(); tick(); }\npub fn tick() {}\n",
+        )]);
+        let ping = id_of(&w, "ping");
+        let tick = id_of(&w, "tick");
+        let reach = w.reach(&[ping], true, &|_| false);
+        assert!(reach.contains_key(&tick));
+    }
+}

@@ -1,0 +1,236 @@
+//! A lightweight Rust lexer over *blanked* source text.
+//!
+//! The lexer runs on [`crate::source::CleanSource::text`], where comment
+//! and literal contents are already spaces. It therefore never has to
+//! understand escapes or nesting — string/char tokens are just their
+//! delimiters — and every token's byte offsets are valid offsets into
+//! the raw file, so line numbers in findings are exact.
+//!
+//! Robustness contract: `lex` never panics, whatever bytes it is handed
+//! (enforced by a proptest over arbitrary byte strings). Unrecognised
+//! bytes degrade to single-byte punctuation tokens.
+
+/// Kind of one token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `HashMap`, `partial_cmp`, ...).
+    Ident,
+    /// `'a` — lifetime or loop label.
+    Lifetime,
+    /// Numeric literal (`0`, `1.5`, `0x1F`, `1_000u64`).
+    Number,
+    /// String literal — delimiters only, contents were blanked.
+    Str,
+    /// Char literal — delimiters only, contents were blanked.
+    Char,
+    /// Single punctuation byte (`(`, `<`, `:`, `!`, ...).
+    Punct(u8),
+}
+
+/// One token of the blanked source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What it is.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+}
+
+impl Token {
+    /// The token's text within `text` (the blanked source it was lexed
+    /// from). Returns `""` when offsets fall outside the text, so the
+    /// accessor can never panic.
+    pub fn text<'a>(&self, text: &'a str) -> &'a str {
+        text.get(self.start..self.end).unwrap_or("")
+    }
+
+    /// Whether the token is the identifier `word`.
+    pub fn is_ident(&self, text: &str, word: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text(text) == word
+    }
+
+    /// Whether the token is the punctuation byte `b`.
+    pub fn is_punct(&self, b: u8) -> bool {
+        self.kind == TokenKind::Punct(b)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Tokenizes blanked source text. Never panics.
+///
+/// Non-ASCII bytes are treated as identifier characters: a multi-byte
+/// UTF-8 character either starts an identifier (its first byte is
+/// `>= 0x80`) or continues one, so token boundaries always land on
+/// character boundaries and slicing the text by token offsets is safe.
+pub fn lex(text: &str) -> Vec<Token> {
+    let bytes = text.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b.is_ascii_whitespace() {
+            i += 1;
+        } else if is_ident_start(b) {
+            let start = i;
+            while i < bytes.len() && is_ident_continue(bytes[i]) {
+                i += 1;
+            }
+            out.push(Token {
+                kind: TokenKind::Ident,
+                start,
+                end: i,
+            });
+        } else if b.is_ascii_digit() {
+            let start = i;
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                i += 1;
+            }
+            // A fractional part only when `.` is followed by a digit, so
+            // `0..n` stays three tokens and range syntax survives.
+            if i + 1 < bytes.len() && bytes[i] == b'.' && bytes[i + 1].is_ascii_digit() {
+                i += 1;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+            }
+            // Suffix / radix letters (`u64`, `x1F`, `e9`, `_000`).
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            out.push(Token {
+                kind: TokenKind::Number,
+                start,
+                end: i,
+            });
+        } else if b == b'"' {
+            // Blanked string: contents are spaces, no escapes survive.
+            let start = i;
+            i += 1;
+            while i < bytes.len() && bytes[i] != b'"' {
+                i += 1;
+            }
+            i = (i + 1).min(bytes.len());
+            out.push(Token {
+                kind: TokenKind::Str,
+                start,
+                end: i,
+            });
+        } else if b == b'\'' {
+            // Blanked char literal is `'<spaces>'`; a lifetime kept its
+            // identifier. Distinguish by what follows the quote.
+            let start = i;
+            let mut j = i + 1;
+            while j < bytes.len() && bytes[j] == b' ' {
+                j += 1;
+            }
+            if j > i + 1 && bytes.get(j) == Some(&b'\'') {
+                i = j + 1;
+                out.push(Token {
+                    kind: TokenKind::Char,
+                    start,
+                    end: i,
+                });
+            } else if i + 1 < bytes.len() && is_ident_start(bytes[i + 1]) {
+                i += 1;
+                while i < bytes.len() && is_ident_continue(bytes[i]) {
+                    i += 1;
+                }
+                out.push(Token {
+                    kind: TokenKind::Lifetime,
+                    start,
+                    end: i,
+                });
+            } else {
+                i += 1;
+                out.push(Token {
+                    kind: TokenKind::Punct(b'\''),
+                    start,
+                    end: i,
+                });
+            }
+        } else {
+            out.push(Token {
+                kind: TokenKind::Punct(b),
+                start: i,
+                end: i + 1,
+            });
+            i += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::blank_comments_and_strings;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        let (clean, _) = blank_comments_and_strings(src);
+        lex(&clean)
+            .into_iter()
+            .map(|t| (t.kind, t.text(&clean).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn lexes_idents_puncts_and_numbers() {
+        let toks = kinds("fn f(x: u32) -> u32 { x + 1_000 }");
+        let idents: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Ident)
+            .map(|(_, s)| s.as_str())
+            .collect();
+        assert_eq!(idents, vec!["fn", "f", "x", "u32", "u32", "x"]);
+        assert!(toks
+            .iter()
+            .any(|(k, s)| *k == TokenKind::Number && s == "1_000"));
+    }
+
+    #[test]
+    fn range_syntax_is_not_swallowed_by_float_rule() {
+        let toks = kinds("for i in 0..n {}");
+        let texts: Vec<&str> = toks.iter().map(|(_, s)| s.as_str()).collect();
+        assert!(texts.contains(&"0"));
+        assert!(texts.contains(&"n"));
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokenKind::Punct(b'.'))
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn strings_chars_lifetimes_distinguished() {
+        let toks = kinds("let s = \"abc\"; let c = 'x'; fn f<'a>() {}");
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokenKind::Str).count(), 1);
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokenKind::Char).count(),
+            1
+        );
+        assert!(toks
+            .iter()
+            .any(|(k, s)| *k == TokenKind::Lifetime && s == "'a"));
+    }
+
+    #[test]
+    fn comments_produce_no_tokens() {
+        let toks = kinds("// HashMap\n/* RwLock */ x");
+        let idents: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Ident)
+            .map(|(_, s)| s.as_str())
+            .collect();
+        assert_eq!(idents, vec!["x"]);
+    }
+}

@@ -1,0 +1,17 @@
+//! The static-analysis subsystem: lexer → item parser → call graph.
+//!
+//! Built in-tree with zero dependencies (the workspace builds offline
+//! against `shims/`), this gives the lint pass a workspace-wide view:
+//! [`graph::Workspace`] holds every non-test function with an
+//! over-approximate name-resolved call graph, and the reachability
+//! rules (`det-taint`, `panic-path`, `lock-reach`) run on top of it.
+//! See `DESIGN.md` §13 for the over-approximation choices and their
+//! rationale.
+
+pub mod graph;
+pub mod lexer;
+pub mod parser;
+
+pub use graph::{FileAnalysis, FnId, Workspace};
+pub use lexer::{lex, Token, TokenKind};
+pub use parser::{parse_fns, Call, FnDef};

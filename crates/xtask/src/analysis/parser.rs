@@ -1,0 +1,533 @@
+//! Item-level parser: function definitions, their impl/trait owners,
+//! and the calls + identifier mentions inside each body.
+//!
+//! This is deliberately *not* a Rust grammar. It recognises just enough
+//! structure — brace nesting, `impl`/`trait` headers, `fn` signatures,
+//! call-shaped token sequences — to build an over-approximate call
+//! graph. Everything unrecognised is skipped, never an error: on
+//! arbitrary input the parser may produce nonsense functions, but it
+//! must not panic and must not loop (enforced by proptest).
+//!
+//! Over-approximations (all safe for the reachability rules, which only
+//! ever *add* edges):
+//! - Calls are resolved by name (optionally qualified by one path
+//!   segment), not by type. `a.resolve(x)` links to every workspace
+//!   function named `resolve`.
+//! - A nested `fn` is parsed as its own definition, but its calls are
+//!   *also* attributed to the enclosing function (the enclosure implies
+//!   a potential call anyway).
+//! - Closure bodies belong to the defining function.
+
+use super::lexer::{Token, TokenKind};
+use crate::source::CleanSource;
+use std::collections::BTreeSet;
+
+/// One call-shaped site inside a function body.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Call {
+    /// `Foo::bar(..)` records `Foo`; `bar(..)` and `x.bar(..)` record
+    /// `None`. `Self::bar(..)` records `Self` (resolved against the
+    /// owner by the graph layer).
+    pub qualifier: Option<String>,
+    /// The called identifier (`bar`), or the macro name for macro calls.
+    pub name: String,
+    /// `name!(...)` / `name![...]` / `name!{...}`.
+    pub is_macro: bool,
+    /// `x.name(...)` — a method call. Rust method-call syntax can never
+    /// invoke a free function, so the graph layer resolves these against
+    /// associated functions only.
+    pub is_method: bool,
+}
+
+/// One `fn` item.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// The function's identifier.
+    pub name: String,
+    /// Enclosing `impl`/`trait` type name, when inside one.
+    pub owner: Option<String>,
+    /// 0-based line of the `fn` keyword.
+    pub line: usize,
+    /// Declared with bare `pub` (restricted `pub(...)` does not count:
+    /// it is not a public API surface).
+    pub is_pub: bool,
+    /// Defined inside `#[cfg(test)]` code or a test-only file.
+    pub is_test: bool,
+    /// Token index of the `fn` keyword.
+    pub sig_start: usize,
+    /// Token index range `[open, close]` of the body braces; `None` for
+    /// bodiless trait-method declarations.
+    pub body: Option<(usize, usize)>,
+    /// Call sites in the signature+body token range, sorted, deduped.
+    pub calls: Vec<Call>,
+    /// Every identifier in the signature+body range (types in the
+    /// signature count: a function *returning* `SkylineResult` mentions
+    /// it, which is exactly what sink detection wants).
+    pub mentions: BTreeSet<String>,
+}
+
+impl FnDef {
+    /// `Owner::name` or `name`, for messages.
+    pub fn display_name(&self) -> String {
+        match &self.owner {
+            Some(o) => format!("{o}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+
+    /// Last token index of the item (body close, or signature start for
+    /// bodiless declarations).
+    pub fn item_end(&self) -> usize {
+        self.body.map(|(_, close)| close).unwrap_or(self.sig_start)
+    }
+}
+
+/// Words that look like calls when followed by `(` but are control flow
+/// or item syntax.
+const NON_CALL_KEYWORDS: &[&str] = &[
+    "if", "else", "while", "for", "loop", "match", "return", "let", "fn", "impl", "trait",
+    "struct", "enum", "union", "mod", "use", "pub", "crate", "super", "as", "in", "where", "move",
+    "ref", "mut", "dyn", "box", "break", "continue", "unsafe", "extern", "type", "static", "const",
+    "await", "async", "yield",
+];
+
+/// Parses every `fn` item out of a token stream. Never panics.
+pub fn parse_fns(clean: &CleanSource, tokens: &[Token]) -> Vec<FnDef> {
+    let text = clean.text();
+    let mut fns = Vec::new();
+
+    // Owner frames: (brace depth after the opening `{`, owner name).
+    let mut frames: Vec<(usize, Option<String>)> = Vec::new();
+    // An impl/trait header whose `{` is at this token index opens the
+    // given owner scope.
+    let mut pending_frame: Option<(usize, Option<String>)> = None;
+    let mut depth = 0usize;
+
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        match t.kind {
+            TokenKind::Punct(b'{') => {
+                depth += 1;
+                if let Some((at, owner)) = pending_frame.take() {
+                    if at == i {
+                        frames.push((depth, owner));
+                    } else {
+                        pending_frame = Some((at, owner));
+                    }
+                }
+                i += 1;
+            }
+            TokenKind::Punct(b'}') => {
+                depth = depth.saturating_sub(1);
+                while frames.last().is_some_and(|(d, _)| *d > depth) {
+                    frames.pop();
+                }
+                i += 1;
+            }
+            TokenKind::Ident if t.is_ident(text, "impl") || t.is_ident(text, "trait") => {
+                if let Some((owner, brace)) = parse_owner_header(text, tokens, i) {
+                    pending_frame = Some((brace, owner));
+                }
+                i += 1;
+            }
+            TokenKind::Ident if t.is_ident(text, "fn") => {
+                if let Some(def) =
+                    parse_fn(clean, tokens, i, frames.last().and_then(|(_, o)| o.clone()))
+                {
+                    fns.push(def);
+                }
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+
+    // Second pass: calls and mentions per item range.
+    for f in &mut fns {
+        let end = f.item_end();
+        extract_calls(
+            text,
+            tokens,
+            f.sig_start,
+            end,
+            &mut f.calls,
+            &mut f.mentions,
+        );
+    }
+    fns
+}
+
+/// Parses an `impl`/`trait` header starting at token `i`, returning the
+/// owner type name and the token index of the block's `{`.
+fn parse_owner_header(text: &str, tokens: &[Token], i: usize) -> Option<(Option<String>, usize)> {
+    let is_trait = tokens[i].is_ident(text, "trait");
+    let mut j = i + 1;
+    let mut owner: Option<String> = None;
+    while j < tokens.len() {
+        let t = &tokens[j];
+        match t.kind {
+            TokenKind::Ident => {
+                let w = t.text(text);
+                if w == "for" && !is_trait {
+                    // `impl Trait for Type`: the type after `for` wins.
+                    owner = None;
+                } else if w == "where" {
+                    j = skip_to_open_brace(tokens, j)?;
+                    continue;
+                } else if owner.is_none() || !is_trait {
+                    // A trait's name is its first ident; an impl keeps
+                    // updating so the last path segment wins.
+                    owner = Some(w.to_string());
+                }
+                j += 1;
+            }
+            TokenKind::Punct(b'<') => j = skip_angle(tokens, j)?,
+            TokenKind::Punct(b'(') => j = skip_delim(tokens, j, b'(', b')')?,
+            TokenKind::Punct(b'[') => j = skip_delim(tokens, j, b'[', b']')?,
+            TokenKind::Punct(b'{') => return Some((owner, j)),
+            TokenKind::Punct(b';') => return None,
+            _ => j += 1,
+        }
+    }
+    None
+}
+
+/// Parses the `fn` item whose `fn` keyword is at token `i`.
+fn parse_fn(
+    clean: &CleanSource,
+    tokens: &[Token],
+    i: usize,
+    owner: Option<String>,
+) -> Option<FnDef> {
+    let text = clean.text();
+    let name_tok = tokens.get(i + 1)?;
+    // `fn(` is a function-pointer type, not an item.
+    if name_tok.kind != TokenKind::Ident {
+        return None;
+    }
+    let name = name_tok.text(text).to_string();
+    let line = clean.line_of(tokens[i].start);
+
+    let mut j = i + 2;
+    if tokens.get(j).is_some_and(|t| t.is_punct(b'<')) {
+        j = skip_angle(tokens, j)?;
+    }
+    if !tokens.get(j).is_some_and(|t| t.is_punct(b'(')) {
+        return None;
+    }
+    j = skip_delim(tokens, j, b'(', b')')?;
+
+    // Return type / where clause: scan to the body `{` or a `;`.
+    let mut body = None;
+    while j < tokens.len() {
+        match tokens[j].kind {
+            TokenKind::Punct(b'{') => {
+                let close = match_brace(tokens, j)?;
+                body = Some((j, close));
+                break;
+            }
+            TokenKind::Punct(b';') => break,
+            TokenKind::Punct(b'<') => j = skip_angle(tokens, j)?,
+            TokenKind::Punct(b'(') => j = skip_delim(tokens, j, b'(', b')')?,
+            TokenKind::Punct(b'[') => j = skip_delim(tokens, j, b'[', b']')?,
+            _ => j += 1,
+        }
+    }
+
+    Some(FnDef {
+        name,
+        owner,
+        line,
+        is_pub: is_bare_pub(text, tokens, i),
+        is_test: clean.is_test_line(line),
+        sig_start: i,
+        body,
+        calls: Vec::new(),
+        mentions: BTreeSet::new(),
+    })
+}
+
+/// Whether the `fn` at token `i` is declared with a bare `pub`, looking
+/// back over `const` / `async` / `unsafe` / `extern "C"` modifiers.
+fn is_bare_pub(text: &str, tokens: &[Token], i: usize) -> bool {
+    let mut k = i;
+    while k > 0 {
+        k -= 1;
+        let t = &tokens[k];
+        match t.kind {
+            TokenKind::Ident => match t.text(text) {
+                "const" | "async" | "unsafe" | "extern" => continue,
+                "pub" => return true,
+                _ => return false,
+            },
+            // The ABI string of `extern "C"`.
+            TokenKind::Str => continue,
+            _ => return false,
+        }
+    }
+    false
+}
+
+/// Skips a balanced `<...>` group starting at token `open` (which must be
+/// `<`), returning the index after the closing `>`. The `>` of a `->`
+/// arrow does not close a group.
+fn skip_angle(tokens: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    let mut j = open;
+    while j < tokens.len() {
+        match tokens[j].kind {
+            TokenKind::Punct(b'<') => depth += 1,
+            TokenKind::Punct(b'>') => {
+                let is_arrow = j > 0
+                    && tokens[j - 1].kind == TokenKind::Punct(b'-')
+                    && tokens[j - 1].end == tokens[j].start;
+                if !is_arrow {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        return Some(j + 1);
+                    }
+                }
+            }
+            // A `;` or `{` at depth > 0 means we mis-lexed a comparison
+            // as a generic open; bail out rather than swallow the file.
+            TokenKind::Punct(b'{') | TokenKind::Punct(b';') => return Some(j),
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Skips a balanced `open..close` delimiter group starting at token
+/// `open_at`, returning the index after the closing delimiter.
+fn skip_delim(tokens: &[Token], open_at: usize, open: u8, close: u8) -> Option<usize> {
+    let mut depth = 0usize;
+    let mut j = open_at;
+    while j < tokens.len() {
+        match tokens[j].kind {
+            TokenKind::Punct(b) if b == open => depth += 1,
+            TokenKind::Punct(b) if b == close => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return Some(j + 1);
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Scans forward from token `from` to the next `{` that opens a block,
+/// skipping balanced `<...>` and `(...)` groups (a where-clause bound
+/// like `Fn(&T) -> Option<T>` contains both). `None` at `;` or EOF.
+fn skip_to_open_brace(tokens: &[Token], from: usize) -> Option<usize> {
+    let mut j = from;
+    while j < tokens.len() {
+        match tokens[j].kind {
+            TokenKind::Punct(b'{') => return Some(j),
+            TokenKind::Punct(b';') => return None,
+            TokenKind::Punct(b'<') => j = skip_angle(tokens, j)?,
+            TokenKind::Punct(b'(') => j = skip_delim(tokens, j, b'(', b')')?,
+            _ => j += 1,
+        }
+    }
+    None
+}
+
+/// Index of the `}` matching the `{` at token `open`.
+fn match_brace(tokens: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    let mut j = open;
+    while j < tokens.len() {
+        match tokens[j].kind {
+            TokenKind::Punct(b'{') => depth += 1,
+            TokenKind::Punct(b'}') => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Collects call sites and identifier mentions in `tokens[from..=to]`.
+fn extract_calls(
+    text: &str,
+    tokens: &[Token],
+    from: usize,
+    to: usize,
+    calls: &mut Vec<Call>,
+    mentions: &mut BTreeSet<String>,
+) {
+    let mut seen: BTreeSet<Call> = BTreeSet::new();
+    let hi = to.min(tokens.len().saturating_sub(1));
+    for idx in from..=hi {
+        let t = &tokens[idx];
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let word = t.text(text);
+        mentions.insert(word.to_string());
+        if NON_CALL_KEYWORDS.contains(&word) {
+            continue;
+        }
+        // The ident after `fn` is a definition, not a call — without
+        // this, every `fn new(..)` would "call" every `new` in the
+        // workspace.
+        if idx > 0 && tokens[idx - 1].is_ident(text, "fn") {
+            continue;
+        }
+
+        // Macro call: `name!(...)` / `name![...]` / `name!{...}`.
+        if tokens.get(idx + 1).is_some_and(|n| n.is_punct(b'!'))
+            && tokens
+                .get(idx + 2)
+                .is_some_and(|n| n.is_punct(b'(') || n.is_punct(b'[') || n.is_punct(b'{'))
+        {
+            seen.insert(Call {
+                qualifier: None,
+                name: word.to_string(),
+                is_macro: true,
+                is_method: false,
+            });
+            continue;
+        }
+
+        // Plain or turbofished call: `name(` or `name::<T>(`.
+        let mut call_paren = tokens.get(idx + 1).is_some_and(|n| n.is_punct(b'('));
+        if !call_paren
+            && tokens.get(idx + 1).is_some_and(|n| n.is_punct(b':'))
+            && tokens.get(idx + 2).is_some_and(|n| n.is_punct(b':'))
+            && tokens.get(idx + 3).is_some_and(|n| n.is_punct(b'<'))
+        {
+            if let Some(after) = skip_angle(tokens, idx + 3) {
+                call_paren = tokens.get(after).is_some_and(|n| n.is_punct(b'('));
+            }
+        }
+        if !call_paren {
+            continue;
+        }
+
+        // `Qual::name(...)` — one path segment of qualification is enough
+        // for owner-based resolution.
+        let qualifier = if idx >= 3
+            && tokens[idx - 1].is_punct(b':')
+            && tokens[idx - 2].is_punct(b':')
+            && tokens[idx - 3].kind == TokenKind::Ident
+        {
+            Some(tokens[idx - 3].text(text).to_string())
+        } else {
+            None
+        };
+        let is_method = qualifier.is_none() && idx > 0 && tokens[idx - 1].is_punct(b'.');
+        seen.insert(Call {
+            qualifier,
+            name: word.to_string(),
+            is_macro: false,
+            is_method,
+        });
+    }
+    calls.extend(seen);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::lexer::lex;
+
+    fn parse(src: &str) -> (CleanSource, Vec<FnDef>) {
+        let clean = CleanSource::new(src, false);
+        let tokens = lex(clean.text());
+        let fns = parse_fns(&clean, &tokens);
+        (clean, fns)
+    }
+
+    #[test]
+    fn finds_free_fns_and_methods_with_owners() {
+        let src = "pub fn free() {}\nimpl Engine {\n    pub fn run(&self) { helper(); }\n    fn helper(&self) {}\n}\nimpl Display for Wrapper {\n    fn fmt(&self) {}\n}\n";
+        let (_, fns) = parse(src);
+        let names: Vec<String> = fns.iter().map(|f| f.display_name()).collect();
+        assert_eq!(
+            names,
+            vec!["free", "Engine::run", "Engine::helper", "Wrapper::fmt"]
+        );
+        assert!(fns[0].is_pub && fns[1].is_pub && !fns[2].is_pub);
+        assert_eq!(fns[1].line, 2);
+    }
+
+    #[test]
+    fn records_calls_with_qualifiers_methods_and_macros() {
+        let src = "fn f(x: Foo) {\n    let a = Foo::new();\n    x.step(a);\n    plain(1);\n    panic!(\"boom\");\n    v.iter::<u8>().count();\n}\n";
+        let (_, fns) = parse(src);
+        let calls = &fns[0].calls;
+        assert!(calls.contains(&Call {
+            qualifier: Some("Foo".into()),
+            name: "new".into(),
+            is_macro: false,
+            is_method: false
+        }));
+        assert!(calls.contains(&Call {
+            qualifier: None,
+            name: "step".into(),
+            is_macro: false,
+            is_method: true
+        }));
+        assert!(calls.contains(&Call {
+            qualifier: None,
+            name: "plain".into(),
+            is_macro: false,
+            is_method: false
+        }));
+        assert!(calls.contains(&Call {
+            qualifier: None,
+            name: "panic".into(),
+            is_macro: true,
+            is_method: false
+        }));
+        assert!(fns[0].mentions.contains("Foo"));
+        // The definition's own name is a mention, never a call.
+        assert!(!calls.iter().any(|c| c.name == "f"));
+    }
+
+    #[test]
+    fn generic_signatures_and_where_clauses_parse() {
+        let src = "pub fn map<T, F>(items: &[T], f: F) -> Vec<T>\nwhere\n    F: Fn(&T) -> T,\n{\n    inner(items)\n}\n";
+        let (_, fns) = parse(src);
+        assert_eq!(fns.len(), 1);
+        assert_eq!(fns[0].name, "map");
+        assert!(fns[0].calls.iter().any(|c| c.name == "inner"));
+    }
+
+    #[test]
+    fn cfg_test_fns_are_marked() {
+        let src = "pub fn real() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\n";
+        let (_, fns) = parse(src);
+        assert!(!fns[0].is_test);
+        assert!(fns[1].is_test);
+    }
+
+    #[test]
+    fn fn_pointer_types_are_not_items() {
+        let src = "pub fn takes(cb: fn(usize) -> usize) -> usize { cb(1) }\n";
+        let (_, fns) = parse(src);
+        assert_eq!(fns.len(), 1);
+        assert_eq!(fns[0].name, "takes");
+    }
+
+    #[test]
+    fn trait_methods_get_trait_owner() {
+        let src = "pub trait Access {\n    fn read_adjacency(&self, n: u32) -> u64;\n    fn len(&self) -> usize { 0 }\n}\n";
+        let (_, fns) = parse(src);
+        assert_eq!(fns[0].display_name(), "Access::read_adjacency");
+        assert!(fns[0].body.is_none());
+        assert_eq!(fns[1].display_name(), "Access::len");
+        assert!(fns[1].body.is_some());
+    }
+}

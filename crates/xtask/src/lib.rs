@@ -1,140 +1,94 @@
-//! Domain-specific static analysis for the skyline query engine.
-//!
-//! rustc and clippy cannot see the invariants the ICDE 2007 algorithms
-//! rest on, so this crate checks them lexically, workspace-wide:
-//!
-//! | rule id | protects |
-//! |---|---|
-//! | `float-ord` | total ordering of `f64` priorities — `partial_cmp(..).unwrap()/.expect(..)` panics on NaN mid-query; route through `rn_geom::OrdF64` |
-//! | `hash-order` | deterministic tie-breaking — `HashMap`/`HashSet` iteration order in the query path makes skyline output run-dependent |
-//! | `unwrap` | no panics in the query hot path — use typed errors or `.expect("invariant …")` documenting why it cannot fail |
-//! | `unsafe` | every crate root keeps `#![forbid(unsafe_code)]` |
-//! | `apsp` | the paper's complexity class — no pre-computed all-pairs distance structures (Theorem 1's instance-optimality is proven over on-the-fly algorithms) |
-//! | `hot-lock` | scalability of the parallel engine — no `Mutex`/`RwLock` on the per-node hot path; shared state must be atomics or thread-local accumulation merged after the join |
-//! | `metric-name` | the observability contract — every string literal passed to `Metric::from_name` / `QueryTrace::get_name` must appear in the `METRIC_NAMES` registry of `crates/obs` |
-//!
-//! The pass is purely lexical: comments and string literals are blanked
-//! before matching, `#[cfg(test)]` regions are tracked so test-only code
-//! is exempt where the rule allows it, and a violation can be locally
-//! justified with `// lint: allow(<rule-id>)` on the same or preceding
-//! line. See `DESIGN.md` § "Static analysis & invariants".
-
 #![forbid(unsafe_code)]
+//! Workspace lint + CI tooling (`cargo run -p xtask -- lint`).
+//!
+//! The lint enforces repository invariants `cargo check` cannot see,
+//! in two passes:
+//!
+//! **Per-file lexical rules** over a shared token stream
+//! ([`rules::lexical`]):
+//!
+//! | rule          | invariant |
+//! |---------------|-----------|
+//! | `float-ord`   | no NaN-unsafe `partial_cmp().unwrap()/.expect()` comparators |
+//! | `hash-order`  | no `HashMap`/`HashSet` tokens in the query path |
+//! | `unsafe`      | every crate root keeps `#![forbid(unsafe_code)]` |
+//! | `apsp`        | no pre-computed all-pairs distance structures (Theorem 1 class) |
+//! | `hot-lock`    | no `Mutex`/`RwLock` tokens on the per-node hot path |
+//! | `metric-name` | metric-name literals exist in the crates/obs registry |
+//!
+//! **Workspace-wide reachability rules** over a call graph of every
+//! non-test function in `crates/*` ([`analysis`], [`rules`]):
+//!
+//! | rule         | invariant |
+//! |--------------|-----------|
+//! | `panic-path` | no transitive panic site reachable from public `run*` entry points |
+//! | `det-taint`  | nondeterminism sources never reach determinism-critical sinks |
+//! | `lock-reach` | no lock acquisition reachable from a per-node hot loop |
+//!
+//! Suppression: `// lint: allow(<rule>)` on the offending line or the
+//! line above. For the reachability rules, an allow on a function's
+//! definition line blesses it as a seam — exempt *and* opaque to
+//! traversal. `xtask lint --explain <rule>` prints each rule's
+//! rationale; `--json` emits a stable machine-readable report.
+//!
+//! Built in-tree with zero dependencies: the workspace builds offline
+//! against `shims/`, so the analyzer can rely on nothing but std.
 
+pub mod analysis;
 pub mod bench;
+pub mod report;
+pub mod rules;
+pub mod source;
 
-use std::fmt;
 use std::path::{Path, PathBuf};
 
-/// One finding of the lint pass.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Violation {
-    /// Path relative to the linted root, with `/` separators.
-    pub file: String,
-    /// 1-based line of the finding.
-    pub line: usize,
-    /// Stable rule identifier (`float-ord`, `hash-order`, ...).
-    pub rule: &'static str,
-    /// Human-readable explanation with the suggested fix.
-    pub message: String,
-}
+use analysis::{FileAnalysis, Workspace};
+pub use report::{explain_rule, render_json, rule_ids, sort_violations, Violation};
+pub use rules::{
+    MetricRegistry, Scope, RULE_APSP, RULE_DET_TAINT, RULE_FLOAT_ORD, RULE_HASH_ORDER,
+    RULE_HOT_LOCK, RULE_LOCK_REACH, RULE_METRIC_NAME, RULE_PANIC_PATH, RULE_UNSAFE,
+};
 
-impl fmt::Display for Violation {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}:{}: [{}] {}",
-            self.file, self.line, self.rule, self.message
-        )
-    }
-}
+/// Lints a set of `(workspace-relative path, contents)` sources: every
+/// per-file lexical rule, then the reachability rules over the call
+/// graph of the `crates/*` subset. Findings come back sorted by
+/// (file, line, rule, message), so rendering them is deterministic.
+///
+/// This is the whole lint behind a filesystem-free seam — the fixture
+/// tests drive it with synthetic workspaces.
+pub fn lint_sources(sources: &[(String, String)]) -> Vec<Violation> {
+    let registry = sources
+        .iter()
+        .find(|(rel, _)| rel == "crates/obs/src/lib.rs")
+        .and_then(|(_, src)| MetricRegistry::parse(src));
 
-/// Rule identifiers, as used in findings and `lint: allow(...)` comments.
-pub const RULE_FLOAT_ORD: &str = "float-ord";
-/// See [`RULE_FLOAT_ORD`].
-pub const RULE_HASH_ORDER: &str = "hash-order";
-/// See [`RULE_FLOAT_ORD`].
-pub const RULE_UNWRAP: &str = "unwrap";
-/// See [`RULE_FLOAT_ORD`].
-pub const RULE_UNSAFE: &str = "unsafe";
-/// See [`RULE_FLOAT_ORD`].
-pub const RULE_APSP: &str = "apsp";
-/// See [`RULE_FLOAT_ORD`].
-pub const RULE_HOT_LOCK: &str = "hot-lock";
-/// See [`RULE_FLOAT_ORD`].
-pub const RULE_METRIC_NAME: &str = "metric-name";
-
-/// The set of legal metric names, parsed from the marker-bracketed
-/// `METRIC_NAMES` table in `crates/obs/src/lib.rs`. The `metric-name`
-/// rule checks every string literal passed to `Metric::from_name` /
-/// `QueryTrace::get_name` against it, so a typo'd counter name fails
-/// `cargo run -p xtask -- lint` instead of silently reading zero.
-pub struct MetricRegistry {
-    names: Vec<String>,
-}
-
-impl MetricRegistry {
-    /// Builds a registry from an explicit name list (fixture tests).
-    pub fn new(names: Vec<String>) -> MetricRegistry {
-        MetricRegistry { names }
-    }
-
-    /// Parses the registry out of the obs crate root: every string
-    /// literal on the lines between `metric-names:begin` and
-    /// `metric-names:end`. Returns `None` when the markers are missing
-    /// (the rule is then skipped rather than mass-firing).
-    pub fn parse(obs_source: &str) -> Option<MetricRegistry> {
-        let mut names = Vec::new();
-        let mut inside = false;
-        let mut seen_markers = false;
-        for line in obs_source.lines() {
-            if line.contains("metric-names:begin") {
-                inside = true;
-                seen_markers = true;
-                continue;
-            }
-            if line.contains("metric-names:end") {
-                inside = false;
-                continue;
-            }
-            if inside {
-                names.extend(quoted_literals(line));
-            }
-        }
-        (seen_markers && !names.is_empty()).then_some(MetricRegistry { names })
-    }
-
-    fn contains(&self, name: &str) -> bool {
-        self.names.iter().any(|n| n == name)
-    }
-}
-
-/// Every `"..."` literal on one line (no escapes — metric names are
-/// plain dotted identifiers).
-fn quoted_literals(line: &str) -> Vec<String> {
     let mut out = Vec::new();
-    let mut rest = line;
-    while let Some(open) = rest.find('"') {
-        let after = &rest[open + 1..];
-        let Some(close) = after.find('"') else { break };
-        out.push(after[..close].to_string());
-        rest = &after[close + 1..];
+    let mut graph_files = Vec::new();
+    for (rel, src) in sources {
+        let scope = Scope::of(rel);
+        let fa = FileAnalysis::new(rel, src, scope.whole_file_is_test);
+        rules::lint_file_analysis(&fa, src, &scope, registry.as_ref(), &mut out);
+        // The call graph covers crate sources only: shims are vendored
+        // stand-ins whose internals (e.g. Mutex plumbing) are not this
+        // workspace's code, and test files contribute no non-test fns.
+        if rel.starts_with("crates/") {
+            graph_files.push(fa);
+        }
     }
+    let ws = Workspace::build(graph_files);
+    rules::graph_rules(&ws, &mut out);
+    sort_violations(&mut out);
     out
 }
 
 /// Lints every Rust source under `root` and returns the findings,
-/// sorted by file then line.
+/// sorted by (file, line, rule, message).
 pub fn lint_workspace(root: &Path) -> Vec<Violation> {
     let mut files = Vec::new();
     for top in ["crates", "shims", "tests", "examples"] {
         collect_rs_files(&root.join(top), &mut files);
     }
-    // The metric-name registry: parsed once from the obs crate root.
-    let registry = std::fs::read_to_string(root.join("crates/obs/src/lib.rs"))
-        .ok()
-        .and_then(|s| MetricRegistry::parse(&s));
-    let mut out = Vec::new();
+    let mut sources = Vec::new();
     for file in files {
         let rel = rel_path(root, &file);
         // The lint's own negative fixtures are violating on purpose.
@@ -144,16 +98,16 @@ pub fn lint_workspace(root: &Path) -> Vec<Violation> {
         let Ok(source) = std::fs::read_to_string(&file) else {
             continue;
         };
-        out.extend(lint_file_with(&rel, &source, registry.as_ref()));
+        sources.push((rel, source));
     }
-    out.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
-    out
+    lint_sources(&sources)
 }
 
 /// Lints a single file given its workspace-relative path (which decides
-/// rule scope) and contents. Exposed for the fixture tests. The
+/// rule scope) and contents — per-file lexical rules only; the
+/// reachability rules need a workspace, see [`lint_sources`]. The
 /// `metric-name` rule needs the workspace-level registry, so this form
-/// runs every rule except it; see [`lint_file_with`].
+/// runs every per-file rule except it; see [`lint_file_with`].
 pub fn lint_file(rel: &str, source: &str) -> Vec<Violation> {
     lint_file_with(rel, source, None)
 }
@@ -165,752 +119,10 @@ pub fn lint_file_with(
     registry: Option<&MetricRegistry>,
 ) -> Vec<Violation> {
     let scope = Scope::of(rel);
-    let clean = CleanSource::new(source, scope.whole_file_is_test);
+    let fa = FileAnalysis::new(rel, source, scope.whole_file_is_test);
     let mut out = Vec::new();
-
-    if scope.check_float_ord {
-        rule_float_ord(rel, &clean, &mut out);
-    }
-    if scope.check_hash_order {
-        rule_hash_order(rel, &clean, &mut out);
-    }
-    if scope.check_unwrap {
-        rule_unwrap(rel, &clean, &mut out);
-    }
-    if scope.is_crate_root {
-        rule_forbid_unsafe(rel, &clean, &mut out);
-    }
-    if scope.check_apsp {
-        rule_apsp(rel, &clean, &mut out);
-    }
-    if scope.check_hot_lock {
-        rule_hot_lock(rel, &clean, &mut out);
-    }
-    if let Some(reg) = registry {
-        rule_metric_name(rel, source, &clean, reg, &mut out);
-    }
-    out
-}
-
-/// Which rules apply to a file, derived from its workspace-relative path.
-#[derive(Debug, Clone, Copy)]
-struct Scope {
-    check_float_ord: bool,
-    check_hash_order: bool,
-    check_unwrap: bool,
-    check_apsp: bool,
-    check_hot_lock: bool,
-    is_crate_root: bool,
-    whole_file_is_test: bool,
-}
-
-impl Scope {
-    fn of(rel: &str) -> Scope {
-        let in_query_path =
-            rel.starts_with("crates/core/src/") || rel.starts_with("crates/sp/src/");
-        let hash_scoped = rel.starts_with("crates/sp/src/")
-            || [
-                "crates/core/src/ce.rs",
-                "crates/core/src/edc.rs",
-                "crates/core/src/lbc.rs",
-                "crates/core/src/nnq.rs",
-            ]
-            .contains(&rel);
-        let apsp_scoped = [
-            "crates/core/",
-            "crates/sp/",
-            "crates/index/",
-            "crates/skyline/",
-            "crates/graph/",
-            "crates/storage/",
-            "crates/workload/",
-        ]
-        .iter()
-        .any(|p| rel.starts_with(p));
-        // The per-node hot path: shortest-path expansion, the parallel
-        // primitives, and the algorithm drivers that run inside worker
-        // threads. The storage layer is deliberately outside this scope:
-        // its session-confined `Mutex<BufferPool>` is never contended
-        // across workers (each worker gets a private session).
-        let hot_lock_scoped = rel.starts_with("crates/sp/src/")
-            || rel.starts_with("crates/par/src/")
-            || [
-                "crates/core/src/ce.rs",
-                "crates/core/src/edc.rs",
-                "crates/core/src/lbc.rs",
-                "crates/core/src/nnq.rs",
-                "crates/core/src/par.rs",
-                "crates/core/src/batch.rs",
-            ]
-            .contains(&rel);
-        // Crate roots that must carry #![forbid(unsafe_code)].
-        let is_crate_root = {
-            let parts: Vec<&str> = rel.split('/').collect();
-            matches!(
-                parts.as_slice(),
-                ["crates" | "shims", _, "src", "lib.rs" | "main.rs"]
-            )
-        };
-        // Integration tests (crates/*/tests/*.rs, tests/*.rs) are test
-        // code wholesale; no #[cfg(test)] marker exists in them.
-        let whole_file_is_test =
-            rel.starts_with("tests/") || rel.split('/').any(|seg| seg == "tests");
-        Scope {
-            check_float_ord: rel != "crates/geom/src/ordf64.rs",
-            check_hash_order: hash_scoped,
-            check_unwrap: in_query_path,
-            check_apsp: apsp_scoped,
-            check_hot_lock: hot_lock_scoped,
-            is_crate_root,
-            whole_file_is_test,
-        }
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Source cleaning: blank comments and string literals, track test regions
-// and `lint: allow(...)` suppressions, keeping byte offsets stable.
-// ---------------------------------------------------------------------------
-
-struct CleanSource {
-    /// Source with comment and string-literal *contents* replaced by
-    /// spaces; newlines and all other bytes keep their offsets.
-    text: String,
-    /// Byte offset of each line start.
-    line_starts: Vec<usize>,
-    /// Per line: inside a `#[cfg(test)]` region (or a test-only file).
-    is_test: Vec<bool>,
-    /// Per line: rules allowed via `// lint: allow(rule)` on this line
-    /// or the line directly above.
-    allows: Vec<Vec<String>>,
-}
-
-impl CleanSource {
-    fn new(source: &str, whole_file_is_test: bool) -> CleanSource {
-        let (text, comments) = blank_comments_and_strings(source);
-        let line_starts: Vec<usize> = std::iter::once(0)
-            .chain(
-                text.bytes()
-                    .enumerate()
-                    .filter(|&(_, b)| b == b'\n')
-                    .map(|(i, _)| i + 1),
-            )
-            .collect();
-        let line_count = line_starts.len();
-
-        // Suppressions: a comment's allows cover its own line and the next.
-        let mut own_allows = vec![Vec::new(); line_count];
-        for (line, comment) in comments {
-            for rule in parse_allows(&comment) {
-                own_allows[line].push(rule);
-            }
-        }
-        let mut allows = vec![Vec::new(); line_count];
-        for i in 0..line_count {
-            allows[i].extend(own_allows[i].iter().cloned());
-            if i > 0 {
-                allows[i].extend(own_allows[i - 1].iter().cloned());
-            }
-        }
-
-        let mut is_test = vec![whole_file_is_test; line_count];
-        if !whole_file_is_test {
-            mark_cfg_test_regions(&text, &line_starts, &mut is_test);
-        }
-
-        CleanSource {
-            text,
-            line_starts,
-            is_test,
-            allows,
-        }
-    }
-
-    /// 0-based line of a byte offset.
-    fn line_of(&self, offset: usize) -> usize {
-        match self.line_starts.binary_search(&offset) {
-            Ok(l) => l,
-            Err(l) => l - 1,
-        }
-    }
-
-    fn allowed(&self, line: usize, rule: &str) -> bool {
-        self.allows[line].iter().any(|r| r == rule)
-    }
-}
-
-/// Replaces the contents of comments, string literals, and char literals
-/// with spaces (delimiters kept), and returns the blanked text plus the
-/// text of every line comment with its 0-based line, for suppression
-/// parsing. Handles nested block comments and raw strings.
-fn blank_comments_and_strings(source: &str) -> (String, Vec<(usize, String)>) {
-    let bytes = source.as_bytes();
-    let mut out = Vec::with_capacity(bytes.len());
-    let mut comments = Vec::new();
-    let mut line = 0usize;
-    let mut i = 0usize;
-
-    let blank = |b: u8| if b == b'\n' { b'\n' } else { b' ' };
-
-    while i < bytes.len() {
-        let b = bytes[i];
-        if b == b'\n' {
-            line += 1;
-            out.push(b'\n');
-            i += 1;
-        } else if b == b'/' && bytes.get(i + 1) == Some(&b'/') {
-            let start = i;
-            while i < bytes.len() && bytes[i] != b'\n' {
-                out.push(b' ');
-                i += 1;
-            }
-            comments.push((line, source[start..i].to_string()));
-        } else if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
-            let mut depth = 1;
-            out.push(b' ');
-            out.push(b' ');
-            i += 2;
-            while i < bytes.len() && depth > 0 {
-                if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
-                    depth += 1;
-                    out.push(b' ');
-                    out.push(b' ');
-                    i += 2;
-                } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
-                    depth -= 1;
-                    out.push(b' ');
-                    out.push(b' ');
-                    i += 2;
-                } else {
-                    if bytes[i] == b'\n' {
-                        line += 1;
-                    }
-                    out.push(blank(bytes[i]));
-                    i += 1;
-                }
-            }
-        } else if b == b'"' {
-            out.push(b'"');
-            i += 1;
-            while i < bytes.len() {
-                if bytes[i] == b'\\' && i + 1 < bytes.len() {
-                    out.push(b' ');
-                    out.push(b' ');
-                    if bytes[i + 1] == b'\n' {
-                        line += 1;
-                        out.pop();
-                        out.push(b'\n');
-                    }
-                    i += 2;
-                } else if bytes[i] == b'"' {
-                    out.push(b'"');
-                    i += 1;
-                    break;
-                } else {
-                    if bytes[i] == b'\n' {
-                        line += 1;
-                    }
-                    out.push(blank(bytes[i]));
-                    i += 1;
-                }
-            }
-        } else if b == b'r' && raw_string_hashes(bytes, i).is_some() {
-            let hashes = raw_string_hashes(bytes, i).expect("checked above");
-            // Emit `r##...#"` blanked except structure.
-            out.resize(out.len() + 1 + hashes + 1, b' ');
-            i += 1 + hashes + 1;
-            let closer: Vec<u8> = std::iter::once(b'"')
-                .chain(std::iter::repeat(b'#').take(hashes))
-                .collect();
-            while i < bytes.len() {
-                if bytes[i..].starts_with(&closer) {
-                    out.resize(out.len() + closer.len(), b' ');
-                    i += closer.len();
-                    break;
-                }
-                if bytes[i] == b'\n' {
-                    line += 1;
-                }
-                out.push(blank(bytes[i]));
-                i += 1;
-            }
-        } else if b == b'\'' {
-            // Char literal vs lifetime: a literal closes within a few
-            // bytes (`'a'`, `'\n'`, `'\u{1F600}'`); a lifetime never has
-            // a closing quote before a non-ident char.
-            if let Some(close) = char_literal_close(bytes, i) {
-                out.push(b'\'');
-                out.resize(out.len() + (close - i - 1), b' ');
-                out.push(b'\'');
-                i = close + 1;
-            } else {
-                out.push(b'\'');
-                i += 1;
-            }
-        } else {
-            out.push(b);
-            i += 1;
-        }
-    }
-
-    (
-        String::from_utf8(out).expect("blanking preserves UTF-8 structure"),
-        comments,
-    )
-}
-
-/// If `bytes[i..]` starts a raw (byte) string, returns its `#` count.
-fn raw_string_hashes(bytes: &[u8], i: usize) -> Option<usize> {
-    debug_assert_eq!(bytes[i], b'r');
-    // Only recognise raw strings not preceded by an ident char (so the
-    // `r` in `for r in ...` never misfires).
-    if i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_') {
-        return None;
-    }
-    let mut j = i + 1;
-    let mut hashes = 0;
-    while bytes.get(j) == Some(&b'#') {
-        hashes += 1;
-        j += 1;
-    }
-    (bytes.get(j) == Some(&b'"')).then_some(hashes)
-}
-
-/// If `bytes[i] == '\''` opens a char literal, returns the offset of the
-/// closing quote; `None` means it is a lifetime.
-fn char_literal_close(bytes: &[u8], i: usize) -> Option<usize> {
-    let mut j = i + 1;
-    if bytes.get(j) == Some(&b'\\') {
-        // Escaped char: scan to the next quote (covers \u{...}).
-        j += 1;
-        while j < bytes.len() && bytes[j] != b'\'' && bytes[j] != b'\n' {
-            j += 1;
-        }
-        (bytes.get(j) == Some(&b'\'')).then_some(j)
-    } else {
-        // `'x'` exactly — anything longer is a lifetime or label.
-        (bytes.get(i + 2) == Some(&b'\'')).then(|| i + 2)
-    }
-}
-
-/// Extracts rule ids from `lint: allow(a, b)` inside a comment.
-fn parse_allows(comment: &str) -> Vec<String> {
-    let mut out = Vec::new();
-    let mut rest = comment;
-    while let Some(pos) = rest.find("lint: allow(") {
-        rest = &rest[pos + "lint: allow(".len()..];
-        if let Some(end) = rest.find(')') {
-            for id in rest[..end].split(',') {
-                out.push(id.trim().to_string());
-            }
-            rest = &rest[end + 1..];
-        } else {
-            break;
-        }
-    }
-    out
-}
-
-/// Marks the brace-delimited region following each `#[cfg(test)]` as test
-/// code. Works on blanked text, so braces in strings don't confuse it.
-fn mark_cfg_test_regions(text: &str, line_starts: &[usize], is_test: &mut [bool]) {
-    let bytes = text.as_bytes();
-    let mut search_from = 0;
-    while let Some(pos) = text[search_from..].find("#[cfg(test)]") {
-        let attr_at = search_from + pos;
-        let mut i = attr_at + "#[cfg(test)]".len();
-        // Find the opening brace of the annotated item.
-        while i < bytes.len() && bytes[i] != b'{' && bytes[i] != b';' {
-            i += 1;
-        }
-        if i >= bytes.len() || bytes[i] == b';' {
-            search_from = i.min(bytes.len());
-            continue;
-        }
-        let open = i;
-        let mut depth = 0usize;
-        while i < bytes.len() {
-            match bytes[i] {
-                b'{' => depth += 1,
-                b'}' => {
-                    depth -= 1;
-                    if depth == 0 {
-                        break;
-                    }
-                }
-                _ => {}
-            }
-            i += 1;
-        }
-        let close = i.min(bytes.len().saturating_sub(1));
-        let first = line_of(line_starts, attr_at);
-        let last = line_of(line_starts, close);
-        for l in first..=last.min(is_test.len() - 1) {
-            is_test[l] = true;
-        }
-        search_from = open + 1;
-    }
-}
-
-fn line_of(line_starts: &[usize], offset: usize) -> usize {
-    match line_starts.binary_search(&offset) {
-        Ok(l) => l,
-        Err(l) => l - 1,
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Rules
-// ---------------------------------------------------------------------------
-
-/// `float-ord`: `partial_cmp(...)` chained directly into `.unwrap()` or
-/// `.expect(...)` builds an `Ordering` that panics on NaN — exactly the
-/// failure mode `OrdF64` exists to make unrepresentable. Applies to test
-/// code too: a NaN-panicking comparator in a test sort hides real NaNs.
-fn rule_float_ord(rel: &str, clean: &CleanSource, out: &mut Vec<Violation>) {
-    let bytes = clean.text.as_bytes();
-    let mut from = 0;
-    while let Some(pos) = clean.text[from..].find("partial_cmp") {
-        let at = from + pos;
-        from = at + "partial_cmp".len();
-        // Must be a method/path segment, not part of a longer ident.
-        if at > 0 && (bytes[at - 1].is_ascii_alphanumeric() || bytes[at - 1] == b'_') {
-            continue;
-        }
-        let mut i = at + "partial_cmp".len();
-        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
-            i += 1;
-        }
-        if bytes.get(i) != Some(&b'(') {
-            continue;
-        }
-        // Skip the balanced argument list.
-        let mut depth = 0usize;
-        while i < bytes.len() {
-            match bytes[i] {
-                b'(' => depth += 1,
-                b')' => {
-                    depth -= 1;
-                    if depth == 0 {
-                        i += 1;
-                        break;
-                    }
-                }
-                _ => {}
-            }
-            i += 1;
-        }
-        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
-            i += 1;
-        }
-        let tail = &clean.text[i.min(clean.text.len())..];
-        if tail.starts_with(".unwrap()") || tail.starts_with(".expect(") {
-            let lineno = clean.line_of(at);
-            if clean.allowed(lineno, RULE_FLOAT_ORD) {
-                continue;
-            }
-            out.push(Violation {
-                file: rel.to_string(),
-                line: lineno + 1,
-                rule: RULE_FLOAT_ORD,
-                message: "NaN-unsafe comparator: partial_cmp().unwrap()/.expect() panics on \
-                          NaN mid-query; compare through rn_geom::OrdF64 instead"
-                    .to_string(),
-            });
-        }
-    }
-}
-
-/// `hash-order`: `HashMap`/`HashSet` iteration order varies per process,
-/// so any traversal in the query path makes candidate ordering — and with
-/// it skyline tie-breaking — non-deterministic.
-fn rule_hash_order(rel: &str, clean: &CleanSource, out: &mut Vec<Violation>) {
-    for token in ["HashMap", "HashSet"] {
-        for at in find_idents(&clean.text, token) {
-            let lineno = clean.line_of(at);
-            if clean.is_test[lineno] || clean.allowed(lineno, RULE_HASH_ORDER) {
-                continue;
-            }
-            out.push(Violation {
-                file: rel.to_string(),
-                line: lineno + 1,
-                rule: RULE_HASH_ORDER,
-                message: format!(
-                    "{token} in the query path iterates in random order, breaking \
-                     deterministic tie-breaking; use BTreeMap/BTreeSet or a dense \
-                     Vec index, or justify with // lint: allow(hash-order)"
-                ),
-            });
-        }
-    }
-}
-
-/// `unwrap`: a bare `.unwrap()` in the query hot path turns a recoverable
-/// condition into an engine panic. `.expect("…")` with an invariant
-/// message is the sanctioned form for truly unreachable states.
-fn rule_unwrap(rel: &str, clean: &CleanSource, out: &mut Vec<Violation>) {
-    let mut from = 0;
-    while let Some(pos) = clean.text[from..].find(".unwrap()") {
-        let at = from + pos;
-        from = at + ".unwrap()".len();
-        let lineno = clean.line_of(at);
-        if clean.is_test[lineno] || clean.allowed(lineno, RULE_UNWRAP) {
-            continue;
-        }
-        out.push(Violation {
-            file: rel.to_string(),
-            line: lineno + 1,
-            rule: RULE_UNWRAP,
-            message: "bare .unwrap() in the query hot path; return a typed error or use \
-                      .expect(\"<invariant>\") documenting why this cannot fail"
-                .to_string(),
-        });
-    }
-}
-
-/// `unsafe`: the crate root must keep `#![forbid(unsafe_code)]` so the
-/// guarantee cannot be silently relaxed in a submodule. Searches the
-/// blanked text: the attribute inside a comment or string does not count.
-fn rule_forbid_unsafe(rel: &str, clean: &CleanSource, out: &mut Vec<Violation>) {
-    if !clean.text.contains("#![forbid(unsafe_code)]") {
-        out.push(Violation {
-            file: rel.to_string(),
-            line: 1,
-            rule: RULE_UNSAFE,
-            message: "crate root is missing #![forbid(unsafe_code)]".to_string(),
-        });
-    }
-}
-
-/// `apsp`: a map keyed by node-pair or object-pair is pre-computed
-/// all-pairs distance information. The paper's Theorem 1 proves LBC
-/// instance-optimal over algorithms that compute network distances
-/// on the fly; materialised pair distances exit that class.
-fn rule_apsp(rel: &str, clean: &CleanSource, out: &mut Vec<Violation>) {
-    for token in ["HashMap", "BTreeMap"] {
-        for at in find_idents(&clean.text, token) {
-            let Some(inner) = pair_key_of(&clean.text, at + token.len()) else {
-                continue;
-            };
-            if inner != "NodeId" && inner != "ObjectId" {
-                continue;
-            }
-            let lineno = clean.line_of(at);
-            if clean.is_test[lineno] || clean.allowed(lineno, RULE_APSP) {
-                continue;
-            }
-            out.push(Violation {
-                file: rel.to_string(),
-                line: lineno + 1,
-                rule: RULE_APSP,
-                message: format!(
-                    "{token} keyed by ({inner}, {inner}) is pre-computed all-pairs \
-                     distance information; the engine must compute network distances \
-                     on the fly (ICDE'07 Theorem 1's optimality class)"
-                ),
-            });
-        }
-    }
-    for needle in ["apsp", "all_pairs"] {
-        for at in find_idents_ci(&clean.text, needle) {
-            let lineno = clean.line_of(at);
-            if clean.is_test[lineno] || clean.allowed(lineno, RULE_APSP) {
-                continue;
-            }
-            out.push(Violation {
-                file: rel.to_string(),
-                line: lineno + 1,
-                rule: RULE_APSP,
-                message: format!(
-                    "identifier mentioning `{needle}` suggests a pre-computed all-pairs \
-                     distance structure, which the paper's algorithm class forbids"
-                ),
-            });
-        }
-    }
-}
-
-/// `hot-lock`: a `Mutex`/`RwLock` on the per-node hot path serialises
-/// every worker of the parallel engine on one cache line, erasing the
-/// speedup the batch harness measures. Shared state there must be
-/// atomics (see the index read counters) or thread-local accumulation
-/// merged after the join (see `rn_par::par_map_mut`).
-fn rule_hot_lock(rel: &str, clean: &CleanSource, out: &mut Vec<Violation>) {
-    for token in ["Mutex", "RwLock"] {
-        for at in find_idents(&clean.text, token) {
-            let lineno = clean.line_of(at);
-            if clean.is_test[lineno] || clean.allowed(lineno, RULE_HOT_LOCK) {
-                continue;
-            }
-            out.push(Violation {
-                file: rel.to_string(),
-                line: lineno + 1,
-                rule: RULE_HOT_LOCK,
-                message: format!(
-                    "{token} on the per-node hot path serialises workers; use atomics \
-                     or thread-local state merged after the join (rn_par), or justify \
-                     with // lint: allow(hot-lock)"
-                ),
-            });
-        }
-    }
-}
-
-/// `metric-name`: a string literal passed to `Metric::from_name` or
-/// `QueryTrace::get_name` that is not in the `METRIC_NAMES` registry can
-/// never resolve — the lookup silently yields `None`/zero. Blanking keeps
-/// byte offsets stable, so the literal's text is read from the *raw*
-/// source at the offsets the cleaned scan found. Applies to test code
-/// too (a typo'd counter name in an assertion hides a regression);
-/// deliberate negative lookups carry `// lint: allow(metric-name)`.
-fn rule_metric_name(
-    rel: &str,
-    raw: &str,
-    clean: &CleanSource,
-    registry: &MetricRegistry,
-    out: &mut Vec<Violation>,
-) {
-    let bytes = clean.text.as_bytes();
-    for token in ["from_name", "get_name"] {
-        for at in find_idents(&clean.text, token) {
-            // Method/function call: the ident must be followed by `(`.
-            let mut i = at + token.len();
-            while i < bytes.len() && bytes[i].is_ascii_whitespace() {
-                i += 1;
-            }
-            if bytes.get(i) != Some(&b'(') {
-                continue;
-            }
-            i += 1;
-            while i < bytes.len() && bytes[i].is_ascii_whitespace() {
-                i += 1;
-            }
-            // Only literal arguments are checkable; variables pass.
-            if bytes.get(i) != Some(&b'"') {
-                continue;
-            }
-            let Some(name) = read_string_literal(raw, i) else {
-                continue;
-            };
-            if registry.contains(&name) {
-                continue;
-            }
-            let lineno = clean.line_of(at);
-            if clean.allowed(lineno, RULE_METRIC_NAME) {
-                continue;
-            }
-            out.push(Violation {
-                file: rel.to_string(),
-                line: lineno + 1,
-                rule: RULE_METRIC_NAME,
-                message: format!(
-                    "\"{name}\" is not in the METRIC_NAMES registry \
-                     (crates/obs/src/lib.rs); the lookup can never resolve — \
-                     fix the name or register the metric"
-                ),
-            });
-        }
-    }
-}
-
-/// Reads the `"..."` literal opening at byte `open` of the raw source.
-fn read_string_literal(raw: &str, open: usize) -> Option<String> {
-    let bytes = raw.as_bytes();
-    if bytes.get(open) != Some(&b'"') {
-        return None;
-    }
-    let mut i = open + 1;
-    let start = i;
-    while i < bytes.len() {
-        match bytes[i] {
-            b'\\' => i += 2,
-            b'"' => return Some(raw[start..i].to_string()),
-            _ => i += 1,
-        }
-    }
-    None
-}
-
-/// If the text after a map ident is `<(T, T)` (whitespace-tolerant),
-/// returns `T`.
-fn pair_key_of(text: &str, after: usize) -> Option<String> {
-    let bytes = text.as_bytes();
-    let mut i = after;
-    let skip_ws = |i: &mut usize| {
-        while *i < bytes.len() && bytes[*i].is_ascii_whitespace() {
-            *i += 1;
-        }
-    };
-    skip_ws(&mut i);
-    if bytes.get(i) != Some(&b'<') {
-        return None;
-    }
-    i += 1;
-    skip_ws(&mut i);
-    if bytes.get(i) != Some(&b'(') {
-        return None;
-    }
-    i += 1;
-    skip_ws(&mut i);
-    let start = i;
-    while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
-        i += 1;
-    }
-    let first = &text[start..i];
-    skip_ws(&mut i);
-    if bytes.get(i) != Some(&b',') {
-        return None;
-    }
-    i += 1;
-    skip_ws(&mut i);
-    let start2 = i;
-    while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
-        i += 1;
-    }
-    let second = &text[start2..i];
-    (!first.is_empty() && first == second).then(|| first.to_string())
-}
-
-/// Byte offsets of whole-ident occurrences of `ident`.
-fn find_idents(text: &str, ident: &str) -> Vec<usize> {
-    let bytes = text.as_bytes();
-    let mut out = Vec::new();
-    let mut from = 0;
-    while let Some(pos) = text[from..].find(ident) {
-        let at = from + pos;
-        from = at + ident.len();
-        let before_ok =
-            at == 0 || !(bytes[at - 1].is_ascii_alphanumeric() || bytes[at - 1] == b'_');
-        let after = at + ident.len();
-        let after_ok =
-            after >= bytes.len() || !(bytes[after].is_ascii_alphanumeric() || bytes[after] == b'_');
-        if before_ok && after_ok {
-            out.push(at);
-        }
-    }
-    out
-}
-
-/// Byte offsets where `needle` occurs case-insensitively *inside or as*
-/// an identifier (used for name-based heuristics like `apsp`).
-fn find_idents_ci(text: &str, needle: &str) -> Vec<usize> {
-    let lower = text.to_ascii_lowercase();
-    let bytes = text.as_bytes();
-    let mut out = Vec::new();
-    let mut from = 0;
-    while let Some(pos) = lower[from..].find(needle) {
-        let at = from + pos;
-        from = at + needle.len();
-        // Must be part of an identifier-ish token, not arbitrary text —
-        // and we only see code here (strings are blanked).
-        let is_ident_char = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
-        let standalone_before = at == 0 || !bytes[at - 1].is_ascii_alphanumeric();
-        // `all_pairs` may be a prefix (all_pairs_dist); `apsp` likewise.
-        let _ = is_ident_char;
-        if standalone_before {
-            out.push(at);
-        }
-    }
+    rules::lint_file_analysis(&fa, source, &scope, registry, &mut out);
+    sort_violations(&mut out);
     out
 }
 
@@ -947,163 +159,68 @@ mod tests {
     use super::*;
 
     #[test]
-    fn blanking_keeps_offsets_and_strips_strings() {
-        let src = "let s = \"HashMap\"; // HashMap here\nlet t = 1;\n";
-        let (clean, comments) = blank_comments_and_strings(src);
-        assert_eq!(clean.len(), src.len());
-        assert!(!clean.contains("HashMap"));
-        assert_eq!(comments.len(), 1);
-        assert_eq!(comments[0].0, 0);
-        assert!(comments[0].1.contains("HashMap here"));
+    fn lint_sources_runs_lexical_and_graph_rules_together() {
+        let sources = vec![
+            (
+                "crates/core/src/engine.rs".to_string(),
+                "pub fn run(q: Query) -> Out { deep(q) }\n".to_string(),
+            ),
+            (
+                "crates/skyline/src/dominance.rs".to_string(),
+                "pub fn deep(q: Query) -> Out { q.first().unwrap() }\n".to_string(),
+            ),
+            (
+                "crates/sp/src/heap.rs".to_string(),
+                "use std::collections::HashMap;\n".to_string(),
+            ),
+        ];
+        let v = lint_sources(&sources);
+        let rules: Vec<&str> = v.iter().map(|v| v.rule).collect();
+        assert!(rules.contains(&"hash-order"), "{v:?}");
+        assert!(rules.contains(&"panic-path"), "{v:?}");
     }
 
     #[test]
-    fn blanking_handles_nested_block_comments_and_raw_strings() {
-        let src = "/* a /* b */ c */ let x = r#\"Hash\"Map\"#; 'y'";
-        let (clean, _) = blank_comments_and_strings(src);
-        assert!(!clean.contains("Hash"));
-        assert!(clean.contains("let x ="));
-    }
-
-    #[test]
-    fn lifetimes_are_not_char_literals() {
-        let src = "fn f<'a>(x: &'a str) -> &'a str { x }";
-        let (clean, _) = blank_comments_and_strings(src);
-        assert_eq!(clean, src);
-    }
-
-    #[test]
-    fn float_ord_fires_on_chained_unwrap_and_expect() {
-        let src = "fn f(v: &mut Vec<f64>) {\n    v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n    v.sort_by(|a, b| a.partial_cmp(b)\n        .expect(\"finite\"));\n}\n";
-        let v = lint_file("crates/index/src/x.rs", src);
-        let lines: Vec<usize> = v
+    fn lint_sources_output_is_sorted_and_stable() {
+        let sources = vec![
+            (
+                "crates/sp/src/b.rs".to_string(),
+                "use std::collections::HashSet;\nuse std::sync::Mutex;\n".to_string(),
+            ),
+            (
+                "crates/sp/src/a.rs".to_string(),
+                "use std::collections::HashMap;\n".to_string(),
+            ),
+        ];
+        let one = lint_sources(&sources);
+        let two = lint_sources(&sources);
+        assert_eq!(one, two);
+        let keys: Vec<(String, usize, &str)> = one
             .iter()
-            .filter(|v| v.rule == RULE_FLOAT_ORD)
-            .map(|v| v.line)
+            .map(|v| (v.file.clone(), v.line, v.rule))
             .collect();
-        assert_eq!(lines, vec![2, 3]);
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted, "findings sorted by (file, line, rule)");
+        assert_eq!(render_json(&one), render_json(&two), "byte-identical JSON");
     }
 
     #[test]
-    fn float_ord_ignores_unwrap_or_and_ordf64() {
-        let src = "fn f(a: f64, b: f64) {\n    let _ = a.partial_cmp(&b).unwrap_or(std::cmp::Ordering::Equal);\n}\n";
-        assert!(lint_file("crates/index/src/x.rs", src).is_empty());
-        let bad = "fn g(a: f64, b: f64) { a.partial_cmp(&b).unwrap(); }";
-        assert!(lint_file("crates/geom/src/ordf64.rs", bad).is_empty());
-    }
-
-    #[test]
-    fn hash_order_scoped_and_suppressible() {
-        let src = "use std::collections::HashMap;\n";
-        assert_eq!(lint_file("crates/core/src/ce.rs", src).len(), 1);
-        assert!(lint_file("crates/core/src/engine.rs", src).is_empty());
-        let allowed = "// lint: allow(hash-order)\nuse std::collections::HashMap;\n";
-        assert!(lint_file("crates/core/src/ce.rs", allowed).is_empty());
-        let trailing = "use std::collections::HashMap; // lint: allow(hash-order)\n";
-        assert!(lint_file("crates/core/src/ce.rs", trailing).is_empty());
-    }
-
-    #[test]
-    fn hash_order_exempts_test_modules() {
-        let src =
-            "pub fn f() {}\n#[cfg(test)]\nmod tests {\n    use std::collections::HashSet;\n}\n";
-        assert!(lint_file("crates/sp/src/ine.rs", src).is_empty());
-    }
-
-    #[test]
-    fn unwrap_scoped_to_query_path_non_test() {
-        let src = "pub fn f(v: Vec<u32>) -> u32 { *v.first().unwrap() }\n";
-        assert_eq!(lint_file("crates/sp/src/dijkstra.rs", src).len(), 1);
-        assert!(lint_file("crates/index/src/rtree.rs", src).is_empty());
-        let test_src =
-            "#[cfg(test)]\nmod tests {\n    fn f(v: Vec<u32>) -> u32 { *v.first().unwrap() }\n}\n";
-        assert!(lint_file("crates/sp/src/dijkstra.rs", test_src).is_empty());
-    }
-
-    #[test]
-    fn forbid_unsafe_checked_on_crate_roots_only() {
-        let src = "pub fn f() {}\n";
-        let v = lint_file("crates/sp/src/lib.rs", src);
-        assert_eq!(v.len(), 1);
-        assert_eq!(v[0].rule, RULE_UNSAFE);
-        assert!(lint_file("crates/sp/src/dijkstra.rs", "pub fn g() {}\n").is_empty());
-        let ok = "#![forbid(unsafe_code)]\npub fn f() {}\n";
-        assert!(lint_file("crates/sp/src/lib.rs", ok).is_empty());
-    }
-
-    #[test]
-    fn apsp_fires_on_pair_keyed_maps_and_names() {
-        let src = "struct S { d: std::collections::BTreeMap<(NodeId, NodeId), f64> }\n";
-        let v = lint_file("crates/sp/src/x.rs", src);
-        assert!(v.iter().any(|v| v.rule == RULE_APSP));
-        let named = "fn build_apsp_table() {}\n";
-        assert!(lint_file("crates/core/src/x.rs", named)
-            .iter()
-            .any(|v| v.rule == RULE_APSP));
-        let fine = "struct S { d: std::collections::BTreeMap<(NodeId, ObjectId), f64> }\n";
-        assert!(lint_file("crates/sp/src/x.rs", fine).is_empty());
-    }
-
-    #[test]
-    fn hot_lock_scoped_to_hot_path_and_suppressible() {
-        let src = "use std::sync::Mutex;\n";
-        assert_eq!(lint_file("crates/sp/src/dijkstra.rs", src).len(), 1);
-        assert_eq!(lint_file("crates/core/src/batch.rs", src).len(), 1);
-        assert_eq!(lint_file("crates/par/src/pool.rs", src).len(), 1);
-        // The storage layer's session-confined pool lock is legal, as is
-        // anything outside the worker-thread hot path.
-        assert!(lint_file("crates/storage/src/netstore.rs", src).is_empty());
-        assert!(lint_file("crates/core/src/engine.rs", src).is_empty());
-        let in_test = "#[cfg(test)]\nmod tests {\n    use std::sync::RwLock;\n}\n";
-        assert!(lint_file("crates/par/src/pool.rs", in_test).is_empty());
-        let allowed = "use std::sync::RwLock; // lint: allow(hot-lock)\n";
-        assert!(lint_file("crates/sp/src/dijkstra.rs", allowed).is_empty());
-    }
-
-    #[test]
-    fn metric_name_checks_literals_against_registry() {
-        let reg = MetricRegistry::new(vec!["sp.heap_pops".into(), "query.candidates".into()]);
-        let src = "fn f(t: &QueryTrace) {\n    let _ = t.get_name(\"sp.heap_pops\");\n    let _ = t.get_name(\"sp.heap_popz\");\n    let _ = Metric::from_name(\"query.candidate\");\n    let name = pick();\n    let _ = Metric::from_name(name);\n}\n";
-        let v = lint_file_with("crates/core/src/stats.rs", src, Some(&reg));
-        let mut lines: Vec<usize> = v
-            .iter()
-            .filter(|v| v.rule == RULE_METRIC_NAME)
-            .map(|v| v.line)
-            .collect();
-        lines.sort_unstable();
-        assert_eq!(lines, vec![3, 4], "got: {v:?}");
-        // Without a registry the rule never runs.
-        assert!(lint_file("crates/core/src/stats.rs", src).is_empty());
-    }
-
-    #[test]
-    fn metric_name_suppressible_and_skips_definitions() {
-        let reg = MetricRegistry::new(vec!["sp.heap_pops".into()]);
-        let suppressed = "fn f() {\n    // lint: allow(metric-name) — deliberate negative probe\n    let _ = Metric::from_name(\"no.such.metric\");\n}\n";
-        assert!(lint_file_with("tests/x.rs", suppressed, Some(&reg)).is_empty());
-        // The registry function's own definition is not a call site.
-        let def = "pub fn from_name(name: &str) -> Option<Metric> { None }\n";
-        assert!(lint_file_with("crates/obs/src/metrics.rs", def, Some(&reg)).is_empty());
-    }
-
-    #[test]
-    fn metric_registry_parses_marker_bracketed_table() {
-        let src = "pub const METRIC_NAMES: [&str; 2] = [\n    // metric-names:begin\n    \"sp.heap_pops\",\n    \"query.candidates\",\n    // metric-names:end\n];\n";
-        let reg = MetricRegistry::parse(src).expect("markers present");
-        assert!(reg.contains("sp.heap_pops"));
-        assert!(reg.contains("query.candidates"));
-        assert!(!reg.contains("sp.heap_popz"));
-        assert!(MetricRegistry::parse("no markers here").is_none());
-    }
-
-    #[test]
-    fn violations_render_with_file_line_rule() {
-        let v = Violation {
-            file: "crates/sp/src/x.rs".into(),
-            line: 3,
-            rule: RULE_UNWRAP,
-            message: "m".into(),
-        };
-        assert_eq!(v.to_string(), "crates/sp/src/x.rs:3: [unwrap] m");
+    fn shim_sources_get_lexical_rules_but_no_graph_nodes() {
+        // A shim crate root still needs #![forbid(unsafe_code)], but its
+        // lock internals must not create lock-reach paths.
+        let sources = vec![
+            (
+                "shims/parking_lot/src/lib.rs".to_string(),
+                "pub fn lock_inner(m: &Mutex<u8>) -> u8 { *m.lock() }\n".to_string(),
+            ),
+            (
+                "crates/sp/src/heap.rs".to_string(),
+                "pub fn pop_loop(q: &Q) { for x in q.items() { lock_inner(x); } }\n".to_string(),
+            ),
+        ];
+        let v = lint_sources(&sources);
+        assert!(v.iter().any(|v| v.rule == "unsafe"), "{v:?}");
+        assert!(!v.iter().any(|v| v.rule == "lock-reach"), "{v:?}");
     }
 }

@@ -9,21 +9,40 @@ fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     match args.next().as_deref() {
         Some("lint") => {
-            let root = match args.next() {
-                Some(flag) if flag == "--root" => match args.next() {
-                    Some(p) => PathBuf::from(p),
-                    None => {
-                        eprintln!("--root requires a path");
+            let mut root = None;
+            let mut json = false;
+            let mut explain = None;
+            loop {
+                match args.next().as_deref() {
+                    Some("--root") => match args.next() {
+                        Some(p) => root = Some(PathBuf::from(p)),
+                        None => {
+                            eprintln!("--root requires a path");
+                            return ExitCode::FAILURE;
+                        }
+                    },
+                    Some("--json") => json = true,
+                    Some("--explain") => match args.next() {
+                        Some(r) => explain = Some(r),
+                        None => {
+                            eprintln!(
+                                "--explain requires a rule id (one of: {})",
+                                xtask::rule_ids().join(", ")
+                            );
+                            return ExitCode::FAILURE;
+                        }
+                    },
+                    Some(other) => {
+                        eprintln!("unknown argument: {other}");
                         return ExitCode::FAILURE;
                     }
-                },
-                Some(other) => {
-                    eprintln!("unknown argument: {other}");
-                    return ExitCode::FAILURE;
+                    None => break,
                 }
-                None => workspace_root(),
-            };
-            run_lint(&root)
+            }
+            if let Some(rule) = explain {
+                return run_explain(&rule);
+            }
+            run_lint(&root.unwrap_or_else(workspace_root), json)
         }
         Some("bench-gate") => {
             let root = match args.next() {
@@ -87,17 +106,41 @@ fn print_usage() {
     println!(
         "xtask — workspace automation\n\n\
          USAGE:\n    cargo run -p xtask -- <task>\n\n\
-         TASKS:\n    lint [--root <path>]         run the domain-specific static analysis\n    \
+         TASKS:\n    lint [--root <path>] [--json] [--explain <rule>]\n                                 \
+         run the domain-specific static analysis\n    \
          bench-gate [--root <path>]   compare BENCH_*.json against BENCH_BASELINE.json\n\n\
-         RULES:\n    float-ord    no NaN-unsafe partial_cmp().unwrap()/.expect() comparators\n    \
+         LINT FLAGS:\n    --json             emit a stable machine-readable report on stdout\n    \
+         --explain <rule>   print one rule's rationale and exit\n\n\
+         RULES (per-file):\n    \
+         float-ord    no NaN-unsafe partial_cmp().unwrap()/.expect() comparators\n    \
          hash-order   no HashMap/HashSet in the query path (deterministic tie-breaking)\n    \
-         unwrap       no bare .unwrap() in core/sp hot paths\n    \
          unsafe       every crate root keeps #![forbid(unsafe_code)]\n    \
          apsp         no pre-computed all-pairs distance structures (Theorem 1 class)\n    \
-         hot-lock     no Mutex/RwLock on the per-node hot path (atomics or merge)\n    \
+         hot-lock     no Mutex/RwLock tokens on the per-node hot path\n    \
          metric-name  metric-name literals must be in the crates/obs METRIC_NAMES registry\n\n\
-         Suppress a finding with `// lint: allow(<rule>)` on the same or preceding line."
+         RULES (call-graph reachability):\n    \
+         panic-path   no transitive panic sites reachable from public run* entry points\n    \
+         det-taint    nondeterminism sources must not reach determinism-critical sinks\n    \
+         lock-reach   no lock acquisition reachable from a per-node hot loop\n\n\
+         Suppress a finding with `// lint: allow(<rule>)` on the same or preceding line;\n\
+         on a fn definition line this blesses a seam for the reachability rules."
     );
+}
+
+fn run_explain(rule: &str) -> ExitCode {
+    match xtask::explain_rule(rule) {
+        Some(text) => {
+            println!("{text}");
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!(
+                "unknown rule: {rule} (known: {})",
+                xtask::rule_ids().join(", ")
+            );
+            ExitCode::FAILURE
+        }
+    }
 }
 
 /// The workspace root: the manifest dir's grandparent when built by
@@ -112,19 +155,26 @@ fn workspace_root() -> PathBuf {
     }
 }
 
-fn run_lint(root: &std::path::Path) -> ExitCode {
+fn run_lint(root: &std::path::Path, json: bool) -> ExitCode {
     let violations = xtask::lint_workspace(root);
-    for v in &violations {
-        println!("{v}");
+    if json {
+        print!("{}", xtask::render_json(&violations));
+    } else {
+        for v in &violations {
+            println!("{v}");
+        }
+        if violations.is_empty() {
+            println!(
+                "xtask lint: clean (rules: {})",
+                xtask::rule_ids().join(", ")
+            );
+        } else {
+            println!("xtask lint: {} violation(s)", violations.len());
+        }
     }
     if violations.is_empty() {
-        println!(
-            "xtask lint: clean (rules: float-ord, hash-order, unwrap, unsafe, apsp, hot-lock, \
-             metric-name)"
-        );
         ExitCode::SUCCESS
     } else {
-        println!("xtask lint: {} violation(s)", violations.len());
         ExitCode::FAILURE
     }
 }

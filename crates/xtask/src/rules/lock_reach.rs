@@ -1,0 +1,161 @@
+//! `lock-reach`: no lock acquisition reachable from a per-node hot loop.
+//!
+//! Generalises the lexical `hot-lock` rule across files. That rule
+//! flags `Mutex`/`RwLock` *tokens* inside hot-path files; this one
+//! catches the flow it cannot see — a loop in the hot scope calling
+//! into another crate whose function takes a lock. Only sites *outside*
+//! the hot scope are reported here (inside it, `hot-lock` already
+//! fires on the token itself), so the two rules never double-report.
+
+use crate::analysis::{FnId, Workspace};
+use crate::report::Violation;
+use crate::rules::{hot_path_file, RULE_LOCK_REACH};
+
+/// A hot root: a loop-bearing function in the hot scope. The loop is
+/// what makes a reached lock per-node rather than per-query.
+fn is_hot_root(ws: &Workspace, id: FnId) -> bool {
+    let f = ws.fn_def(id);
+    hot_path_file(&ws.fn_file(id).rel)
+        && (f.mentions.contains("for")
+            || f.mentions.contains("while")
+            || f.mentions.contains("loop"))
+}
+
+/// A lock site outside the hot scope: the function names a lock type or
+/// calls `.lock()`.
+fn is_lock_site(ws: &Workspace, id: FnId) -> bool {
+    if hot_path_file(&ws.fn_file(id).rel) {
+        return false;
+    }
+    let f = ws.fn_def(id);
+    f.mentions.contains("Mutex")
+        || f.mentions.contains("RwLock")
+        || f.calls.iter().any(|c| !c.is_macro && c.name == "lock")
+}
+
+/// Runs the rule over the workspace call graph.
+pub fn run(ws: &Workspace, out: &mut Vec<Violation>) {
+    let allowed = |id: FnId| ws.fn_allowed(id, RULE_LOCK_REACH);
+    let sites: Vec<FnId> = ws
+        .fn_ids()
+        .filter(|&id| !allowed(id) && is_lock_site(ws, id))
+        .collect();
+    if sites.is_empty() {
+        return;
+    }
+    // Reverse BFS: who can end up at a lock site? An allow on a function
+    // definition blesses it as an uncontended-by-construction seam and
+    // stops traversal through it.
+    let reached = ws.reach(&sites, false, &|id| allowed(id));
+    for &id in reached.keys() {
+        if !is_hot_root(ws, id) {
+            continue;
+        }
+        // chain walks root → … → nearest site (BFS shortest path).
+        let chain = ws.chain_ids(&reached, id);
+        let Some(&site) = chain.last() else { continue };
+        if site == id {
+            // The root is itself the site — hot-lock's territory.
+            continue;
+        }
+        let path = chain
+            .iter()
+            .map(|&c| ws.fn_def(c).display_name())
+            .collect::<Vec<_>>()
+            .join(" -> ");
+        out.push(Violation {
+            file: ws.fn_file(id).rel.clone(),
+            line: ws.fn_line(id),
+            rule: RULE_LOCK_REACH,
+            message: format!(
+                "hot loop `{}` reaches a lock acquisition in `{}`: {path}; hoist \
+                 the lock out of the per-node path or bless the seam with \
+                 // lint: allow(lock-reach) plus a justification",
+                ws.fn_def(id).display_name(),
+                ws.fn_def(site).display_name()
+            ),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::FileAnalysis;
+
+    fn lint(files: &[(&str, &str)]) -> Vec<Violation> {
+        let ws = Workspace::build(
+            files
+                .iter()
+                .map(|(rel, src)| FileAnalysis::new(rel, src, false))
+                .collect(),
+        );
+        let mut out = Vec::new();
+        run(&ws, &mut out);
+        out
+    }
+
+    #[test]
+    fn hot_loop_reaching_foreign_lock_is_flagged() {
+        let v = lint(&[
+            (
+                "crates/sp/src/dijkstra.rs",
+                "pub fn expand(g: &G) {\n    for n in g.nodes() { fetch(n); }\n}\n",
+            ),
+            (
+                "crates/storage/src/netstore.rs",
+                "pub fn fetch(n: u32) -> Page { POOL.lock().get(n) }\n",
+            ),
+        ]);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, RULE_LOCK_REACH);
+        assert_eq!(v[0].file, "crates/sp/src/dijkstra.rs");
+        assert!(v[0].message.contains("expand"));
+        assert!(v[0].message.contains("expand -> fetch"));
+    }
+
+    #[test]
+    fn blessed_seam_suppresses_and_blocks() {
+        let v = lint(&[
+            (
+                "crates/sp/src/dijkstra.rs",
+                "pub fn expand(g: &G) {\n    for n in g.nodes() { fetch(n); }\n}\n",
+            ),
+            (
+                "crates/storage/src/netstore.rs",
+                "/// Session-confined: one session per worker, never contended.\n// lint: allow(lock-reach)\npub fn fetch(n: u32) -> Page { POOL.lock().get(n) }\n",
+            ),
+        ]);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn loopless_hot_fns_and_cold_callers_are_fine() {
+        let v = lint(&[
+            (
+                "crates/sp/src/dijkstra.rs",
+                "pub fn init(g: &G) { fetch(0); }\n",
+            ),
+            (
+                "crates/core/src/engine.rs",
+                "pub fn setup(g: &G) {\n    for n in g.nodes() { fetch(n); }\n}\n",
+            ),
+            (
+                "crates/storage/src/netstore.rs",
+                "pub fn fetch(n: u32) -> Page { POOL.lock().get(n) }\n",
+            ),
+        ]);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn in_scope_lock_tokens_stay_hot_locks_territory() {
+        // A lock token inside a hot file is hot-lock's finding; this
+        // rule must not duplicate it.
+        let v = lint(&[(
+            "crates/par/src/pool.rs",
+            "pub fn drain(q: &Q) {\n    loop { q.m.lock().pop(); }\n}\n",
+        )]);
+        assert!(v.is_empty(), "{v:?}");
+    }
+}

@@ -1,0 +1,410 @@
+//! Source cleaning: blank comments and string literals, track test regions
+//! and `lint: allow(...)` suppressions, keeping byte offsets stable.
+//!
+//! Everything downstream — the lexical rules and the
+//! [`crate::analysis`] lexer — runs on the blanked text, so a `HashMap`
+//! inside a doc comment or a `panic!` inside a string literal can never
+//! produce a finding, and every byte offset in the blanked text maps to
+//! the same line of the raw file.
+
+/// A cleaned view of one source file.
+pub struct CleanSource {
+    /// Source with comment and string-literal *contents* replaced by
+    /// spaces; newlines and all other bytes keep their offsets.
+    pub(crate) text: String,
+    /// Byte offset of each line start.
+    pub(crate) line_starts: Vec<usize>,
+    /// Per line: inside a `#[cfg(test)]` region (or a test-only file).
+    pub(crate) is_test: Vec<bool>,
+    /// Per line: rules allowed via `// lint: allow(rule)` on this line,
+    /// or carried down from a comment above through the rest of its
+    /// contiguous comment/attribute block to the first code line.
+    pub(crate) allows: Vec<Vec<String>>,
+}
+
+impl CleanSource {
+    /// Cleans `source`. When `whole_file_is_test` is set every line is
+    /// treated as test code (integration tests carry no `#[cfg(test)]`).
+    pub fn new(source: &str, whole_file_is_test: bool) -> CleanSource {
+        let (text, comments) = blank_comments_and_strings(source);
+        let line_starts: Vec<usize> = std::iter::once(0)
+            .chain(
+                text.bytes()
+                    .enumerate()
+                    .filter(|&(_, b)| b == b'\n')
+                    .map(|(i, _)| i + 1),
+            )
+            .collect();
+        let line_count = line_starts.len();
+
+        // Suppressions: a comment's allows cover its own line, then flow
+        // down through the rest of a contiguous comment/attribute/blank
+        // block to the first code line after it — so a multi-line
+        // justification comment still covers the item it documents.
+        // After a code line only that line's own allows carry one line
+        // further (the classic "comment directly above" form).
+        let mut own_allows = vec![Vec::new(); line_count];
+        for (line, comment) in comments {
+            for rule in parse_allows(&comment) {
+                own_allows[line].push(rule);
+            }
+        }
+        let passes_through: Vec<bool> = (0..line_count)
+            .map(|i| {
+                let start = line_starts[i];
+                let end = line_starts.get(i + 1).copied().unwrap_or(text.len());
+                let t = text[start..end].trim();
+                t.is_empty()
+                    || t.starts_with("//")
+                    || t.starts_with("/*")
+                    || t.starts_with('*')
+                    || t.starts_with("#[")
+                    || t.starts_with("#!")
+            })
+            .collect();
+        let mut allows: Vec<Vec<String>> = vec![Vec::new(); line_count];
+        for i in 0..line_count {
+            let mut a = own_allows[i].clone();
+            if i > 0 {
+                if passes_through[i - 1] {
+                    let carried = allows[i - 1].clone();
+                    a.extend(carried);
+                } else {
+                    a.extend(own_allows[i - 1].iter().cloned());
+                }
+            }
+            a.sort();
+            a.dedup();
+            allows[i] = a;
+        }
+
+        let mut is_test = vec![whole_file_is_test; line_count];
+        if !whole_file_is_test {
+            mark_cfg_test_regions(&text, &line_starts, &mut is_test);
+        }
+
+        CleanSource {
+            text,
+            line_starts,
+            is_test,
+            allows,
+        }
+    }
+
+    /// The blanked text (same length and line structure as the input).
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// 0-based line of a byte offset.
+    pub fn line_of(&self, offset: usize) -> usize {
+        match self.line_starts.binary_search(&offset) {
+            Ok(l) => l,
+            Err(l) => l - 1,
+        }
+    }
+
+    /// Whether `rule` is suppressed on the 0-based `line`.
+    pub fn allowed(&self, line: usize, rule: &str) -> bool {
+        self.allows
+            .get(line)
+            .is_some_and(|a| a.iter().any(|r| r == rule))
+    }
+
+    /// Whether the 0-based `line` is inside test-only code.
+    pub fn is_test_line(&self, line: usize) -> bool {
+        self.is_test.get(line).copied().unwrap_or(false)
+    }
+}
+
+/// Replaces the contents of comments, string literals, and char literals
+/// with spaces (delimiters kept), and returns the blanked text plus the
+/// text of every line comment with its 0-based line, for suppression
+/// parsing. Handles nested block comments and raw strings.
+pub fn blank_comments_and_strings(source: &str) -> (String, Vec<(usize, String)>) {
+    let bytes = source.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut comments = Vec::new();
+    let mut line = 0usize;
+    let mut i = 0usize;
+
+    let blank = |b: u8| if b == b'\n' { b'\n' } else { b' ' };
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b == b'\n' {
+            line += 1;
+            out.push(b'\n');
+            i += 1;
+        } else if b == b'/' && bytes.get(i + 1) == Some(&b'/') {
+            let start = i;
+            while i < bytes.len() && bytes[i] != b'\n' {
+                out.push(b' ');
+                i += 1;
+            }
+            comments.push((line, source[start..i].to_string()));
+        } else if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+            let mut depth = 1;
+            out.push(b' ');
+            out.push(b' ');
+            i += 2;
+            while i < bytes.len() && depth > 0 {
+                if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    depth += 1;
+                    out.push(b' ');
+                    out.push(b' ');
+                    i += 2;
+                } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                    depth -= 1;
+                    out.push(b' ');
+                    out.push(b' ');
+                    i += 2;
+                } else {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    out.push(blank(bytes[i]));
+                    i += 1;
+                }
+            }
+        } else if b == b'"' {
+            out.push(b'"');
+            i += 1;
+            while i < bytes.len() {
+                if bytes[i] == b'\\' && i + 1 < bytes.len() {
+                    out.push(b' ');
+                    out.push(b' ');
+                    if bytes[i + 1] == b'\n' {
+                        line += 1;
+                        out.pop();
+                        out.push(b'\n');
+                    }
+                    i += 2;
+                } else if bytes[i] == b'"' {
+                    out.push(b'"');
+                    i += 1;
+                    break;
+                } else {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    out.push(blank(bytes[i]));
+                    i += 1;
+                }
+            }
+        } else if b == b'r' && raw_string_hashes(bytes, i).is_some() {
+            let hashes = raw_string_hashes(bytes, i).expect("checked above");
+            // Emit `r##...#"` blanked except structure.
+            out.resize(out.len() + 1 + hashes + 1, b' ');
+            i += 1 + hashes + 1;
+            let closer: Vec<u8> = std::iter::once(b'"')
+                .chain(std::iter::repeat(b'#').take(hashes))
+                .collect();
+            while i < bytes.len() {
+                if bytes[i..].starts_with(&closer) {
+                    out.resize(out.len() + closer.len(), b' ');
+                    i += closer.len();
+                    break;
+                }
+                if bytes[i] == b'\n' {
+                    line += 1;
+                }
+                out.push(blank(bytes[i]));
+                i += 1;
+            }
+        } else if b == b'\'' {
+            // Char literal vs lifetime: a literal closes within a few
+            // bytes (`'a'`, `'\n'`, `'\u{1F600}'`); a lifetime never has
+            // a closing quote before a non-ident char.
+            if let Some(close) = char_literal_close(bytes, i) {
+                out.push(b'\'');
+                out.resize(out.len() + (close - i - 1), b' ');
+                out.push(b'\'');
+                i = close + 1;
+            } else {
+                out.push(b'\'');
+                i += 1;
+            }
+        } else {
+            out.push(b);
+            i += 1;
+        }
+    }
+
+    (
+        String::from_utf8(out).expect("blanking preserves UTF-8 structure"),
+        comments,
+    )
+}
+
+/// If `bytes[i..]` starts a raw (byte) string, returns its `#` count.
+fn raw_string_hashes(bytes: &[u8], i: usize) -> Option<usize> {
+    debug_assert_eq!(bytes[i], b'r');
+    // Only recognise raw strings not preceded by an ident char (so the
+    // `r` in `for r in ...` never misfires).
+    if i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_') {
+        return None;
+    }
+    let mut j = i + 1;
+    let mut hashes = 0;
+    while bytes.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    (bytes.get(j) == Some(&b'"')).then_some(hashes)
+}
+
+/// If `bytes[i] == '\''` opens a char literal, returns the offset of the
+/// closing quote; `None` means it is a lifetime.
+fn char_literal_close(bytes: &[u8], i: usize) -> Option<usize> {
+    let mut j = i + 1;
+    if bytes.get(j) == Some(&b'\\') {
+        // Escaped char: scan to the next quote (covers \u{...}).
+        j += 1;
+        while j < bytes.len() && bytes[j] != b'\'' && bytes[j] != b'\n' {
+            j += 1;
+        }
+        (bytes.get(j) == Some(&b'\'')).then_some(j)
+    } else {
+        // `'x'` exactly — anything longer is a lifetime or label.
+        (bytes.get(i + 2) == Some(&b'\'')).then(|| i + 2)
+    }
+}
+
+/// Extracts rule ids from `lint: allow(a, b)` inside a comment.
+fn parse_allows(comment: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = comment;
+    while let Some(pos) = rest.find("lint: allow(") {
+        rest = &rest[pos + "lint: allow(".len()..];
+        if let Some(end) = rest.find(')') {
+            for id in rest[..end].split(',') {
+                out.push(id.trim().to_string());
+            }
+            rest = &rest[end + 1..];
+        } else {
+            break;
+        }
+    }
+    out
+}
+
+/// Marks the brace-delimited region following each `#[cfg(test)]` as test
+/// code. Works on blanked text, so braces in strings don't confuse it.
+fn mark_cfg_test_regions(text: &str, line_starts: &[usize], is_test: &mut [bool]) {
+    let bytes = text.as_bytes();
+    let mut search_from = 0;
+    while let Some(pos) = text[search_from..].find("#[cfg(test)]") {
+        let attr_at = search_from + pos;
+        let mut i = attr_at + "#[cfg(test)]".len();
+        // Find the opening brace of the annotated item.
+        while i < bytes.len() && bytes[i] != b'{' && bytes[i] != b';' {
+            i += 1;
+        }
+        if i >= bytes.len() || bytes[i] == b';' {
+            search_from = i.min(bytes.len());
+            continue;
+        }
+        let open = i;
+        let mut depth = 0usize;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        let close = i.min(bytes.len().saturating_sub(1));
+        let first = line_of(line_starts, attr_at);
+        let last = line_of(line_starts, close);
+        for l in first..=last.min(is_test.len() - 1) {
+            is_test[l] = true;
+        }
+        search_from = open + 1;
+    }
+}
+
+fn line_of(line_starts: &[usize], offset: usize) -> usize {
+    match line_starts.binary_search(&offset) {
+        Ok(l) => l,
+        Err(l) => l - 1,
+    }
+}
+
+/// Every `"..."` literal on one line (no escapes — metric names are
+/// plain dotted identifiers).
+pub(crate) fn quoted_literals(line: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = line;
+    while let Some(open) = rest.find('"') {
+        let after = &rest[open + 1..];
+        let Some(close) = after.find('"') else { break };
+        out.push(after[..close].to_string());
+        rest = &after[close + 1..];
+    }
+    out
+}
+
+/// Reads the `"..."` literal opening at byte `open` of the raw source.
+pub(crate) fn read_string_literal(raw: &str, open: usize) -> Option<String> {
+    let bytes = raw.as_bytes();
+    if bytes.get(open) != Some(&b'"') {
+        return None;
+    }
+    let mut i = open + 1;
+    let start = i;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return Some(raw[start..i].to_string()),
+            _ => i += 1,
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blanking_keeps_offsets_and_strips_strings() {
+        let src = "let s = \"HashMap\"; // HashMap here\nlet t = 1;\n";
+        let (clean, comments) = blank_comments_and_strings(src);
+        assert_eq!(clean.len(), src.len());
+        assert!(!clean.contains("HashMap"));
+        assert_eq!(comments.len(), 1);
+        assert_eq!(comments[0].0, 0);
+        assert!(comments[0].1.contains("HashMap here"));
+    }
+
+    #[test]
+    fn blanking_handles_nested_block_comments_and_raw_strings() {
+        let src = "/* a /* b */ c */ let x = r#\"Hash\"Map\"#; 'y'";
+        let (clean, _) = blank_comments_and_strings(src);
+        assert!(!clean.contains("Hash"));
+        assert!(clean.contains("let x ="));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x }";
+        let (clean, _) = blank_comments_and_strings(src);
+        assert_eq!(clean, src);
+    }
+
+    #[test]
+    fn allows_cover_same_and_next_line() {
+        let src = "// lint: allow(hash-order)\nline2();\nline3();\n";
+        let clean = CleanSource::new(src, false);
+        assert!(clean.allowed(0, "hash-order"));
+        assert!(clean.allowed(1, "hash-order"));
+        assert!(!clean.allowed(2, "hash-order"));
+    }
+}

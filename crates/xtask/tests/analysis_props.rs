@@ -1,0 +1,88 @@
+//! Property tests for the analysis subsystem's robustness contract:
+//! the lexer and parser never panic on arbitrary input, and blanking
+//! preserves the line structure findings are reported against.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use xtask::analysis::FileAnalysis;
+use xtask::source::blank_comments_and_strings;
+
+/// Arbitrary bytes decoded lossily — exercises invalid UTF-8 sequences
+/// (replacement chars), unterminated literals, stray delimiters.
+fn arb_source() -> impl Strategy<Value = String> {
+    vec(0u8..=255u8, 0..512).prop_map(|bytes| String::from_utf8_lossy(&bytes).into_owned())
+}
+
+/// Rust-ish token soup: more likely than raw bytes to form partial
+/// items (unclosed generics, dangling `impl`, nested macros) that
+/// stress the parser's recovery paths.
+fn arb_tokeny_source() -> impl Strategy<Value = String> {
+    let frag = (0usize..18).prop_map(|i| {
+        [
+            "fn ", "impl ", "trait ", "pub ", "{", "}", "(", ")", "<", ">", "::", "name", "x.y()",
+            "'a", "\"s\"", "// c\n", "r#\"r\"#", ";\n",
+        ][i]
+            .to_string()
+    });
+    vec(frag, 0..64).prop_map(|parts| parts.concat())
+}
+
+proptest! {
+    #[test]
+    fn pipeline_never_panics_on_arbitrary_bytes(src in arb_source()) {
+        // Clean → lex → parse → (calls, mentions); any panic fails here.
+        let fa = FileAnalysis::new("crates/x/src/f.rs", &src, false);
+        prop_assert!(fa.fns.len() <= fa.tokens.len() + 1);
+    }
+
+    #[test]
+    fn pipeline_never_panics_on_token_soup(src in arb_tokeny_source()) {
+        let fa = FileAnalysis::new("crates/x/src/f.rs", &src, false);
+        // Every parsed item stays inside the token stream.
+        for f in &fa.fns {
+            prop_assert!(f.sig_start < fa.tokens.len().max(1));
+            if let Some((open, close)) = f.body {
+                prop_assert!(open <= close);
+                prop_assert!(close < fa.tokens.len());
+            }
+        }
+    }
+
+    #[test]
+    fn blanking_preserves_length_and_line_breaks(src in arb_source()) {
+        let (clean, _) = blank_comments_and_strings(&src);
+        prop_assert_eq!(clean.len(), src.len(), "blanking must keep byte offsets stable");
+        let src_newlines: Vec<usize> = src
+            .bytes()
+            .enumerate()
+            .filter(|(_, b)| *b == b'\n')
+            .map(|(i, _)| i)
+            .collect();
+        let clean_newlines: Vec<usize> = clean
+            .bytes()
+            .enumerate()
+            .filter(|(_, b)| *b == b'\n')
+            .map(|(i, _)| i)
+            .collect();
+        // Newlines inside comments/strings survive blanking, so every
+        // byte offset maps to the same line before and after — the
+        // invariant all reported line numbers rest on.
+        prop_assert_eq!(src_newlines, clean_newlines);
+    }
+
+    #[test]
+    fn lexed_tokens_are_in_bounds_and_ordered(src in arb_source()) {
+        let fa = FileAnalysis::new("crates/x/src/f.rs", &src, false);
+        let text = fa.clean.text();
+        let mut prev_end = 0usize;
+        for t in &fa.tokens {
+            prop_assert!(t.start < t.end);
+            prop_assert!(t.end <= text.len());
+            prop_assert!(t.start >= prev_end, "tokens must not overlap");
+            // Offsets land on char boundaries: slicing must succeed.
+            prop_assert!(text.get(t.start..t.end).is_some());
+            prev_end = t.end;
+        }
+    }
+}

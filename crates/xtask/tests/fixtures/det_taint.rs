@@ -1,0 +1,11 @@
+//! Deliberately violating: a SkylineResult constructor transitively
+//! reads the wall clock. Linted as crates/core/src/finish.rs.
+
+pub fn finish(raw: Raw) -> SkylineResult {
+    let _t = stamp();
+    raw.into()
+}
+
+fn stamp() -> u64 {
+    Instant::now().elapsed().as_nanos() as u64
+}

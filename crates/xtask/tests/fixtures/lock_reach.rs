@@ -1,0 +1,9 @@
+//! Deliberately violating: a hot-path loop calls into a function that
+//! acquires a lock (see lock_reach_store.rs). Linted as
+//! crates/sp/src/relax.rs.
+
+pub fn relax_all(g: &G) {
+    for n in g.nodes() {
+        fetch_page(n);
+    }
+}

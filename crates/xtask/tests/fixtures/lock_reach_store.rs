@@ -1,0 +1,6 @@
+//! The out-of-hot-scope lock site paired with lock_reach.rs. Linted as
+//! crates/storage/src/pool.rs.
+
+pub fn fetch_page(n: u32) -> Page {
+    POOL.lock().get(n)
+}

@@ -1,0 +1,14 @@
+//! Deliberately violating: a public `run*` entry point reaches a bare
+//! `.unwrap()` two calls down. Linted as crates/core/src/engine.rs.
+
+pub fn run(q: Query) -> Out {
+    step(q)
+}
+
+fn step(q: Query) -> Out {
+    deep(q)
+}
+
+fn deep(q: Query) -> Out {
+    q.first().unwrap()
+}

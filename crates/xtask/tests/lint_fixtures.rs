@@ -3,7 +3,7 @@
 //! loudly. The fixtures live under `tests/fixtures/`, which
 //! `lint_workspace` skips — they must never fail the real workspace lint.
 
-use xtask::{lint_file, lint_file_with, MetricRegistry, Violation};
+use xtask::{lint_file, lint_file_with, lint_sources, MetricRegistry, Violation};
 
 fn lines_for<'a>(violations: &'a [Violation], rule: &str) -> Vec<(usize, &'a str)> {
     violations
@@ -41,16 +41,53 @@ fn hash_order_fixture_fires() {
 }
 
 #[test]
-fn unwrap_fixture_fires() {
-    let src = include_str!("fixtures/unwrap.rs");
-    // Lint as a shortest-path hot-path file.
-    let v = lint_file("crates/sp/src/dijkstra.rs", src);
-    // Only the bare unwrap fires: `.expect("<documented invariant>")` is
-    // the sanctioned alternative the rule's message points at.
+fn panic_path_fixture_fires() {
+    let src = include_str!("fixtures/panic_path.rs");
+    // The rule needs a call graph, so lint through the workspace seam.
+    let v = lint_sources(&[("crates/core/src/engine.rs".to_string(), src.to_string())]);
     assert_eq!(
-        lines_for(&v, xtask::RULE_UNWRAP),
-        vec![(6, "unwrap")],
+        lines_for(&v, xtask::RULE_PANIC_PATH),
+        vec![(13, "panic-path")],
         "got: {v:?}"
+    );
+    // The message names the entry point and the shortest path to the site.
+    let finding = v.iter().find(|v| v.rule == "panic-path").expect("finding");
+    assert!(finding.message.contains("`run`"), "got: {finding}");
+    assert!(
+        finding.message.contains("run -> step -> deep"),
+        "got: {finding}"
+    );
+}
+
+#[test]
+fn det_taint_fixture_fires() {
+    let src = include_str!("fixtures/det_taint.rs");
+    let v = lint_sources(&[("crates/core/src/finish.rs".to_string(), src.to_string())]);
+    assert_eq!(
+        lines_for(&v, xtask::RULE_DET_TAINT),
+        vec![(4, "det-taint")],
+        "got: {v:?}"
+    );
+    let finding = v.iter().find(|v| v.rule == "det-taint").expect("finding");
+    assert!(finding.message.contains("wall-clock"), "got: {finding}");
+}
+
+#[test]
+fn lock_reach_fixture_fires() {
+    let hot = include_str!("fixtures/lock_reach.rs");
+    let store = include_str!("fixtures/lock_reach_store.rs");
+    let v = lint_sources(&[
+        ("crates/sp/src/relax.rs".to_string(), hot.to_string()),
+        ("crates/storage/src/pool.rs".to_string(), store.to_string()),
+    ]);
+    let findings: Vec<&Violation> = v.iter().filter(|v| v.rule == "lock-reach").collect();
+    assert_eq!(findings.len(), 1, "got: {v:?}");
+    assert_eq!(findings[0].file, "crates/sp/src/relax.rs");
+    assert_eq!(findings[0].line, 5);
+    assert!(
+        findings[0].message.contains("relax_all -> fetch_page"),
+        "got: {}",
+        findings[0]
     );
 }
 
@@ -116,7 +153,7 @@ fn metric_name_fixture_fires() {
 
 #[test]
 fn suppression_comment_silences_each_rule() {
-    let cases: [(&str, &str); 4] = [
+    let cases: [(&str, &str); 3] = [
         (
             "crates/skyline/src/bad_sort.rs",
             "pub fn f(v: &mut Vec<f64>) {\n    // lint: allow(float-ord) — test helper\n    v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n}\n",
@@ -124,10 +161,6 @@ fn suppression_comment_silences_each_rule() {
         (
             "crates/core/src/ce.rs",
             "use std::collections::HashMap; // lint: allow(hash-order)\n",
-        ),
-        (
-            "crates/sp/src/dijkstra.rs",
-            "pub fn g(v: Option<u32>) -> u32 {\n    v.unwrap() // lint: allow(unwrap)\n}\n",
         ),
         (
             "crates/core/src/par.rs",
@@ -138,6 +171,20 @@ fn suppression_comment_silences_each_rule() {
         let v = lint_file(rel, src);
         assert!(v.is_empty(), "{rel}: suppression ignored, got {v:?}");
     }
+    // Reachability rules: an allow on the fn definition line blesses the
+    // seam and stops traversal through it.
+    let sources = vec![
+        (
+            "crates/core/src/engine.rs".to_string(),
+            "pub fn run(q: Query) -> Out { deep(q) }\n".to_string(),
+        ),
+        (
+            "crates/skyline/src/dominance.rs".to_string(),
+            "// lint: allow(panic-path) — validated upstream\npub fn deep(q: Query) -> Out { q.first().unwrap() }\n".to_string(),
+        ),
+    ];
+    let v = lint_sources(&sources);
+    assert!(v.is_empty(), "panic-path seam ignored, got {v:?}");
 }
 
 #[test]
