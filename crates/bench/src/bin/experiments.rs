@@ -35,6 +35,9 @@ fn main() {
     if want("sweep") {
         rn_bench::sweep::sweep_report();
     }
+    if want("oracle") {
+        rn_bench::oracle::oracle_report();
+    }
     if want("obs") || want("observability") {
         rn_bench::observability::observability();
     }

@@ -14,6 +14,7 @@
 pub mod figures;
 pub mod harness;
 pub mod observability;
+pub mod oracle;
 pub mod sweep;
 pub mod throughput;
 

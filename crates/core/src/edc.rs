@@ -39,7 +39,7 @@ use rn_graph::{NetPosition, ObjectId};
 use rn_obs::{Event, IncompleteReason, Metric};
 use rn_skyline::dominance::{dominates, dominates_or_equal};
 use rn_skyline::EuclideanSkylineIter;
-use rn_sp::{AStar, AStarStats};
+use rn_sp::{AStar, AStarStats, BoundKind, LbTarget};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// How EDC obtains network distance vectors — the only part of the
@@ -147,6 +147,24 @@ pub(crate) fn run_mode_with<B: VectorBackend>(
     let qpts: Vec<Point> = input.queries.iter().map(|q| q.point).collect();
     let guard = input.ctx.guard;
 
+    // Oracle window tightening (DESIGN.md §14): with a non-Euclidean lower
+    // bound installed, hypercube candidates whose pair lower bound already
+    // exceeds the shifted vector in some dimension are dropped before their
+    // (expensive) network vectors are computed — such an object cannot
+    // dominate anything inside the cube, and the closure fetch keeps the
+    // candidate set complete. The Euclidean default skips the pass so the
+    // paper's path stays bitwise unchanged.
+    let oracle_qts: Option<Vec<LbTarget>> = match input.ctx.lb.kind() {
+        BoundKind::Euclid => None,
+        _ => Some(
+            input
+                .queries
+                .iter()
+                .map(|q| LbTarget::of(input.ctx.net, &q.pos))
+                .collect(),
+        ),
+    };
+
     // Network vectors of every candidate we have paid to compute. Ordered
     // maps keep the ready/rest iteration deterministic across runs.
     let mut computed: BTreeMap<ObjectId, Vec<f64>> = BTreeMap::new();
@@ -190,7 +208,18 @@ pub(crate) fn run_mode_with<B: VectorBackend>(
 
         // Step 3: everything inside the hypercube (o, shifted) could
         // dominate it; fetch and compute the newcomers.
-        let in_cube = fetch_hypercube(input, &qpts, &shifted, &computed);
+        let mut in_cube = fetch_hypercube(input, &qpts, &shifted, &computed);
+        if let Some(qts) = &oracle_qts {
+            // An object with `pair_bound > shifted[j]` in any dimension has
+            // `d_N > shifted[j]` there too, so it can dominate neither the
+            // shifted point nor anything inside its cube.
+            in_cube.retain(|&o| {
+                let ot = LbTarget::of(input.ctx.net, &input.ctx.mid.position(o));
+                qts.iter()
+                    .zip(&shifted)
+                    .all(|(qt, s)| input.ctx.lb.pair_bound(qt, &ot) <= *s)
+            });
+        }
         {
             let obs = reporter.obs();
             obs.incr(Metric::EdcWindowFetches);
@@ -254,7 +283,21 @@ pub(crate) fn run_mode_with<B: VectorBackend>(
             let all: Vec<&Vec<f64>> = computed.values().collect();
             idx.into_iter().map(|i| all[i].clone()).collect()
         };
-        let fresh = fetch_undominated(input, &qpts, &sky_vecs, &computed);
+        let mut fresh = fetch_undominated(input, &qpts, &sky_vecs, &computed);
+        if let Some(qts) = &oracle_qts {
+            // Same soundness argument with the oracle's tighter per-pair
+            // bounds: a network vector dominating the lower-bound vector
+            // dominates the (element-wise larger) exact vector a fortiori.
+            fresh.retain(|&o| {
+                let ot = LbTarget::of(input.ctx.net, &input.ctx.mid.position(o));
+                let mut lb: Vec<f64> = qts
+                    .iter()
+                    .map(|qt| input.ctx.lb.pair_bound(qt, &ot))
+                    .collect();
+                input.extend_with_attrs(o, &mut lb);
+                !sky_vecs.iter().any(|s| dominates(s, &lb))
+            });
+        }
         if fresh.is_empty() {
             break;
         }

@@ -6,7 +6,10 @@ use rn_geom::Mbr;
 use rn_graph::{NetPosition, ObjectId, RoadNetwork};
 use rn_index::{MiddleLayer, RTree};
 use rn_obs::{Event, ExecGuard, IncompleteReason, Metric, QueryBudget, QueryTrace};
-use rn_sp::{NetCtx, QueryPoint};
+use rn_sp::{
+    AltOracle, BlockOracle, BoundKind, BoundSpec, EuclidBound, LbCounters, LowerBound, NetCtx,
+    OracleBuildStats, QueryPoint,
+};
 use rn_storage::{FaultPlan, IoSnapshot, NetworkStore};
 
 /// Which of the paper's algorithms to execute.
@@ -217,6 +220,10 @@ pub struct SkylineEngine {
     mid: MiddleLayer,
     obj_tree: RTree<ObjectId>,
     edge_locator: rn_index::EdgeLocator,
+    /// The network-distance lower bound every query context borrows.
+    /// Euclidean by default; [`SkylineEngine::set_bound`] swaps in a
+    /// precomputed oracle (DESIGN.md §14).
+    bound: Box<dyn LowerBound>,
 }
 
 impl SkylineEngine {
@@ -247,7 +254,54 @@ impl SkylineEngine {
             mid,
             obj_tree,
             edge_locator,
+            bound: Box::new(EuclidBound),
         }
+    }
+
+    /// Builds (or clears) the network-distance lower-bound oracle every
+    /// subsequent query runs under, returning its build cost. Oracle
+    /// preprocessing reads the network through a private store session,
+    /// so the engine's I/O counters and buffer stay untouched.
+    ///
+    /// Skylines are bound-invariant: every [`BoundSpec`] yields bitwise
+    /// identical results at every worker count; only the work counters
+    /// (expansions, retargets, `lbc.plb.oracle_discards`) change.
+    /// `build_ms` in the returned stats is wall-clock and is **never**
+    /// recorded into a [`QueryTrace`] — it exists for the bench reports
+    /// (DESIGN.md §14).
+    pub fn set_bound(&mut self, spec: BoundSpec) -> OracleBuildStats {
+        let started = Stopwatch::start();
+        self.bound = match spec {
+            BoundSpec::Euclid => Box::new(EuclidBound),
+            BoundSpec::Alt { landmarks } => Box::new(AltOracle::build(
+                &self.net,
+                &self.store,
+                &self.mid,
+                landmarks,
+            )),
+            BoundSpec::Block { fanout, tolerance } => Box::new(BlockOracle::build(
+                &self.net,
+                &self.store,
+                &self.mid,
+                fanout,
+                tolerance,
+            )),
+        };
+        OracleBuildStats {
+            kind: spec.kind(),
+            bytes: self.bound.build_bytes(),
+            build_ms: started.elapsed().as_secs_f64() * 1e3,
+        }
+    }
+
+    /// Which lower bound queries currently run under.
+    pub fn bound_kind(&self) -> BoundKind {
+        self.bound.kind()
+    }
+
+    /// The active lower bound (for callers assembling their own contexts).
+    pub fn bound_ref(&self) -> &dyn LowerBound {
+        self.bound.as_ref()
     }
 
     /// The road network.
@@ -398,7 +452,8 @@ impl SkylineEngine {
         assert!(!queries.is_empty(), "need at least one query point");
         let guard = guard_for(algo, budget, self.store.stats().faults());
         let input = QueryInput {
-            ctx: NetCtx::with_guard(&self.net, &self.store, &self.mid, guard.as_ref()),
+            ctx: NetCtx::with_guard(&self.net, &self.store, &self.mid, guard.as_ref())
+                .with_bound(self.bound.as_ref()),
             obj_tree: &self.obj_tree,
             queries: queries
                 .iter()
@@ -413,6 +468,7 @@ impl SkylineEngine {
         self.mid.reset_node_reads();
 
         let started = Stopwatch::start();
+        let lb_before = self.bound.counters();
         let mut reporter = Reporter::with_io(self.store.stats().clone());
         reporter.obs().event(Event::QueryStart {
             algo: algo.name(),
@@ -428,6 +484,7 @@ impl SkylineEngine {
         let skyline = reporter.into_points();
         let index_reads = self.obj_tree.node_reads() + self.mid.node_reads();
         finish_trace(&mut trace, &out, &io, index_reads, skyline.len());
+        harvest_bound(&mut trace, self.bound.as_ref(), &lb_before);
         let completion = match out.partial.take() {
             Some(p) => Completion::Partial(p),
             None => Completion::Complete,
@@ -497,7 +554,12 @@ impl SkylineEngine {
         assert!(!queries.is_empty(), "need at least one query point");
         let guard = guard_for(algo, budget, store.stats().faults());
         let input = QueryInput {
-            ctx: NetCtx::with_guard(&self.net, store, &self.mid, guard.as_ref()),
+            // The lower bound rides along (skylines are bound-invariant);
+            // its shared hit counters cannot be attributed to one query
+            // while others run, so — like `index_reads` — the per-query
+            // trace reports them as zero here.
+            ctx: NetCtx::with_guard(&self.net, store, &self.mid, guard.as_ref())
+                .with_bound(self.bound.as_ref()),
             obj_tree: &self.obj_tree,
             queries: queries
                 .iter()
@@ -615,7 +677,8 @@ impl SkylineEngine {
         // guard's fault baseline is zero by construction.
         let guard = guard_for(algo, budget, 0);
         let input = QueryInput {
-            ctx: NetCtx::with_guard(&self.net, &self.store, &self.mid, guard.as_ref()),
+            ctx: NetCtx::with_guard(&self.net, &self.store, &self.mid, guard.as_ref())
+                .with_bound(self.bound.as_ref()),
             obj_tree: &self.obj_tree,
             queries: queries
                 .iter()
@@ -627,6 +690,7 @@ impl SkylineEngine {
         let io = rn_storage::IoStats::new();
         self.obj_tree.reset_node_reads();
         self.mid.reset_node_reads();
+        let lb_before = self.bound.counters();
         let started = Stopwatch::start();
         let mut reporter = Reporter::with_io(io.clone());
         reporter.obs().event(Event::QueryStart {
@@ -664,6 +728,7 @@ impl SkylineEngine {
         let skyline = reporter.into_points();
         let index_reads = self.obj_tree.node_reads() + self.mid.node_reads();
         finish_trace(&mut trace, &out, &io_totals, index_reads, skyline.len());
+        harvest_bound(&mut trace, self.bound.as_ref(), &lb_before);
         let completion = match out.partial.take() {
             Some(p) => Completion::Partial(p),
             None => Completion::Complete,
@@ -782,6 +847,29 @@ fn finish_trace(
     trace.event(Event::QueryEnd {
         skyline: skyline_len as u64,
     });
+}
+
+/// Harvests the lower-bound oracle's hit accounting into the trace as a
+/// delta over the pre-dispatch snapshot, plus the (deterministic) index
+/// footprint. The counters are commutative relaxed-atomic sums and every
+/// bound evaluation happens exactly once per (node, target) regardless
+/// of how the work is partitioned, so the delta is worker-count
+/// invariant. `oracle.build.ms` is deliberately absent: build wall time
+/// is registered for the bench reports but never enters a trace
+/// (DESIGN.md §14).
+fn harvest_bound(trace: &mut QueryTrace, bound: &dyn LowerBound, before: &LbCounters) {
+    let after = bound.counters();
+    trace.add(
+        Metric::SpLbOracleHits,
+        after.oracle_hits.saturating_sub(before.oracle_hits),
+    );
+    trace.add(
+        Metric::SpLbEuclidFallbacks,
+        after
+            .euclid_fallbacks
+            .saturating_sub(before.euclid_fallbacks),
+    );
+    trace.add(Metric::OracleBuildBytes, bound.build_bytes());
 }
 
 /// Builds the execution guard for one query, or `None` when the budget

@@ -38,7 +38,7 @@ use rn_geom::{OrdF64, Point};
 use rn_graph::{NetPosition, ObjectId};
 use rn_obs::{Event, ExecGuard, IncompleteReason, Metric, SessionOutcome};
 use rn_skyline::dominance::dominates;
-use rn_sp::{AStar, AStarStats};
+use rn_sp::{AStar, AStarStats, BoundKind, LbTarget};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -53,6 +53,11 @@ struct Cand {
     /// Bumped on every re-queue; stale heap entries are skipped.
     version: u32,
     dead: bool,
+    /// Whether any A\* engine has ever been advanced for this candidate.
+    /// Discards that happen while this is still `false` cost zero network
+    /// expansions — the cheapest possible death, attributed to the oracle
+    /// seed when the plain Euclidean seed would have survived.
+    expanded: bool,
 }
 
 impl Cand {
@@ -97,6 +102,29 @@ fn record_session(reporter: &mut Reporter, obj: ObjectId, end: &SessionEnd) {
     });
 }
 
+/// Charges a discard to the oracle seed when it was decisive: the
+/// candidate died before any network expansion was spent on it, and the
+/// plain Euclidean seed vector would have survived the same dominance
+/// check. Only called with a non-Euclidean bound installed, so the
+/// counter stays hard-zero on the default path.
+fn note_oracle_discard(
+    reporter: &mut Reporter,
+    input: &QueryInput<'_>,
+    qpts: &[Point],
+    skyline: &[(ObjectId, Vec<f64>)],
+    cand: &Cand,
+) {
+    if cand.expanded {
+        return;
+    }
+    let obj_pt = input.ctx.point_of(&cand.pos);
+    let mut seed: Vec<f64> = qpts.iter().map(|q| q.distance(&obj_pt)).collect();
+    input.extend_with_attrs(cand.obj, &mut seed);
+    if !skyline.iter().any(|(_, s)| dominates(s, &seed)) {
+        reporter.obs().incr(Metric::LbcPlbOracleDiscards);
+    }
+}
+
 pub(crate) fn run(input: &QueryInput<'_>, reporter: &mut Reporter, use_plb: bool) -> AlgoOutput {
     let engines: Vec<AStar<'_>> = input
         .queries
@@ -125,7 +153,7 @@ pub(crate) fn run_parallel(
         .collect();
     let ctxs: Vec<rn_sp::NetCtx<'_>> = sessions
         .iter()
-        .map(|s| rn_sp::NetCtx::new(input.ctx.net, s, input.ctx.mid))
+        .map(|s| rn_sp::NetCtx::new(input.ctx.net, s, input.ctx.mid).with_bound(input.ctx.lb))
         .collect();
     let engines: Vec<AStar<'_>> = input
         .queries
@@ -153,6 +181,22 @@ fn run_mode(
     let n = qpts.len();
     let source = input.queries[0];
     let guard = input.ctx.guard;
+
+    // Oracle seed tightening (DESIGN.md §14): with a non-Euclidean lower
+    // bound installed, every candidate's birth vector is raised to the
+    // oracle's pair bound per dimension, so dominated candidates can die
+    // before any network expansion is spent on them. The Euclidean default
+    // skips the pass so the paper's path stays bitwise unchanged.
+    let oracle_qts: Option<Vec<LbTarget>> = match input.ctx.lb.kind() {
+        BoundKind::Euclid => None,
+        _ => Some(
+            input
+                .queries
+                .iter()
+                .map(|q| LbTarget::of(input.ctx.net, &q.pos))
+                .collect(),
+        ),
+    };
 
     // Confirmed network skyline; mirrored into the RefCell the Euclidean
     // stream's pruning closure reads.
@@ -259,11 +303,20 @@ fn run_mode(
             let mut lb = Vec::with_capacity(input.full_arity());
             lb.push(de);
             lb.extend(qpts[1..].iter().map(|q| q.distance(&obj_pt)));
+            if let Some(qts) = &oracle_qts {
+                let ot = LbTarget::of(input.ctx.net, &pos);
+                for (b, qt) in lb.iter_mut().zip(qts) {
+                    *b = b.max(input.ctx.lb.pair_bound(qt, &ot));
+                }
+            }
             let mut exact = vec![false; n];
             // §4.3 extension: static attributes are exact from birth, so
             // a candidate can be discarded on them before any expansion.
             input.extend_with_attrs(obj, &mut lb);
             exact.resize(lb.len(), true);
+            // The frontier key must be the (possibly tightened) seed —
+            // the staleness check compares the key against `lb[0]`.
+            let key0 = lb[0];
             let idx = slab.len();
             slab.push(Cand {
                 obj,
@@ -272,8 +325,9 @@ fn run_mode(
                 exact,
                 version: 0,
                 dead: false,
+                expanded: false,
             });
-            frontier.push(Reverse((OrdF64::new(de), 0, idx)));
+            frontier.push(Reverse((OrdF64::new(key0), 0, idx)));
             candidates += 1;
         }
 
@@ -323,6 +377,9 @@ fn run_mode(
                         if !matches!(end, SessionEnd::Discarded) {
                             requeue!(slab, frontier, i2);
                         } else {
+                            if oracle_qts.is_some() {
+                                note_oracle_discard(reporter, input, &qpts, &skyline, &slab[i2]);
+                            }
                             slab[i2].dead = true;
                         }
                     }
@@ -395,7 +452,12 @@ fn run_mode(
             for (&i, end) in batch.iter().zip(&ends) {
                 record_session(reporter, slab[i].obj, end);
                 match end {
-                    SessionEnd::Discarded => slab[i].dead = true,
+                    SessionEnd::Discarded => {
+                        if oracle_qts.is_some() {
+                            note_oracle_discard(reporter, input, &qpts, &skyline, &slab[i]);
+                        }
+                        slab[i].dead = true;
+                    }
                     _ => {
                         debug_assert!(slab[i].fully_exact());
                         let vec = slab[i].lb.clone();
@@ -437,7 +499,12 @@ fn run_mode(
             );
             record_session(reporter, slab[idx].obj, &end);
             match end {
-                SessionEnd::Discarded => slab[idx].dead = true,
+                SessionEnd::Discarded => {
+                    if oracle_qts.is_some() {
+                        note_oracle_discard(reporter, input, &qpts, &skyline, &slab[idx]);
+                    }
+                    slab[idx].dead = true;
+                }
                 SessionEnd::Postponed | SessionEnd::SourceExact => {
                     requeue!(slab, frontier, idx);
                 }
@@ -566,6 +633,7 @@ fn session(
         if engine.target() != Some(cand.pos) {
             engine.set_target(cand.pos);
         }
+        cand.expanded = true;
         if use_plb {
             engine.advance();
             cand.lb[j] = cand.lb[j].max(engine.plb());
@@ -627,6 +695,7 @@ fn resolve_parallel(
     if use_plb && skyline.iter().any(|(_, s)| dominates(s, &cand.lb)) {
         return SessionEnd::Discarded;
     }
+    cand.expanded = true;
     let pos = cand.pos;
     let exact = &cand.exact;
     let results = rn_par::par_map_mut(engines, workers, |j, engine| {
@@ -698,6 +767,7 @@ fn resolve_batch(
         if ends[slot].is_some() {
             continue;
         }
+        slab[i].expanded = true;
         for (j, want) in wants.iter_mut().enumerate() {
             if !slab[i].exact[j] {
                 want.push((slot, slab[i].pos));

@@ -78,6 +78,7 @@ pub use engine::{
     SweepMode, UnresolvedCandidate,
 };
 pub use nnq::Aggregate;
+pub use rn_sp::{BoundKind, BoundSpec, LowerBound, OracleBuildStats};
 pub use stats::{QueryStats, Reporter, SkylinePoint};
 // Re-exported so trace consumers need no direct rn-obs dependency.
 pub use rn_obs::{

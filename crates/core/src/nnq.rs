@@ -122,7 +122,7 @@ impl SkylineEngine {
     }
 
     fn net_ctx(&self) -> NetCtx<'_> {
-        NetCtx::new(self.network(), self.store_ref(), self.mid_ref())
+        NetCtx::new(self.network(), self.store_ref(), self.mid_ref()).with_bound(self.bound_ref())
     }
 }
 
@@ -130,7 +130,7 @@ impl SkylineEngine {
 mod tests {
     use super::*;
     use crate::engine::SkylineEngine;
-    use rn_sp::oracle::position_distance_oracle;
+    use rn_sp::apsp_oracle::position_distance_oracle;
     use rn_workload::{generate_network, generate_objects, generate_queries, NetGenConfig};
 
     fn engine(seed: u64) -> (SkylineEngine, Vec<NetPosition>) {

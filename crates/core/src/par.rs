@@ -81,7 +81,7 @@ pub(crate) fn run_ce(
                 .collect();
             let ctxs: Vec<NetCtx<'_>> = sessions
                 .iter()
-                .map(|s| NetCtx::new(input.ctx.net, s, input.ctx.mid))
+                .map(|s| NetCtx::new(input.ctx.net, s, input.ctx.mid).with_bound(input.ctx.lb))
                 .collect();
             let mut ines: Vec<IncrementalExpansion<'_>> = my_qis
                 .iter()
@@ -287,7 +287,7 @@ pub(crate) fn run_edc(
             .collect();
         let ctxs: Vec<NetCtx<'_>> = sessions
             .iter()
-            .map(|s| NetCtx::new(input.ctx.net, s, input.ctx.mid))
+            .map(|s| NetCtx::new(input.ctx.net, s, input.ctx.mid).with_bound(input.ctx.lb))
             .collect();
         let mut engines: Vec<AStar<'_>> = my_dims
             .iter()

@@ -110,6 +110,24 @@ pub enum Metric {
     /// microseconds, accumulated across those retries (modeled, not
     /// slept — deterministic).
     StorageIoBackoffUs,
+    /// Lower-bound oracle: evaluations where the precomputed bound
+    /// (ALT landmarks or block tables) was strictly tighter than the
+    /// plain Euclidean bound.
+    SpLbOracleHits,
+    /// Lower-bound oracle: evaluations where the Euclidean bound was
+    /// already at least as tight and the oracle added nothing.
+    SpLbEuclidFallbacks,
+    /// Oracle preprocessing wall time in milliseconds. Wall-clock taint:
+    /// this metric is *registered* for the bench reports but never
+    /// recorded into a `QueryTrace` — traces stay bitwise deterministic.
+    OracleBuildMs,
+    /// Oracle index footprint in bytes (distance tables + block
+    /// assignments). Deterministic: a pure function of network + knobs.
+    OracleBuildBytes,
+    /// LBC: candidates discarded by the plb test whose seed vector was
+    /// tightened by the oracle, before any network expansion was spent
+    /// on them — the pruning the precompute paid for.
+    LbcPlbOracleDiscards,
 }
 
 /// String table for [`Metric`], indexed by discriminant.
@@ -146,12 +164,17 @@ pub const METRIC_NAMES: [&str; Metric::COUNT] = [
     "storage.io.injected_errors",
     "storage.io.retries",
     "storage.io.backoff_us",
+    "sp.lb.oracle_hits",
+    "sp.lb.euclid_fallbacks",
+    "oracle.build.ms",
+    "oracle.build.bytes",
+    "lbc.plb.oracle_discards",
     // metric-names:end
 ];
 
 impl Metric {
     /// Number of registered metrics.
-    pub const COUNT: usize = 27;
+    pub const COUNT: usize = 32;
 
     /// Every metric, in export order.
     pub const ALL: [Metric; Metric::COUNT] = [
@@ -182,6 +205,11 @@ impl Metric {
         Metric::StorageIoInjectedErrors,
         Metric::StorageIoRetries,
         Metric::StorageIoBackoffUs,
+        Metric::SpLbOracleHits,
+        Metric::SpLbEuclidFallbacks,
+        Metric::OracleBuildMs,
+        Metric::OracleBuildBytes,
+        Metric::LbcPlbOracleDiscards,
     ];
 
     /// The registered dotted name of this metric.

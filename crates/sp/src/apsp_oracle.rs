@@ -1,0 +1,178 @@
+//! Reference all-pairs distance oracles for the test suites (formerly
+//! `rn_sp::oracle`; renamed so the query-path lower-bound seam owns that
+//! name).
+//!
+//! These are deliberately naive — Floyd–Warshall over all node pairs — so
+//! they are obviously correct and usable as ground truth against the
+//! incremental engines. They are `O(|V|^3)` and meant for test networks of
+//! at most a few hundred nodes.
+
+use rn_graph::{NetPosition, RoadNetwork};
+
+/// All-pairs node distances via Floyd–Warshall. `result[a][b]` is the
+/// network distance between nodes `a` and `b` (`f64::INFINITY` when
+/// disconnected).
+// lint: allow(apsp) — test-only ground-truth oracle, never on the query path
+pub fn all_pairs_node_distances(g: &RoadNetwork) -> Vec<Vec<f64>> {
+    let n = g.node_count();
+    let mut d = vec![vec![f64::INFINITY; n]; n];
+    for (i, row) in d.iter_mut().enumerate() {
+        row[i] = 0.0;
+    }
+    for e in g.edges() {
+        let (u, v) = (e.u.idx(), e.v.idx());
+        if e.length < d[u][v] {
+            d[u][v] = e.length;
+            d[v][u] = e.length;
+        }
+    }
+    for k in 0..n {
+        for i in 0..n {
+            let dik = d[i][k];
+            if dik.is_infinite() {
+                continue;
+            }
+            // Split borrows: row k is read, row i is written.
+            let (ri, rk) = if i < k {
+                let (a, b) = d.split_at_mut(k);
+                (&mut a[i], &b[0][..])
+            } else if i > k {
+                let (a, b) = d.split_at_mut(i);
+                (&mut b[0], &a[k][..])
+            } else {
+                continue; // k == i never improves
+            };
+            for (dij, dkj) in ri.iter_mut().zip(rk) {
+                let cand = dik + dkj;
+                if cand < *dij {
+                    *dij = cand;
+                }
+            }
+        }
+    }
+    d
+}
+
+/// Builds a closure computing exact network distances between arbitrary
+/// on-edge positions, backed by a Floyd–Warshall matrix.
+///
+/// For positions `a` on edge `(u_a, v_a)` and `b` on edge `(u_b, v_b)`:
+///
+/// ```text
+/// d_N(a, b) = min over x in {u_a, v_a}, y in {u_b, v_b} of
+///                 d(a, x) + D[x][y] + d(y, b)
+/// ```
+///
+/// plus the direct along-edge distance `|off_a - off_b|` when the two
+/// positions share an edge.
+pub fn position_distance_oracle(
+    g: &RoadNetwork,
+) -> impl Fn(&NetPosition, &NetPosition) -> f64 + '_ {
+    let matrix = all_pairs_node_distances(g); // lint: allow(apsp) — test oracle
+    move |a: &NetPosition, b: &NetPosition| {
+        let ea = g.edge(a.edge);
+        let eb = g.edge(b.edge);
+        let (au, av) = g.position_endpoint_dists(a);
+        let (bu, bv) = g.position_endpoint_dists(b);
+        let mut best = if a.edge == b.edge {
+            (a.offset - b.offset).abs()
+        } else {
+            f64::INFINITY
+        };
+        for (x, dax) in [(ea.u, au), (ea.v, av)] {
+            for (y, dby) in [(eb.u, bu), (eb.v, bv)] {
+                let mid = matrix[x.idx()][y.idx()];
+                if mid.is_finite() {
+                    best = best.min(dax + mid + dby);
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rn_geom::{approx_eq, Point};
+    use rn_graph::{EdgeId, NetworkBuilder};
+
+    #[test]
+    fn floyd_warshall_on_a_square() {
+        // Unit square 0-1-3-2-0.
+        let mut b = NetworkBuilder::new();
+        let n0 = b.add_node(Point::new(0.0, 0.0));
+        let n1 = b.add_node(Point::new(1.0, 0.0));
+        let n2 = b.add_node(Point::new(0.0, 1.0));
+        let n3 = b.add_node(Point::new(1.0, 1.0));
+        b.add_straight_edge(n0, n1).unwrap();
+        b.add_straight_edge(n1, n3).unwrap();
+        b.add_straight_edge(n3, n2).unwrap();
+        b.add_straight_edge(n2, n0).unwrap();
+        let g = b.build().unwrap();
+        let d = all_pairs_node_distances(&g);
+        assert!(approx_eq(d[0][3], 2.0));
+        assert!(approx_eq(d[0][1], 1.0));
+        assert!(approx_eq(d[1][2], 2.0));
+        assert!(approx_eq(d[2][2], 0.0));
+    }
+
+    #[test]
+    fn position_oracle_same_edge_and_around() {
+        // Two parallel routes between endpoints: a short edge (length 1)
+        // and a long weighted edge (length 10).
+        let mut b = NetworkBuilder::new();
+        let n0 = b.add_node(Point::new(0.0, 0.0));
+        let n1 = b.add_node(Point::new(1.0, 0.0));
+        b.add_straight_edge(n0, n1).unwrap(); // edge 0: length 1
+        b.add_weighted_edge(n0, n1, 10.0).unwrap(); // edge 1: length 10
+        let g = b.build().unwrap();
+        let oracle = position_distance_oracle(&g);
+
+        // Two positions on the long edge near opposite ends: going around
+        // through the short edge beats walking the long edge directly.
+        let a = NetPosition::new(EdgeId(1), 0.5);
+        let c = NetPosition::new(EdgeId(1), 9.5);
+        // direct = 9.0; around = 0.5 + 1.0 + 0.5 = 2.0.
+        assert!(approx_eq(oracle(&a, &c), 2.0));
+
+        // Two nearby positions on the long edge: direct wins.
+        let d1 = NetPosition::new(EdgeId(1), 4.0);
+        let d2 = NetPosition::new(EdgeId(1), 5.0);
+        assert!(approx_eq(oracle(&d1, &d2), 1.0));
+    }
+
+    #[test]
+    fn disconnected_positions_are_infinite() {
+        let mut b = NetworkBuilder::new();
+        let n0 = b.add_node(Point::new(0.0, 0.0));
+        let n1 = b.add_node(Point::new(1.0, 0.0));
+        let n2 = b.add_node(Point::new(5.0, 0.0));
+        let n3 = b.add_node(Point::new(6.0, 0.0));
+        b.add_straight_edge(n0, n1).unwrap();
+        b.add_straight_edge(n2, n3).unwrap();
+        let g = b.build().unwrap();
+        let oracle = position_distance_oracle(&g);
+        let d = oracle(
+            &NetPosition::new(EdgeId(0), 0.5),
+            &NetPosition::new(EdgeId(1), 0.5),
+        );
+        assert!(d.is_infinite());
+    }
+
+    #[test]
+    fn oracle_is_symmetric() {
+        let mut b = NetworkBuilder::new();
+        let n0 = b.add_node(Point::new(0.0, 0.0));
+        let n1 = b.add_node(Point::new(3.0, 0.0));
+        let n2 = b.add_node(Point::new(3.0, 4.0));
+        b.add_straight_edge(n0, n1).unwrap();
+        b.add_straight_edge(n1, n2).unwrap();
+        b.add_straight_edge(n2, n0).unwrap();
+        let g = b.build().unwrap();
+        let oracle = position_distance_oracle(&g);
+        let a = NetPosition::new(EdgeId(0), 1.0);
+        let c = NetPosition::new(EdgeId(1), 2.5);
+        assert!(approx_eq(oracle(&a, &c), oracle(&c, &a)));
+    }
+}

@@ -19,9 +19,17 @@
 //!
 //! Retargeting keeps the settled map and the frontier's `g` values and
 //! merely re-keys the frontier heap under the new heuristic.
+//!
+//! The heuristic itself is pluggable: every evaluation goes through the
+//! context's [`LowerBound`] seam ([`NetCtx::lb`]). The default Euclidean
+//! bound reproduces the behaviour above bitwise; the precomputed oracles
+//! (`rn_sp::oracle`) are consistent too, so every property — exact
+//! settled `g`, reusable settled maps, monotone `plb` — carries over
+//! unchanged (DESIGN.md §14).
 
 use crate::ctx::NetCtx;
 use crate::nodemap::NodeMap;
+use crate::oracle::{LbTarget, LowerBound};
 use rn_geom::{OrdF64, Point};
 use rn_graph::{NetPosition, NodeId};
 use rn_storage::AdjRecord;
@@ -31,7 +39,9 @@ use std::collections::BinaryHeap;
 /// Per-target state.
 struct Target {
     pos: NetPosition,
-    point: Point,
+    /// The target anchored for lower-bound evaluation (edge endpoints,
+    /// along-edge offsets, planar point).
+    lbt: LbTarget,
     /// Best *known* (upper-bound) path to the target: same-edge direct
     /// path or via a settled endpoint of the target edge.
     known: f64,
@@ -42,19 +52,16 @@ struct Target {
 /// Per-target state inside a multi-target pack sweep
 /// ([`AStar::distances_to_pack`]).
 struct PackTarget {
-    point: Point,
-    /// Target-edge endpoints and the along-edge offsets from each to the
-    /// target position (cached so the per-pop scan stays arithmetic-only).
-    eu: NodeId,
-    ev: NodeId,
-    tu: f64,
-    tv: f64,
+    /// The target anchored for lower-bound evaluation: planar point,
+    /// edge endpoints and the along-edge offsets from each (cached so
+    /// the per-pop scan stays arithmetic-only).
+    lbt: LbTarget,
     /// Best known (upper-bound) path; equals the exact network distance
     /// once `resolved`.
     known: f64,
     /// Whether this target is part of the current *heuristic epoch*: the
     /// target set the live heap keys were computed over. A resolved
-    /// target stays in the epoch (its `d_E` keeps contributing to the
+    /// target stays in the epoch (its bound keeps contributing to the
     /// pushed `h`, which is still a min of consistent heuristics, hence
     /// consistent — settling stays exact) until a popped node turns out
     /// to have been steered by a resolved target; only then is the heap
@@ -63,20 +70,26 @@ struct PackTarget {
     resolved: bool,
 }
 
-/// Index of the epoch target nearest to `p` in the Euclidean plane — the
-/// minimizer defining the pack heuristic `h(p)` for new heap keys. Ties
-/// break to the lowest index; `None` when the epoch is empty.
-fn pack_argmin(ts: &[PackTarget], p: Point) -> Option<usize> {
+/// Epoch target whose lower bound from node `n` (at point `p`) is
+/// smallest, with that bound — the minimizer defining the pack heuristic
+/// `h(n)` for new heap keys. A min of consistent bounds is consistent.
+/// Ties break to the lowest index; `None` when the epoch is empty.
+fn pack_argmin(
+    lb: &dyn LowerBound,
+    ts: &[PackTarget],
+    n: NodeId,
+    p: Point,
+) -> Option<(usize, f64)> {
     let mut h = f64::INFINITY;
     let mut arg = None;
     for (j, t) in ts.iter().enumerate() {
         if !t.in_epoch {
             continue;
         }
-        let d = p.distance(&t.point);
+        let d = lb.node_bound(n, p, &t.lbt);
         if d < h {
             h = d;
-            arg = Some(j);
+            arg = Some((j, d));
         }
     }
     arg
@@ -270,32 +283,30 @@ impl<'a> AStar<'a> {
     /// settled. Any previous target is abandoned.
     pub fn set_target(&mut self, pos: NetPosition) {
         self.retargets += 1;
-        let point = self.ctx.net.position_point(&pos);
+        let lbt = LbTarget::of(self.ctx.net, &pos);
         let mut known = f64::INFINITY;
         if pos.edge == self.source.edge {
             known = (pos.offset - self.source.offset).abs();
         }
-        let edge = self.ctx.net.edge(pos.edge);
-        let (tu, tv) = self.ctx.net.position_endpoint_dists(&pos);
-        if let Some(du) = self.dist.get_copied(edge.u) {
-            known = known.min(du + tu);
+        if let Some(du) = self.dist.get_copied(lbt.eu) {
+            known = known.min(du + lbt.tu);
         }
-        if let Some(dv) = self.dist.get_copied(edge.v) {
-            known = known.min(dv + tv);
+        if let Some(dv) = self.dist.get_copied(lbt.ev) {
+            known = known.min(dv + lbt.tv);
         }
         // Rebuild the frontier heap with the new heuristic. NodeMap::iter
         // walks only touched nodes, so a retarget costs O(|frontier|), not
         // O(|V|).
         self.heap.clear();
         for (n, &(g, p)) in self.open.iter() {
-            let key = g + p.distance(&point);
+            let key = g + self.ctx.lb.node_bound(n, p, &lbt);
             self.heap
                 .push(Reverse((OrdF64::new(key), OrdF64::new(g), n)));
         }
         let plb = known.min(self.frontier_key().unwrap_or(f64::INFINITY));
         self.target = Some(Target {
             pos,
-            point,
+            lbt,
             known,
             plb,
         });
@@ -398,19 +409,17 @@ impl<'a> AStar<'a> {
         // the target is now known.
         {
             let t = self.target.as_mut().expect("advance requires a target");
-            let edge = self.ctx.net.edge(t.pos.edge);
-            let (tu, tv) = self.ctx.net.position_endpoint_dists(&t.pos);
-            if n == edge.u {
-                t.known = t.known.min(g + tu);
+            if n == t.lbt.eu {
+                t.known = t.known.min(g + t.lbt.tu);
             }
-            if n == edge.v {
-                t.known = t.known.min(g + tv);
+            if n == t.lbt.ev {
+                t.known = t.known.min(g + t.lbt.tv);
             }
         }
 
         // Expand: one counted page access.
         self.ctx.store.read_adjacency_into(n, &mut self.rec);
-        let tpoint = self.target.as_ref().expect("target set").point;
+        let lbt = self.target.as_ref().expect("target set").lbt;
         for i in 0..self.rec.entries.len() {
             let ent = self.rec.entries[i];
             if self.dist.contains(ent.node) {
@@ -423,7 +432,7 @@ impl<'a> AStar<'a> {
             };
             if better {
                 self.open.insert(ent.node, (ng, ent.point));
-                let key = ng + ent.point.distance(&tpoint);
+                let key = ng + self.ctx.lb.node_bound(ent.node, ent.point, &lbt);
                 self.heap
                     .push(Reverse((OrdF64::new(key), OrdF64::new(ng), ent.node)));
             }
@@ -485,31 +494,25 @@ impl<'a> AStar<'a> {
         let mut ts: Vec<PackTarget> = positions
             .iter()
             .map(|&pos| {
-                let point = self.ctx.net.position_point(&pos);
-                let edge = self.ctx.net.edge(pos.edge);
-                let (tu, tv) = self.ctx.net.position_endpoint_dists(&pos);
+                let lbt = LbTarget::of(self.ctx.net, &pos);
                 let mut known = f64::INFINITY;
                 if pos.edge == self.source.edge {
                     known = (pos.offset - self.source.offset).abs();
                 }
-                let du = self.dist.get_copied(edge.u);
-                let dv = self.dist.get_copied(edge.v);
+                let du = self.dist.get_copied(lbt.eu);
+                let dv = self.dist.get_copied(lbt.ev);
                 if let Some(d) = du {
-                    known = known.min(d + tu);
+                    known = known.min(d + lbt.tu);
                 }
                 if let Some(d) = dv {
-                    known = known.min(d + tv);
+                    known = known.min(d + lbt.tv);
                 }
                 // Endpoint exactness: every route to a position on edge
                 // (u, v) goes through u, through v, or along the source's
                 // own edge, so two settled endpoints make `known` final.
                 let resolved = du.is_some() && dv.is_some();
                 PackTarget {
-                    point,
-                    eu: edge.u,
-                    ev: edge.v,
-                    tu,
-                    tv,
+                    lbt,
                     known,
                     in_epoch: !resolved,
                     resolved,
@@ -546,7 +549,7 @@ impl<'a> AStar<'a> {
                 // frontier continuation to every pack target (the epoch
                 // min ranges over a superset), so `known <= fmin` proves
                 // exactness; so do two settled target-edge endpoints.
-                let exact = self.dist.contains(t.eu) && self.dist.contains(t.ev);
+                let exact = self.dist.contains(t.lbt.eu) && self.dist.contains(t.lbt.ev);
                 let done = exact
                     || match fmin {
                         None => true,
@@ -594,8 +597,8 @@ impl<'a> AStar<'a> {
             let steered_dead = self
                 .open
                 .get(n)
-                .and_then(|&(_, p)| pack_argmin(&ts, p))
-                .is_some_and(|j| ts[j].resolved);
+                .and_then(|&(_, p)| pack_argmin(self.ctx.lb, &ts, n, p))
+                .is_some_and(|(j, _)| ts[j].resolved);
             self.open.remove(n);
             self.dist.insert(n, g);
             self.expansions += 1;
@@ -604,11 +607,11 @@ impl<'a> AStar<'a> {
                 if t.resolved {
                     continue;
                 }
-                if n == t.eu {
-                    t.known = t.known.min(g + t.tu);
+                if n == t.lbt.eu {
+                    t.known = t.known.min(g + t.lbt.tu);
                 }
-                if n == t.ev {
-                    t.known = t.known.min(g + t.tv);
+                if n == t.lbt.ev {
+                    t.known = t.known.min(g + t.lbt.tv);
                 }
             }
 
@@ -626,8 +629,7 @@ impl<'a> AStar<'a> {
                 };
                 if better {
                     self.open.insert(ent.node, (ng, ent.point));
-                    if let Some(arg) = pack_argmin(&ts, ent.point) {
-                        let h = ent.point.distance(&ts[arg].point);
+                    if let Some((_, h)) = pack_argmin(self.ctx.lb, &ts, ent.node, ent.point) {
                         self.heap
                             .push(Reverse((OrdF64::new(ng + h), OrdF64::new(ng), ent.node)));
                     }
@@ -659,10 +661,9 @@ impl<'a> AStar<'a> {
         }
         self.heap.clear();
         for (n, &(g, p)) in self.open.iter() {
-            let Some(arg) = pack_argmin(ts, p) else {
+            let Some((_, h)) = pack_argmin(self.ctx.lb, ts, n, p) else {
                 continue;
             };
-            let h = p.distance(&ts[arg].point);
             self.heap
                 .push(Reverse((OrdF64::new(g + h), OrdF64::new(g), n)));
         }
@@ -671,11 +672,11 @@ impl<'a> AStar<'a> {
                 if t.resolved {
                     continue;
                 }
-                if let Some(&(g, _)) = self.open.get(t.eu) {
-                    t.known = t.known.min(g + t.tu);
+                if let Some(&(g, _)) = self.open.get(t.lbt.eu) {
+                    t.known = t.known.min(g + t.lbt.tu);
                 }
-                if let Some(&(g, _)) = self.open.get(t.ev) {
-                    t.known = t.known.min(g + t.tv);
+                if let Some(&(g, _)) = self.open.get(t.lbt.ev) {
+                    t.known = t.known.min(g + t.lbt.tv);
                 }
             }
         }
@@ -1155,6 +1156,65 @@ mod tests {
             }
             assert_eq!(reused.expansions(), fresh.expansions(), "round {round}");
             assert_eq!(reused.retargets(), fresh.retargets(), "round {round}");
+        }
+    }
+
+    #[test]
+    fn oracle_bounds_preserve_distances_bitwise() {
+        // The seam contract: swapping the Euclidean bound for a
+        // precomputed consistent oracle changes how *fast* targets
+        // resolve, never what distance comes back — exact distances are
+        // settled `g` values, which only depend on edge relaxations.
+        use crate::oracle::{AltOracle, BlockOracle, LowerBound};
+        for seed in 0..3u64 {
+            let g = random_net(70, seed + 500);
+            let store = NetworkStore::build(&g);
+            let mid = MiddleLayer::build(&g, &[]);
+            let alt = AltOracle::build(&g, &store, &mid, 8);
+            let block = BlockOracle::build(&g, &store, &mid, 16, 0.5);
+            let mut rng = StdRng::seed_from_u64(seed + 41);
+            let src = rand_pos(&g, &mut rng);
+            let singles: Vec<NetPosition> = (0..6).map(|_| rand_pos(&g, &mut rng)).collect();
+            let pack: Vec<NetPosition> = (0..6).map(|_| rand_pos(&g, &mut rng)).collect();
+
+            let ctx_e = NetCtx::new(&g, &store, &mid);
+            let mut euclid = AStar::new(&ctx_e, src);
+            let want_single: Vec<f64> = singles.iter().map(|&t| euclid.distance_to(t)).collect();
+            let want_pack = euclid.distances_to_pack(&pack);
+
+            for oracle in [&alt as &dyn LowerBound, &block as &dyn LowerBound] {
+                let ctx_o = NetCtx::new(&g, &store, &mid).with_bound(oracle);
+                let mut with_oracle = AStar::new(&ctx_o, src);
+                for (i, &t) in singles.iter().enumerate() {
+                    let got = with_oracle.distance_to(t);
+                    assert_eq!(
+                        got.to_bits(),
+                        want_single[i].to_bits(),
+                        "{:?} seed {seed} single[{i}]: {got} vs {}",
+                        oracle.kind(),
+                        want_single[i]
+                    );
+                }
+                let got_pack = with_oracle.distances_to_pack(&pack);
+                for (i, (a, b)) in got_pack.iter().zip(&want_pack).enumerate() {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "{:?} seed {seed} pack[{i}]",
+                        oracle.kind()
+                    );
+                }
+                // A tighter consistent heuristic shrinks the expanded
+                // region {v : g(v) + h(v) < d}; aggregated over the whole
+                // workload the oracle never does more work than Euclid.
+                assert!(
+                    with_oracle.expansions() <= euclid.expansions(),
+                    "{:?} seed {seed}: oracle expanded {} > Euclid {}",
+                    oracle.kind(),
+                    with_oracle.expansions(),
+                    euclid.expansions()
+                );
+            }
         }
     }
 

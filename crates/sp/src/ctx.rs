@@ -1,6 +1,7 @@
 //! The shared query context: network metadata, counted storage, and the
 //! object middle layer, bundled so algorithm signatures stay small.
 
+use crate::oracle::{LowerBound, EUCLID};
 use rn_geom::Point;
 use rn_graph::{NetPosition, RoadNetwork};
 use rn_index::MiddleLayer;
@@ -33,16 +34,23 @@ pub struct NetCtx<'a> {
     /// worker contexts carry `None` so tripping stays coordinator-side
     /// and worker-count independent (DESIGN.md §12).
     pub guard: Option<&'a ExecGuard>,
+    /// The network-distance lower bound feeding the A\* heuristic and the
+    /// pruning rules. Defaults to the Euclidean bound ([`EUCLID`]), which
+    /// reproduces the paper's engines bitwise; [`NetCtx::with_bound`]
+    /// swaps in a precomputed oracle (DESIGN.md §14).
+    pub lb: &'a dyn LowerBound,
 }
 
 impl<'a> NetCtx<'a> {
-    /// Bundles the three substrate references, with no budget guard.
+    /// Bundles the three substrate references, with no budget guard and
+    /// the Euclidean lower bound.
     pub fn new(net: &'a RoadNetwork, store: &'a NetworkStore, mid: &'a MiddleLayer) -> Self {
         NetCtx {
             net,
             store,
             mid,
             guard: None,
+            lb: &EUCLID,
         }
     }
 
@@ -59,7 +67,14 @@ impl<'a> NetCtx<'a> {
             store,
             mid,
             guard,
+            lb: &EUCLID,
         }
+    }
+
+    /// Returns the context with its lower bound replaced (builder-style).
+    pub fn with_bound(mut self, lb: &'a dyn LowerBound) -> Self {
+        self.lb = lb;
+        self
     }
 
     /// `true` once the context's guard (if any) has tripped: the query

@@ -195,7 +195,7 @@ impl<'a> IncrementalExpansion<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::oracle::position_distance_oracle;
+    use crate::apsp_oracle::position_distance_oracle;
     use rand::prelude::*;
     use rand::rngs::StdRng;
     use rn_geom::{approx_eq, Point};

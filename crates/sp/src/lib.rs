@@ -17,7 +17,11 @@
 //!   quantity — the **path-distance lower bound** `plb` (§4.3) — so LBC can
 //!   advance the cheapest frontier one step at a time and stop the moment a
 //!   candidate is provably dominated;
-//! * **reference oracles** ([`oracle`]) — Floyd–Warshall all-pairs and
+//! * **lower-bound oracles** ([`oracle`]) — a pluggable [`oracle::LowerBound`]
+//!   seam feeding the A\* heuristic and the skyline pruning rules: the
+//!   zero-cost Euclidean bound (default), ALT landmark triangle bounds and
+//!   Hilbert-block distance tables;
+//! * **reference oracles** ([`apsp_oracle`]) — Floyd–Warshall all-pairs and
 //!   position-to-position distances — used only by the test suites.
 //!
 //! All expansion I/O goes through [`rn_storage::NetworkStore`], so every
@@ -26,6 +30,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+// lint: allow(apsp) — module *name* only: the test-only Floyd–Warshall
+// reference oracle, renamed so the query-path lower-bound seam owns `oracle`.
+pub mod apsp_oracle;
 pub mod astar;
 pub mod ctx;
 pub mod dijkstra;
@@ -39,4 +46,8 @@ pub use ctx::{NetCtx, QueryPoint};
 pub use dijkstra::Dijkstra;
 pub use ine::IncrementalExpansion;
 pub use nodemap::NodeMap;
+pub use oracle::{
+    AltOracle, BlockOracle, BoundKind, BoundSpec, EuclidBound, LbCounters, LbTarget, LowerBound,
+    OracleBuildStats, EUCLID,
+};
 pub use path::{NetPath, PathFinder};

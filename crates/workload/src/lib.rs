@@ -30,6 +30,6 @@ pub mod radial;
 
 pub use netgen::{generate_network, NetGenConfig};
 pub use objects::{generate_objects, read_positions, write_positions};
-pub use presets::{au_like, ca_like, na_like, Preset};
+pub use presets::{au_like, ca_like, na_like, OracleKnobs, Preset};
 pub use queries::generate_queries;
 pub use radial::{generate_radial_network, RadialConfig};

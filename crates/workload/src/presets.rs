@@ -79,6 +79,42 @@ impl Preset {
     pub fn generate(self, seed: u64) -> RoadNetwork {
         generate_network(&self.config(seed))
     }
+
+    /// Lower-bound oracle knobs tuned to this preset's density
+    /// (DESIGN.md §14): sparse nets afford more landmarks and finer
+    /// blocks per node; dense nets cap the precomputation instead.
+    pub fn oracle_knobs(self) -> OracleKnobs {
+        match self {
+            Preset::Ca => OracleKnobs {
+                landmarks: 16,
+                block_fanout: 64,
+                block_tolerance: 0.5,
+            },
+            Preset::Au => OracleKnobs {
+                landmarks: 12,
+                block_fanout: 256,
+                block_tolerance: 0.5,
+            },
+            Preset::Na => OracleKnobs {
+                landmarks: 8,
+                block_fanout: 1024,
+                block_tolerance: 0.5,
+            },
+        }
+    }
+}
+
+/// Per-preset construction parameters for the ALT and block-pair
+/// lower-bound oracles.
+#[derive(Clone, Copy, Debug)]
+pub struct OracleKnobs {
+    /// ALT landmark count (farthest-point seeded).
+    pub landmarks: usize,
+    /// Block-pair oracle: target nodes per Hilbert block.
+    pub block_fanout: usize,
+    /// Block-pair oracle: refinement stops once this fraction of sampled
+    /// pairs is Euclidean-tight.
+    pub block_tolerance: f64,
 }
 
 /// California-like network (sparse; 3 080 nodes, 3 607 edges).

@@ -8,6 +8,9 @@ pub fn lookups(t: &rn_obs::QueryTrace) {
     let _ = t.get_name("query.skyline.sizes"); // typo: fires
     let _ = t.get_name("sp.astar.pack.sweeps"); // registered (pack): clean
     let _ = t.get_name("sp.astar.pack.rekeys"); // truncated pack name: fires
+    let _ = t.get_name("sp.lb.oracle_hits"); // registered (oracle): clean
+    let _ = t.get_name("lbc.plb.oracle_discards"); // registered (oracle): clean
+    let _ = rn_obs::Metric::from_name("oracle.build.bytez"); // typo: fires
     let name = std::env::var("METRIC").unwrap_or_default();
     let _ = rn_obs::Metric::from_name(&name); // non-literal: clean
     // lint: allow(metric-name) — deliberate negative probe

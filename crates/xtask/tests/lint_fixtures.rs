@@ -146,7 +146,12 @@ fn metric_name_fixture_fires() {
     got.sort_unstable();
     assert_eq!(
         got,
-        vec![(7, "metric-name"), (8, "metric-name"), (10, "metric-name")],
+        vec![
+            (7, "metric-name"),
+            (8, "metric-name"),
+            (10, "metric-name"),
+            (13, "metric-name"),
+        ],
         "got: {v:?}"
     );
 }

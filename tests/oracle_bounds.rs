@@ -1,0 +1,125 @@
+//! Lower-bound oracle contracts (ISSUE 7, satellite c).
+//!
+//! Property-checks the two obligations DESIGN.md §14 places on every
+//! [`rn_sp::LowerBound`] implementation, against brute-force APSP truth:
+//!
+//! * **admissibility** — the bound never exceeds the true network
+//!   distance, for node-to-position bounds (`node_bound`) and
+//!   position-to-position bounds (`pair_bound`);
+//! * **consistency** — `node_bound(u, t) <= w(u, v) + node_bound(v, t)`
+//!   across every edge, the triangle condition that keeps A\*'s heap
+//!   keys monotone (and its settled distances exact) under any oracle.
+//!
+//! The CI contracts job runs this suite alongside the
+//! `invariant-checks` feature legs, so the same properties are also
+//! asserted live on every A\* heap pop during the equivalence tests.
+
+use proptest::prelude::*;
+use rn_geom::EPSILON;
+use rn_graph::{EdgeId, NetPosition, NodeId, RoadNetwork};
+use rn_index::MiddleLayer;
+use rn_sp::apsp_oracle::{all_pairs_node_distances, position_distance_oracle};
+use rn_sp::{AltOracle, BlockOracle, LbTarget, LowerBound};
+use rn_storage::NetworkStore;
+use rn_workload::{generate_network, NetGenConfig};
+
+fn net_for(seed: u64, cols: usize, rows: usize) -> RoadNetwork {
+    generate_network(&NetGenConfig {
+        cols,
+        rows,
+        edges: cols * rows * 2,
+        jitter: 0.3,
+        detour_prob: 0.4,
+        detour_stretch: (1.1, 1.6),
+        seed,
+    })
+}
+
+/// A deterministic spread of on-edge positions: edge indices stride the
+/// edge list, offsets alternate along the edge.
+fn sample_positions(net: &RoadNetwork, count: usize) -> Vec<NetPosition> {
+    let ec = net.edge_count();
+    let stride = (ec / count).max(1);
+    (0..ec)
+        .step_by(stride)
+        .enumerate()
+        .map(|(k, i)| {
+            let e = EdgeId(i as u32);
+            let frac = [0.0, 0.25, 0.5, 0.75, 1.0][k % 5];
+            NetPosition::new(e, frac * net.edge(e).length)
+        })
+        .collect()
+}
+
+/// True network distance from node `u` to an anchored position: every
+/// path enters through one of the two endpoints.
+fn node_to_target(apsp: &[Vec<f64>], u: NodeId, t: &LbTarget) -> f64 {
+    let via_u = apsp[u.idx()][t.eu.idx()] + t.tu;
+    let via_v = apsp[u.idx()][t.ev.idx()] + t.tv;
+    via_u.min(via_v)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn oracle_bounds_are_admissible_and_consistent(
+        seed in 0u64..500,
+        cols in 4usize..7,
+        rows in 4usize..7,
+    ) {
+        let net = net_for(seed, cols, rows);
+        let store = NetworkStore::build(&net);
+        let mid = MiddleLayer::build(&net, &[]);
+        let alt = AltOracle::build(&net, &store, &mid, 5);
+        let block = BlockOracle::build(&net, &store, &mid, 8, 0.5);
+        let apsp = all_pairs_node_distances(&net);
+        let pos_truth = position_distance_oracle(&net);
+        let positions = sample_positions(&net, 11);
+        let targets: Vec<LbTarget> = positions.iter().map(|p| LbTarget::of(&net, p)).collect();
+        let bounds: [(&str, &dyn LowerBound); 2] = [("alt", &alt), ("block", &block)];
+
+        for (name, lb) in bounds {
+            // pair_bound admissibility on position pairs.
+            for (i, (pa, ta)) in positions.iter().zip(&targets).enumerate() {
+                for (pb, tb) in positions.iter().zip(&targets).skip(i) {
+                    let got = lb.pair_bound(ta, tb);
+                    let truth = pos_truth(pa, pb);
+                    prop_assert!(
+                        got <= truth + EPSILON,
+                        "{name}: pair bound {got} > d_N {truth} ({pa:?} -> {pb:?})"
+                    );
+                }
+            }
+            // node_bound admissibility from a stride of source nodes.
+            let n = net.node_count();
+            for u in (0..n).step_by((n / 17).max(1)).map(|i| NodeId(i as u32)) {
+                for t in &targets {
+                    let got = lb.node_bound(u, net.point(u), t);
+                    let truth = node_to_target(&apsp, u, t);
+                    prop_assert!(
+                        got <= truth + EPSILON,
+                        "{name}: node bound {got} > d_N {truth} (node {u:?} -> {t:?})"
+                    );
+                }
+            }
+            // Consistency across every edge, for every sampled target.
+            for (ei, e) in net.edges().iter().enumerate() {
+                for t in &targets {
+                    let bu = lb.node_bound(e.u, net.point(e.u), t);
+                    let bv = lb.node_bound(e.v, net.point(e.v), t);
+                    prop_assert!(
+                        bu <= e.length + bv + EPSILON,
+                        "{name}: inconsistent at edge {ei}: {bu} > {} + {bv}",
+                        e.length
+                    );
+                    prop_assert!(
+                        bv <= e.length + bu + EPSILON,
+                        "{name}: inconsistent at edge {ei} (rev): {bv} > {} + {bu}",
+                        e.length
+                    );
+                }
+            }
+        }
+    }
+}

@@ -10,7 +10,7 @@
 use rn_geom::Mbr;
 use rn_graph::{NetPosition, ObjectId};
 use rn_index::{MiddleLayer, RTree};
-use rn_sp::{oracle, AStar, Dijkstra, IncrementalExpansion, NetCtx};
+use rn_sp::{apsp_oracle as oracle, AStar, Dijkstra, IncrementalExpansion, NetCtx};
 use rn_storage::NetworkStore;
 use rn_workload::{generate_network, generate_objects, generate_queries, NetGenConfig};
 
