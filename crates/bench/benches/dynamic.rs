@@ -1,0 +1,8 @@
+//! Dynamic-maintenance comparison: incremental skyline upkeep vs
+//! from-scratch recomputation under churn, emitting `BENCH_8.json`. Run
+//! with `cargo bench -p rn-bench --bench dynamic`. Environment knobs:
+//! `MSQ_SEEDS`.
+
+fn main() {
+    rn_bench::dynamic::dynamic_report();
+}

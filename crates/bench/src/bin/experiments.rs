@@ -38,6 +38,9 @@ fn main() {
     if want("oracle") {
         rn_bench::oracle::oracle_report();
     }
+    if want("dynamic") {
+        rn_bench::dynamic::dynamic_report();
+    }
     if want("obs") || want("observability") {
         rn_bench::observability::observability();
     }

@@ -11,6 +11,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod dynamic;
 pub mod figures;
 pub mod harness;
 pub mod observability;

@@ -34,10 +34,20 @@ pub(crate) fn run(input: &QueryInput<'_>, reporter: &mut Reporter) -> AlgoOutput
         input.extend_with_attrs(ObjectId(i as u32), v);
     }
 
+    // Retired slots (objects deleted by the dynamic layer) never receive a
+    // distance — their all-infinite vectors would tie with each other and
+    // leak into the skyline, so the adjudication runs over live slots only
+    // and maps winners back to their stable ids.
+    let live: Vec<usize> = (0..m)
+        .filter(|&i| input.ctx.mid.is_live(ObjectId(i as u32)))
+        .collect();
+    let rows: Vec<Vec<f64>> = live.iter().map(|&i| vectors[i].clone()).collect();
+
     // Objects unreachable from some query point keep infinite coordinates;
     // they can still be skyline members only if no reachable object
     // dominates them, which `brute_force_skyline` handles naturally.
-    for i in brute_force_skyline(&vectors) {
+    for k in brute_force_skyline(&rows) {
+        let i = live[k];
         reporter.report(SkylinePoint {
             object: ObjectId(i as u32),
             vector: vectors[i].clone(),
@@ -45,7 +55,7 @@ pub(crate) fn run(input: &QueryInput<'_>, reporter: &mut Reporter) -> AlgoOutput
     }
 
     AlgoOutput {
-        candidates: m,
+        candidates: live.len(),
         nodes_expanded: expanded,
         partial: None,
     }

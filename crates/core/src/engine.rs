@@ -224,6 +224,9 @@ pub struct SkylineEngine {
     /// Euclidean by default; [`SkylineEngine::set_bound`] swaps in a
     /// precomputed oracle (DESIGN.md §14).
     bound: Box<dyn LowerBound>,
+    /// The spec `bound` was built from — what [`crate::DynamicEngine`]
+    /// re-runs when a weight decrease forces an oracle rebuild.
+    bound_spec: BoundSpec,
 }
 
 impl SkylineEngine {
@@ -238,15 +241,23 @@ impl SkylineEngine {
         objects: Vec<NetPosition>,
         buffer_bytes: usize,
     ) -> Self {
-        let store = NetworkStore::with_buffer_bytes(&net, buffer_bytes);
         let mid = MiddleLayer::build(&net, &objects);
-        let obj_tree = RTree::bulk_load(
-            mid.all_points()
-                .iter()
-                .enumerate()
-                .map(|(i, p)| (Mbr::from_point(*p), ObjectId(i as u32)))
-                .collect(),
-        );
+        Self::from_parts(net, mid, buffer_bytes)
+    }
+
+    /// Builds an engine over an explicit slot layout — `None` entries are
+    /// retired object ids (tombstones). This is how the from-scratch
+    /// baseline for a [`crate::DynamicEngine`] is constructed: it keeps the
+    /// dense id space of the mutated dataset, so incremental and scratch
+    /// skylines compare bitwise over the same [`ObjectId`]s.
+    pub fn build_slots(net: RoadNetwork, slots: &[Option<NetPosition>]) -> Self {
+        let mid = MiddleLayer::build_slots(&net, slots);
+        Self::from_parts(net, mid, rn_storage::buffer::DEFAULT_BUFFER_BYTES)
+    }
+
+    fn from_parts(net: RoadNetwork, mid: MiddleLayer, buffer_bytes: usize) -> Self {
+        let store = NetworkStore::with_buffer_bytes(&net, buffer_bytes);
+        let obj_tree = Self::tree_of(&mid);
         let edge_locator = rn_index::EdgeLocator::build(&net);
         SkylineEngine {
             net,
@@ -255,7 +266,22 @@ impl SkylineEngine {
             obj_tree,
             edge_locator,
             bound: Box::new(EuclidBound),
+            bound_spec: BoundSpec::Euclid,
         }
+    }
+
+    /// Bulk-loads the object R-tree over the *live* slots of a middle
+    /// layer — retired ids hold placeholder points and must not be
+    /// discoverable through the index.
+    pub(crate) fn tree_of(mid: &MiddleLayer) -> RTree<ObjectId> {
+        RTree::bulk_load(
+            mid.all_points()
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mid.is_live(ObjectId(*i as u32)))
+                .map(|(i, p)| (Mbr::from_point(*p), ObjectId(i as u32)))
+                .collect(),
+        )
     }
 
     /// Builds (or clears) the network-distance lower-bound oracle every
@@ -271,6 +297,7 @@ impl SkylineEngine {
     /// (DESIGN.md §14).
     pub fn set_bound(&mut self, spec: BoundSpec) -> OracleBuildStats {
         let started = Stopwatch::start();
+        self.bound_spec = spec;
         self.bound = match spec {
             BoundSpec::Euclid => Box::new(EuclidBound),
             BoundSpec::Alt { landmarks } => Box::new(AltOracle::build(
@@ -299,6 +326,11 @@ impl SkylineEngine {
         self.bound.kind()
     }
 
+    /// The spec the active bound was built from.
+    pub fn bound_spec(&self) -> BoundSpec {
+        self.bound_spec
+    }
+
     /// The active lower bound (for callers assembling their own contexts).
     pub fn bound_ref(&self) -> &dyn LowerBound {
         self.bound.as_ref()
@@ -317,6 +349,26 @@ impl SkylineEngine {
     /// The network position of an object.
     pub fn object_position(&self, object: ObjectId) -> NetPosition {
         self.mid.position(object)
+    }
+
+    /// Mutable access to the dataset substrates, for the dynamic layer
+    /// only: edge weights, the disk image behind the store, the middle
+    /// layer and the object R-tree must change together, and
+    /// [`crate::DynamicEngine`] owns that protocol (DESIGN.md §15).
+    pub(crate) fn substrates_mut(
+        &mut self,
+    ) -> (
+        &mut RoadNetwork,
+        &mut NetworkStore,
+        &mut MiddleLayer,
+        &mut RTree<ObjectId>,
+    ) {
+        (
+            &mut self.net,
+            &mut self.store,
+            &mut self.mid,
+            &mut self.obj_tree,
+        )
     }
 
     /// Pages occupied by the network on the simulated disk.

@@ -64,6 +64,7 @@ pub mod attrs;
 pub mod batch;
 pub mod brute;
 pub mod ce;
+pub mod dynamic;
 pub mod edc;
 pub mod engine;
 pub mod lbc;
@@ -73,6 +74,7 @@ pub mod stats;
 
 pub use attrs::AttrTable;
 pub use batch::{BatchEngine, BatchOutcome};
+pub use dynamic::{DynamicConfig, DynamicEngine, MaintenanceOutcome, OracleMaintenance, QueryId};
 pub use engine::{
     Algorithm, Completion, PartialInfo, QueryInput, SkylineEngine, SkylineResult, SourceStrategy,
     SweepMode, UnresolvedCandidate,

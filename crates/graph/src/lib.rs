@@ -27,10 +27,12 @@
 
 pub mod builder;
 pub mod connectivity;
+pub mod delta;
 pub mod hilbert;
 pub mod io;
 pub mod network;
 pub mod normalize;
 
 pub use builder::NetworkBuilder;
+pub use delta::{Update, UpdateBatch};
 pub use network::{Edge, EdgeId, NetPosition, Node, NodeId, ObjectId, RoadNetwork};

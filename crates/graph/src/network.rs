@@ -72,17 +72,21 @@ pub struct Node {
 
 /// An undirected road segment between two junctions.
 ///
-/// `length` is the arc length of `geometry` and is always at least the
-/// Euclidean distance between the endpoint junctions — the invariant that
-/// makes the Euclidean A* heuristic *consistent* (validated at build time by
-/// [`crate::NetworkBuilder`]).
+/// `length` is the network-metric *weight* of the segment. At build time it
+/// equals the arc length of `geometry` (or a caller-chosen stretch of it),
+/// and it is always at least the Euclidean distance between the endpoint
+/// junctions — the invariant that makes the Euclidean A* heuristic
+/// *consistent* (validated at build time by [`crate::NetworkBuilder`]).
+/// Dynamic weight updates ([`RoadNetwork::set_edge_weight`]) may raise it
+/// without bound but never push it below the geometry arc length.
 #[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
 pub struct Edge {
     /// One endpoint junction ("u side"; geometry starts here).
     pub u: NodeId,
     /// The other endpoint junction ("v side"; geometry ends here).
     pub v: NodeId,
-    /// Arc length of `geometry` — the network-metric weight of the edge.
+    /// Network-metric weight of the segment (initially the arc length of
+    /// `geometry`; see [`RoadNetwork::set_edge_weight`]).
     pub length: f64,
     /// Shape of the road segment, from `u`'s position to `v`'s.
     pub geometry: Polyline,
@@ -244,6 +248,31 @@ impl RoadNetwork {
         self.edge(pos.edge).geometry.point_at_offset(pos.offset)
     }
 
+    /// Sets the traversal weight of edge `e` to the absolute value `w`,
+    /// returning the old weight. The geometry is untouched.
+    ///
+    /// `w` is clamped to the *free-flow floor* — the arc length of the
+    /// edge geometry. The floor preserves both invariants the static
+    /// stack relies on (DESIGN.md §15.2): the Euclidean heuristic stays
+    /// consistent (`w ≥ arc ≥ chord = d_E(u, v)`), and
+    /// [`RoadNetwork::position_point`] stays 1-Lipschitz from *both*
+    /// endpoints, which keeps Euclidean pair bounds between interpolated
+    /// position points admissible.
+    ///
+    /// # Panics
+    /// Panics when `w` is not finite and positive.
+    pub fn set_edge_weight(&mut self, e: EdgeId, w: f64) -> f64 {
+        assert!(
+            w.is_finite() && w > 0.0,
+            "edge weight must be finite and positive, got {w}"
+        );
+        let edge = &mut self.edges[e.idx()];
+        let floor = edge.geometry.length();
+        let old = edge.length;
+        edge.length = if w < floor { floor } else { w };
+        old
+    }
+
     /// The two pre-computed endpoint distances of a position: `(d(u, p),
     /// d(v, p))` — the payload the middle layer stores per object.
     #[inline]
@@ -392,5 +421,28 @@ mod tests {
     fn straight_edges_have_delta_one() {
         let g = diamond();
         assert!(rn_geom::approx_eq(g.edge_delta(), 1.0));
+    }
+
+    #[test]
+    fn set_edge_weight_clamps_to_free_flow_floor() {
+        let mut g = diamond();
+        let e = EdgeId(0);
+        let arc = g.edge(e).geometry.length();
+        let old = g.set_edge_weight(e, arc * 3.0);
+        assert!(rn_geom::approx_eq(old, arc));
+        assert!(rn_geom::approx_eq(g.edge(e).length, arc * 3.0));
+        // A decrease below the arc length clamps to the floor.
+        g.set_edge_weight(e, arc * 0.25);
+        assert_eq!(g.edge(e).length.to_bits(), arc.to_bits());
+        // Geometry (and so the interpolated points) is untouched.
+        let p = g.position_point(&NetPosition::new(e, arc / 2.0));
+        assert!(rn_geom::approx_eq(p.x, 0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn set_edge_weight_rejects_nonpositive() {
+        let mut g = diamond();
+        g.set_edge_weight(EdgeId(0), 0.0);
     }
 }

@@ -30,12 +30,22 @@ pub struct ObjectOnEdge {
 
 /// The middle layer: a B⁺-tree keyed by edge id whose values are the
 /// objects on that edge (sorted by offset from the `u` endpoint).
+///
+/// Object ids are dense *slots*: `0..object_count()`. Under dynamic churn
+/// (DESIGN.md §15) a deleted object's slot is retired — marked dead, its
+/// edge record removed, its id never reused — so surviving ids stay stable
+/// across any update history. Static builds have every slot live.
 pub struct MiddleLayer {
     tree: BPlusTree<u32, Vec<ObjectOnEdge>>,
-    /// Per object: its network position (dense by `ObjectId`).
+    /// Per slot: its network position (dense by `ObjectId`; stale for
+    /// dead slots).
     positions: Vec<NetPosition>,
-    /// Per object: its planar coordinates (dense by `ObjectId`).
+    /// Per slot: its planar coordinates (dense by `ObjectId`; stale for
+    /// dead slots).
     points: Vec<Point>,
+    /// Per slot: whether the object currently exists.
+    live: Vec<bool>,
+    live_count: usize,
 }
 
 impl MiddleLayer {
@@ -45,43 +55,156 @@ impl MiddleLayer {
     /// # Panics
     /// Panics when an object's offset lies outside its edge's length.
     pub fn build(network: &RoadNetwork, objects: &[NetPosition]) -> Self {
-        let mut tree: BPlusTree<u32, Vec<ObjectOnEdge>> = BPlusTree::new();
-        let mut points = Vec::with_capacity(objects.len());
-        for (i, pos) in objects.iter().enumerate() {
-            let edge = network.edge(pos.edge);
-            assert!(
-                pos.offset >= 0.0 && pos.offset <= edge.length + 1e-9,
-                "object {i} offset {} outside edge length {}",
-                pos.offset,
-                edge.length
-            );
-            let (d_u, d_v) = network.position_endpoint_dists(pos);
-            let rec = ObjectOnEdge {
-                object: ObjectId(i as u32),
-                d_u,
-                d_v,
-            };
-            match tree.get_mut(&pos.edge.0) {
-                Some(list) => {
-                    let at = list.partition_point(|o| o.d_u <= rec.d_u);
-                    list.insert(at, rec);
+        let slots: Vec<Option<NetPosition>> = objects.iter().copied().map(Some).collect();
+        Self::build_slots(network, &slots)
+    }
+
+    /// Builds the middle layer from dense slots with holes: `slots[i]` is
+    /// the position of `ObjectId(i)`, or `None` for a retired slot. This
+    /// is how a from-scratch rebuild reproduces the exact id space of an
+    /// engine that has lived through object churn.
+    ///
+    /// # Panics
+    /// Panics when an object's offset lies outside its edge's length.
+    pub fn build_slots(network: &RoadNetwork, slots: &[Option<NetPosition>]) -> Self {
+        let mut ml = MiddleLayer {
+            tree: BPlusTree::new(),
+            positions: Vec::with_capacity(slots.len()),
+            points: Vec::with_capacity(slots.len()),
+            live: Vec::with_capacity(slots.len()),
+            live_count: 0,
+        };
+        for (i, slot) in slots.iter().enumerate() {
+            match slot {
+                Some(pos) => {
+                    ml.link(network, ObjectId(i as u32), pos);
+                    ml.positions.push(*pos);
+                    ml.points.push(network.position_point(pos));
+                    ml.live.push(true);
+                    ml.live_count += 1;
                 }
                 None => {
-                    tree.insert(pos.edge.0, vec![rec]);
+                    ml.positions.push(NetPosition::new(EdgeId(0), 0.0));
+                    ml.points.push(Point::ORIGIN);
+                    ml.live.push(false);
                 }
             }
-            points.push(network.position_point(pos));
         }
-        MiddleLayer {
-            tree,
-            positions: objects.to_vec(),
-            points,
+        ml
+    }
+
+    /// Inserts `rec` for an object at `pos` into the per-edge list,
+    /// keeping the list sorted by offset (ties: slot id, so churn order
+    /// never shows through).
+    fn link(&mut self, network: &RoadNetwork, object: ObjectId, pos: &NetPosition) {
+        let edge = network.edge(pos.edge);
+        assert!(
+            pos.offset >= 0.0 && pos.offset <= edge.length + 1e-9,
+            "object {} offset {} outside edge length {}",
+            object.0,
+            pos.offset,
+            edge.length
+        );
+        let (d_u, d_v) = network.position_endpoint_dists(pos);
+        let rec = ObjectOnEdge { object, d_u, d_v };
+        match self.tree.get_mut(&pos.edge.0) {
+            Some(list) => {
+                let at = list.partition_point(|o| {
+                    o.d_u < rec.d_u || (o.d_u == rec.d_u && o.object < rec.object)
+                });
+                list.insert(at, rec);
+            }
+            None => {
+                self.tree.insert(pos.edge.0, vec![rec]);
+            }
         }
     }
 
-    /// Number of objects in the layer.
+    /// Removes the edge-list record of `object` (it must currently be
+    /// linked at `self.positions[object]`).
+    fn unlink(&mut self, object: ObjectId) {
+        let edge = self.positions[object.idx()].edge;
+        let list = self
+            .tree
+            .get_mut(&edge.0)
+            .expect("live object's edge has a record list");
+        let at = list
+            .iter()
+            .position(|o| o.object == object)
+            .expect("live object is in its edge's record list");
+        list.remove(at);
+    }
+
+    /// Appends a new live slot for an object at `pos`, returning its id.
+    ///
+    /// # Panics
+    /// Panics when the offset lies outside the edge's current length.
+    pub fn insert_object(&mut self, network: &RoadNetwork, pos: NetPosition) -> ObjectId {
+        let id = ObjectId(self.positions.len() as u32);
+        self.link(network, id, &pos);
+        self.positions.push(pos);
+        self.points.push(network.position_point(&pos));
+        self.live.push(true);
+        self.live_count += 1;
+        id
+    }
+
+    /// Retires `object`'s slot: the edge record disappears (wavefronts no
+    /// longer discover it) and the id is never reused. Returns `false`
+    /// when the slot was already dead.
+    pub fn remove_object(&mut self, object: ObjectId) -> bool {
+        if !self.live[object.idx()] {
+            return false;
+        }
+        self.unlink(object);
+        self.live[object.idx()] = false;
+        self.live_count -= 1;
+        true
+    }
+
+    /// Moves a live `object` to `pos` (used when a weight update rescales
+    /// positions on the touched edge), refreshing its endpoint distances
+    /// and planar point.
+    ///
+    /// # Panics
+    /// Panics when the slot is dead or the offset is out of range.
+    pub fn set_object_position(
+        &mut self,
+        network: &RoadNetwork,
+        object: ObjectId,
+        pos: NetPosition,
+    ) {
+        assert!(self.live[object.idx()], "cannot move a retired object");
+        self.unlink(object);
+        self.link(network, object, &pos);
+        self.positions[object.idx()] = pos;
+        self.points[object.idx()] = network.position_point(&pos);
+    }
+
+    /// Number of slots (live and retired) in the layer.
     pub fn object_count(&self) -> usize {
         self.positions.len()
+    }
+
+    /// Number of live objects.
+    pub fn live_count(&self) -> usize {
+        self.live_count
+    }
+
+    /// `true` when `object`'s slot currently holds a live object.
+    pub fn is_live(&self, object: ObjectId) -> bool {
+        self.live[object.idx()]
+    }
+
+    /// The current dense slot table: `Some(position)` per live slot,
+    /// `None` per retired one — exactly the input
+    /// [`MiddleLayer::build_slots`] accepts for a from-scratch rebuild.
+    pub fn slots(&self) -> Vec<Option<NetPosition>> {
+        self.positions
+            .iter()
+            .zip(&self.live)
+            .map(|(pos, &lv)| lv.then_some(*pos))
+            .collect()
     }
 
     /// The objects on `edge` (sorted by offset from the `u` endpoint), or an
@@ -91,13 +214,17 @@ impl MiddleLayer {
         self.tree.get(&edge.0).map(Vec::as_slice).unwrap_or(&[])
     }
 
-    /// The network position of `object`.
+    /// The network position of `object` (stale for retired slots; callers
+    /// discover objects through edge records or the R-tree, which only
+    /// ever hold live ids).
     pub fn position(&self, object: ObjectId) -> NetPosition {
+        debug_assert!(self.live[object.idx()], "position of a retired object");
         self.positions[object.idx()]
     }
 
-    /// Planar coordinates of `object` (pre-computed at build time).
+    /// Planar coordinates of `object` (pre-computed at build/update time).
     pub fn point(&self, object: ObjectId) -> Point {
+        debug_assert!(self.live[object.idx()], "point of a retired object");
         self.points[object.idx()]
     }
 
@@ -206,5 +333,61 @@ mod tests {
     fn rejects_out_of_range_offset() {
         let g = line_net();
         MiddleLayer::build(&g, &[NetPosition::new(EdgeId(0), 11.0)]);
+    }
+
+    #[test]
+    fn churn_roundtrip_matches_slot_rebuild() {
+        let g = line_net();
+        let mut ml = MiddleLayer::build(
+            &g,
+            &[
+                NetPosition::new(EdgeId(0), 3.0),
+                NetPosition::new(EdgeId(0), 7.0),
+            ],
+        );
+        let c = ml.insert_object(&g, NetPosition::new(EdgeId(1), 4.0));
+        assert_eq!(c, ObjectId(2));
+        assert!(ml.remove_object(ObjectId(0)));
+        assert!(!ml.remove_object(ObjectId(0)), "already retired");
+        assert_eq!(ml.object_count(), 3);
+        assert_eq!(ml.live_count(), 2);
+        assert!(!ml.is_live(ObjectId(0)));
+        assert!(ml.is_live(c));
+        // Retired objects vanish from edge records.
+        assert_eq!(ml.objects_on_edge(EdgeId(0)).len(), 1);
+        assert_eq!(ml.objects_on_edge(EdgeId(0))[0].object, ObjectId(1));
+        // A from-scratch rebuild over the slot table reproduces the state.
+        let rebuilt = MiddleLayer::build_slots(&g, &ml.slots());
+        assert_eq!(rebuilt.object_count(), 3);
+        assert_eq!(rebuilt.live_count(), 2);
+        assert_eq!(
+            rebuilt.objects_on_edge(EdgeId(1)),
+            ml.objects_on_edge(EdgeId(1))
+        );
+    }
+
+    #[test]
+    fn set_object_position_moves_across_edges() {
+        let g = line_net();
+        let mut ml = MiddleLayer::build(&g, &[NetPosition::new(EdgeId(0), 3.0)]);
+        ml.set_object_position(&g, ObjectId(0), NetPosition::new(EdgeId(1), 2.0));
+        assert!(ml.objects_on_edge(EdgeId(0)).is_empty());
+        let recs = ml.objects_on_edge(EdgeId(1));
+        assert_eq!(recs.len(), 1);
+        assert!(rn_geom::approx_eq(recs[0].d_u, 2.0));
+        assert!(rn_geom::approx_eq(recs[0].d_v, 8.0));
+        assert!(rn_geom::approx_eq(ml.point(ObjectId(0)).x, 12.0));
+    }
+
+    #[test]
+    fn equal_offset_records_sort_by_slot_id() {
+        let g = line_net();
+        let mut ml = MiddleLayer::build(&g, &[NetPosition::new(EdgeId(0), 5.0)]);
+        // Insert an equal-offset object later; order must be by id, not
+        // by insertion history.
+        ml.insert_object(&g, NetPosition::new(EdgeId(0), 5.0));
+        let recs = ml.objects_on_edge(EdgeId(0));
+        assert_eq!(recs[0].object, ObjectId(0));
+        assert_eq!(recs[1].object, ObjectId(1));
     }
 }

@@ -333,6 +333,84 @@ impl<T> RTree<T> {
         (mbr_b, sib)
     }
 
+    /// Removes one item equal to `item` whose entry MBR equals `mbr`,
+    /// returning `true` when something was removed.
+    ///
+    /// The descent is guided by MBR containment, so a remove touches the
+    /// same O(log n) path an insert does. Parent MBRs along the path are
+    /// recomputed exactly (tightened, not just left valid) and nodes that
+    /// become empty are unlinked. Underfull nodes are *not* re-packed: the
+    /// dynamic workloads this supports (object churn, DESIGN.md §15)
+    /// interleave removals with inserts, and Guttman's reinsertion would
+    /// buy packing quality at the cost of a data-dependent restructuring
+    /// step — correctness (window/NN results) never depends on fill.
+    pub fn remove(&mut self, mbr: &Mbr, item: &T) -> bool
+    where
+        T: PartialEq,
+    {
+        let Some(root) = self.root else { return false };
+        let removed = self.remove_at(root, mbr, item);
+        if removed {
+            self.len -= 1;
+            let root_empty = match &self.nodes[root].kind {
+                Kind::Internal(c) => c.is_empty(),
+                Kind::Leaf(e) => e.is_empty(),
+            };
+            if root_empty {
+                self.root = None;
+            }
+        }
+        removed
+    }
+
+    /// Recursive removal; returns whether an entry was removed from this
+    /// subtree (in which case this node's MBR has been recomputed).
+    fn remove_at(&mut self, node: usize, mbr: &Mbr, item: &T) -> bool
+    where
+        T: PartialEq,
+    {
+        if !self.nodes[node].mbr.contains_mbr(mbr) {
+            return false;
+        }
+        match &mut self.nodes[node].kind {
+            Kind::Leaf(entries) => {
+                let Some(at) = entries.iter().position(|(m, t)| m == mbr && t == item) else {
+                    return false;
+                };
+                entries.remove(at);
+                if let Some(tight) = (!entries.is_empty()).then(|| Self::entries_mbr(entries)) {
+                    self.nodes[node].mbr = tight;
+                }
+                true
+            }
+            Kind::Internal(children) => {
+                let children = children.clone();
+                for (slot, &c) in children.iter().enumerate() {
+                    if !self.remove_at(c, mbr, item) {
+                        continue;
+                    }
+                    let child_empty = match &self.nodes[c].kind {
+                        Kind::Internal(cc) => cc.is_empty(),
+                        Kind::Leaf(e) => e.is_empty(),
+                    };
+                    if let Kind::Internal(ch) = &mut self.nodes[node].kind {
+                        if child_empty {
+                            // Unlink the empty child (its arena slot is
+                            // abandoned; the arena is not compacted).
+                            ch.remove(slot);
+                        }
+                        if !ch.is_empty() {
+                            let ch = ch.clone();
+                            self.nodes[node].mbr = self.children_mbr(&ch);
+                        }
+                    }
+                    return true;
+                }
+                false
+            }
+        }
+    }
+
     /// Calls `visit` for every item whose MBR intersects `window`.
     pub fn for_each_in_window<'a>(&'a self, window: &Mbr, mut visit: impl FnMut(&Mbr, &'a T)) {
         self.traverse(
@@ -736,6 +814,68 @@ mod tests {
             .collect();
         let want = points.iter().filter(|p| p.distance(&q) <= 300.0).count();
         assert_eq!(got.len(), want);
+    }
+
+    #[test]
+    fn remove_then_query_matches_brute_force() {
+        let points = pts(300, 10);
+        let mut t = tree_of(&points);
+        // Remove every third point; queries must then ignore them.
+        let mut gone = vec![false; points.len()];
+        for (i, p) in points.iter().enumerate().step_by(3) {
+            assert!(t.remove(&Mbr::from_point(*p), &i), "item {i} present");
+            gone[i] = true;
+        }
+        assert_eq!(t.len(), 200);
+        let w = Mbr::new(Point::new(100.0, 100.0), Point::new(800.0, 700.0));
+        let mut got: Vec<usize> = t.window(&w).into_iter().copied().collect();
+        got.sort_unstable();
+        let want: Vec<usize> = points
+            .iter()
+            .enumerate()
+            .filter(|&(i, p)| !gone[i] && w.contains_point(p))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(got, want);
+        // Nearest-neighbour order stays correct after removals.
+        let q = Point::new(500.0, 500.0);
+        let (_, &nn) = t.nearest(q).unwrap();
+        let brute = points
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| !gone[i])
+            .min_by(|a, b| rn_geom::cmp_f64(a.1.distance(&q), b.1.distance(&q)))
+            .map(|(i, _)| i)
+            .unwrap();
+        assert_eq!(nn, brute);
+    }
+
+    #[test]
+    fn remove_missing_item_is_a_noop() {
+        let points = pts(50, 11);
+        let mut t = tree_of(&points);
+        assert!(!t.remove(&Mbr::from_point(Point::new(-5.0, -5.0)), &0));
+        // Right MBR, wrong payload.
+        assert!(!t.remove(&Mbr::from_point(points[3]), &999));
+        assert_eq!(t.len(), 50);
+    }
+
+    #[test]
+    fn remove_everything_empties_the_tree() {
+        let points = pts(40, 12);
+        let mut t = RTree::with_max_entries(4);
+        for (i, p) in points.iter().enumerate() {
+            t.insert(Mbr::from_point(*p), i);
+        }
+        for (i, p) in points.iter().enumerate() {
+            assert!(t.remove(&Mbr::from_point(*p), &i));
+        }
+        assert!(t.is_empty());
+        assert!(t.mbr().is_none());
+        // The tree is still usable after draining.
+        t.insert(Mbr::from_point(points[0]), 0);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.nearest(points[0]).map(|(_, &i)| i), Some(0));
     }
 
     #[test]

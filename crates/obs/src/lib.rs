@@ -128,6 +128,22 @@ pub enum Metric {
     /// tightened by the oracle, before any network expansion was spent
     /// on them — the pruning the precompute paid for.
     LbcPlbOracleDiscards,
+    /// Dynamic layer: individual updates (weight deltas, object
+    /// inserts/deletes) applied to the substrate (DESIGN.md §15).
+    DynUpdatesApplied,
+    /// Dynamic layer: maintained candidates whose distance vector a
+    /// batch invalidated (blast-radius test failed, object on a touched
+    /// edge, or freshly inserted) and that were re-resolved.
+    DynCandidatesInvalidated,
+    /// Dynamic layer: batches maintained incrementally (only the dirty
+    /// candidates re-resolved via pack A*).
+    DynRecomputeIncremental,
+    /// Dynamic layer: batches where the dirty set crossed the fallback
+    /// threshold and the whole vector table was recomputed from scratch.
+    DynRecomputeFull,
+    /// Dynamic layer: lower-bound oracle rebuilds forced by weight
+    /// decreases under the rebuild policy.
+    DynOracleRebuilds,
 }
 
 /// String table for [`Metric`], indexed by discriminant.
@@ -169,12 +185,17 @@ pub const METRIC_NAMES: [&str; Metric::COUNT] = [
     "oracle.build.ms",
     "oracle.build.bytes",
     "lbc.plb.oracle_discards",
+    "dyn.updates.applied",
+    "dyn.candidates.invalidated",
+    "dyn.recompute.incremental",
+    "dyn.recompute.full",
+    "dyn.oracle.rebuilds",
     // metric-names:end
 ];
 
 impl Metric {
     /// Number of registered metrics.
-    pub const COUNT: usize = 32;
+    pub const COUNT: usize = 37;
 
     /// Every metric, in export order.
     pub const ALL: [Metric; Metric::COUNT] = [
@@ -210,6 +231,11 @@ impl Metric {
         Metric::OracleBuildMs,
         Metric::OracleBuildBytes,
         Metric::LbcPlbOracleDiscards,
+        Metric::DynUpdatesApplied,
+        Metric::DynCandidatesInvalidated,
+        Metric::DynRecomputeIncremental,
+        Metric::DynRecomputeFull,
+        Metric::DynOracleRebuilds,
     ];
 
     /// The registered dotted name of this metric.

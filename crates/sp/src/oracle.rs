@@ -44,7 +44,7 @@ use rn_index::MiddleLayer;
 use rn_storage::{AdjRecord, IoStats, NetworkStore};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// Which lower bound an oracle implements.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -197,6 +197,28 @@ pub trait LowerBound: Send + Sync {
     fn build_bytes(&self) -> u64 {
         0
     }
+
+    /// Notifies the bound that edge weights changed (DESIGN.md §15.3).
+    ///
+    /// A pure weight *increase* keeps precomputed tables admissible and
+    /// consistent — old distances only under-estimate the new ones — so
+    /// `decreased == false` is a no-op. A *decrease* can push true
+    /// distances below the tables, so implementations with precomputed
+    /// state must mark themselves stale and degrade every bound to its
+    /// Euclidean floor (which the free-flow weight floor keeps valid
+    /// under any update history). The default is a no-op: [`EuclidBound`]
+    /// has no state to go stale.
+    fn note_weight_change(&self, decreased: bool) {
+        let _ = decreased;
+    }
+
+    /// `true` when a weight decrease has invalidated this bound's
+    /// precomputed tables and evaluations return only the Euclidean
+    /// floor. Never silently inadmissible: detection is the contract
+    /// (`tests/oracle_bounds.rs` regression-tests it).
+    fn is_degraded(&self) -> bool {
+        false
+    }
 }
 
 /// The paper's Euclidean bound: no tables, no counters, and bitwise
@@ -282,6 +304,10 @@ pub struct AltOracle {
     bytes: u64,
     hits: AtomicU64,
     fallbacks: AtomicU64,
+    /// Set by a weight decrease: the tables were computed on weights
+    /// that no longer upper-bound reality, so every evaluation degrades
+    /// to the Euclidean floor until the oracle is rebuilt.
+    stale: AtomicBool,
 }
 
 impl AltOracle {
@@ -314,6 +340,7 @@ impl AltOracle {
                 bytes: 0,
                 hits: AtomicU64::new(0),
                 fallbacks: AtomicU64::new(0),
+                stale: AtomicBool::new(false),
             };
         }
 
@@ -348,6 +375,7 @@ impl AltOracle {
             bytes,
             hits: AtomicU64::new(0),
             fallbacks: AtomicU64::new(0),
+            stale: AtomicBool::new(false),
         }
     }
 
@@ -381,15 +409,23 @@ impl LowerBound for AltOracle {
     }
 
     fn node_bound(&self, n: NodeId, p: Point, t: &LbTarget) -> f64 {
-        let via = anchor_min(self.node_pair(n, t.eu), self.node_pair(n, t.ev), t);
         let euclid = p.distance(&t.point);
+        if self.stale.load(Ordering::Relaxed) {
+            self.fallbacks.fetch_add(1, Ordering::Relaxed);
+            return euclid;
+        }
+        let via = anchor_min(self.node_pair(n, t.eu), self.node_pair(n, t.ev), t);
         tally(&self.hits, &self.fallbacks, via, euclid);
         via.max(euclid)
     }
 
     fn pair_bound(&self, a: &LbTarget, b: &LbTarget) -> f64 {
-        let via = pair_via_endpoints(|x, y| self.node_pair(x, y), a, b);
         let euclid = a.point.distance(&b.point);
+        if self.stale.load(Ordering::Relaxed) {
+            self.fallbacks.fetch_add(1, Ordering::Relaxed);
+            return euclid;
+        }
+        let via = pair_via_endpoints(|x, y| self.node_pair(x, y), a, b);
         tally(&self.hits, &self.fallbacks, via, euclid);
         via.max(euclid)
     }
@@ -403,6 +439,16 @@ impl LowerBound for AltOracle {
 
     fn build_bytes(&self) -> u64 {
         self.bytes
+    }
+
+    fn note_weight_change(&self, decreased: bool) {
+        if decreased {
+            self.stale.store(true, Ordering::Relaxed);
+        }
+    }
+
+    fn is_degraded(&self) -> bool {
+        self.stale.load(Ordering::Relaxed)
     }
 }
 
@@ -463,6 +509,9 @@ pub struct BlockOracle {
     bytes: u64,
     hits: AtomicU64,
     fallbacks: AtomicU64,
+    /// Set by a weight decrease — see [`AltOracle`]'s field of the same
+    /// name.
+    stale: AtomicBool,
 }
 
 impl BlockOracle {
@@ -513,6 +562,7 @@ impl BlockOracle {
             bytes,
             hits: AtomicU64::new(0),
             fallbacks: AtomicU64::new(0),
+            stale: AtomicBool::new(false),
         }
     }
 
@@ -550,15 +600,23 @@ impl LowerBound for BlockOracle {
     }
 
     fn node_bound(&self, n: NodeId, p: Point, t: &LbTarget) -> f64 {
-        let via = anchor_min(self.to_block_of(t.eu, n), self.to_block_of(t.ev, n), t);
         let euclid = p.distance(&t.point);
+        if self.stale.load(Ordering::Relaxed) {
+            self.fallbacks.fetch_add(1, Ordering::Relaxed);
+            return euclid;
+        }
+        let via = anchor_min(self.to_block_of(t.eu, n), self.to_block_of(t.ev, n), t);
         tally(&self.hits, &self.fallbacks, via, euclid);
         via.max(euclid)
     }
 
     fn pair_bound(&self, a: &LbTarget, b: &LbTarget) -> f64 {
-        let via = pair_via_endpoints(|x, y| self.node_pair(x, y), a, b);
         let euclid = a.point.distance(&b.point);
+        if self.stale.load(Ordering::Relaxed) {
+            self.fallbacks.fetch_add(1, Ordering::Relaxed);
+            return euclid;
+        }
+        let via = pair_via_endpoints(|x, y| self.node_pair(x, y), a, b);
         tally(&self.hits, &self.fallbacks, via, euclid);
         via.max(euclid)
     }
@@ -572,6 +630,16 @@ impl LowerBound for BlockOracle {
 
     fn build_bytes(&self) -> u64 {
         self.bytes
+    }
+
+    fn note_weight_change(&self, decreased: bool) {
+        if decreased {
+            self.stale.store(true, Ordering::Relaxed);
+        }
+    }
+
+    fn is_degraded(&self) -> bool {
+        self.stale.load(Ordering::Relaxed)
     }
 }
 

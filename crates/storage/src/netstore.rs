@@ -216,6 +216,51 @@ impl NetworkStore {
         self.pool.lock().clear();
     }
 
+    /// Rewrites the stored length of the edges in `edges` from the current
+    /// weights in `g` — the storage half of a dynamic weight update
+    /// (DESIGN.md §15). Each edge appears in exactly two node records (one
+    /// per endpoint), located via the node directory; only the 8-byte
+    /// length field of each matching adjacency entry is patched, so node
+    /// coordinates and record layout are untouched.
+    ///
+    /// The disk image is copy-on-write (`Arc::make_mut`): live sessions
+    /// keep reading their pre-update snapshot, while this store and every
+    /// session derived *afterwards* see the new weights. The store's own
+    /// buffer pool is cleared so no stale page image survives; derived
+    /// sessions always start cold and need no invalidation.
+    pub fn apply_edge_weights(&mut self, g: &RoadNetwork, edges: &[EdgeId]) {
+        if edges.is_empty() {
+            return;
+        }
+        let disk = Arc::make_mut(&mut self.disk);
+        for &e in edges {
+            let edge = g.edge(e);
+            for n in [edge.u, edge.v] {
+                let (page_id, off) = self.node_loc[n.idx()];
+                let page = disk.read(page_id);
+                let rec = &page[off as usize..];
+                let id = u32::from_le_bytes(rec[..4].try_into().expect("4-byte id"));
+                debug_assert_eq!(id, n.0, "directory points at the wrong record");
+                let deg =
+                    u16::from_le_bytes(rec[20..22].try_into().expect("2-byte degree")) as usize;
+                let base = off as usize + HEADER_BYTES;
+                let slot = (0..deg)
+                    .find(|i| {
+                        let at = HEADER_BYTES + i * ENTRY_BYTES;
+                        u32::from_le_bytes(rec[at..at + 4].try_into().expect("4-byte edge id"))
+                            == e.0
+                    })
+                    .expect("edge missing from its endpoint's adjacency record");
+                disk.patch(
+                    page_id,
+                    base + slot * ENTRY_BYTES + 8,
+                    &edge.length.to_le_bytes(),
+                );
+            }
+        }
+        self.pool.lock().clear();
+    }
+
     /// Reads the record of node `n` (allocating a fresh record).
     pub fn read_adjacency(&self, n: NodeId) -> AdjRecord {
         let mut rec = AdjRecord::default();
@@ -424,6 +469,47 @@ mod tests {
         let clean = store.session();
         clean.read_adjacency(NodeId(0));
         assert_eq!(clean.stats().snapshot().injected_errors, 0);
+    }
+
+    #[test]
+    fn apply_edge_weights_patches_both_endpoint_records() {
+        let mut g = grid(10);
+        let mut store = NetworkStore::build(&g);
+        // Derive a session *before* the update: it must keep the old view.
+        let old_sess = store.session();
+        let e = EdgeId(7);
+        let (u, v) = (g.edge(e).u, g.edge(e).v);
+        let old_len = g.edge(e).length;
+        g.set_edge_weight(e, old_len * 2.5);
+        store.apply_edge_weights(&g, &[e]);
+        for n in [u, v] {
+            let rec = store.read_adjacency(n);
+            let ent = rec.entries.iter().find(|a| a.edge == e).unwrap();
+            assert_eq!(ent.length.to_bits(), g.edge(e).length.to_bits());
+            // Other entries of the same record are untouched.
+            for other in rec.entries.iter().filter(|a| a.edge != e) {
+                assert_eq!(other.length.to_bits(), g.edge(other.edge).length.to_bits());
+            }
+        }
+        // The pre-update session still reads the old snapshot…
+        let ent = old_sess
+            .read_adjacency(u)
+            .entries
+            .iter()
+            .find(|a| a.edge == e)
+            .copied()
+            .unwrap();
+        assert_eq!(ent.length.to_bits(), old_len.to_bits());
+        // …while a session derived afterwards sees the new weight.
+        let new_sess = store.session();
+        let ent = new_sess
+            .read_adjacency(v)
+            .entries
+            .iter()
+            .find(|a| a.edge == e)
+            .copied()
+            .unwrap();
+        assert_eq!(ent.length.to_bits(), g.edge(e).length.to_bits());
     }
 
     #[test]

@@ -56,6 +56,28 @@ impl Disk {
         self.pages[id.idx()].clone()
     }
 
+    /// Overwrites `data.len()` bytes of page `id` starting at `offset` —
+    /// the write path of the dynamic update layer (DESIGN.md §15). The
+    /// page image is replaced wholesale (pages are immutable `Bytes`), so
+    /// concurrent readers holding the old image keep a consistent
+    /// pre-update view.
+    ///
+    /// # Panics
+    /// Panics when the byte range falls outside the page.
+    pub fn patch(&mut self, id: PageId, offset: usize, data: &[u8]) {
+        let page = &self.pages[id.idx()];
+        assert!(
+            offset + data.len() <= page.len(),
+            "patch range {}..{} outside page of {} bytes",
+            offset,
+            offset + data.len(),
+            page.len()
+        );
+        let mut image = page.to_vec();
+        image[offset..offset + data.len()].copy_from_slice(data);
+        self.pages[id.idx()] = Bytes::from(image);
+    }
+
     /// Number of pages on the disk.
     #[inline]
     pub fn page_count(&self) -> usize {

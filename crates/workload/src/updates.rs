@@ -1,0 +1,223 @@
+//! Seeded dynamic-update streams — the churn side of the workload
+//! (DESIGN.md §15).
+//!
+//! An [`UpdateStream`] turns a seed and a [`ChurnConfig`] into an endless
+//! sequence of [`UpdateBatch`]es against a live network: per batch, a
+//! fraction of edges get new traversal weights (a mix of slow-downs and
+//! relaxations back towards free flow), a few objects appear, and a few
+//! disappear. Weight updates carry **absolute** target weights — sampled
+//! as factors of the current weight but materialised as `f64` values — so
+//! [`UpdateBatch::inverse`] can restore the previous state bitwise.
+//!
+//! Determinism contract: the stream owns one `StdRng` seeded from the
+//! caller's seed, and each batch is a pure function of (seed, batch
+//! index, current network weights, live-object list). Re-running the same
+//! seed against the same evolving state replays the same updates.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use rn_graph::{EdgeId, NetPosition, ObjectId, RoadNetwork, Update, UpdateBatch};
+
+/// Knobs for one [`UpdateStream`].
+#[derive(Clone, Copy, Debug)]
+pub struct ChurnConfig {
+    /// Fraction of `|E|` whose weight each batch updates (≥ 0; a batch
+    /// updates at least one edge when this is positive).
+    pub edge_frac: f64,
+    /// Probability that a weight update is an *increase* (traffic); the
+    /// rest relax towards the free-flow floor.
+    pub increase_prob: f64,
+    /// Largest multiplicative slow-down applied to the current weight
+    /// (increases sample uniformly from `(1.0, max_factor]`).
+    pub max_factor: f64,
+    /// Objects inserted per batch.
+    pub inserts: usize,
+    /// Objects deleted per batch (capped at the live population).
+    pub deletes: usize,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> Self {
+        ChurnConfig {
+            edge_frac: 0.01,
+            increase_prob: 0.7,
+            max_factor: 2.5,
+            inserts: 2,
+            deletes: 2,
+        }
+    }
+}
+
+/// A deterministic, seeded generator of [`UpdateBatch`]es.
+pub struct UpdateStream {
+    rng: StdRng,
+    cfg: ChurnConfig,
+}
+
+impl UpdateStream {
+    /// Creates a stream from a seed and churn knobs.
+    ///
+    /// # Panics
+    /// Panics on non-finite or negative knobs.
+    pub fn new(seed: u64, cfg: ChurnConfig) -> UpdateStream {
+        assert!(
+            cfg.edge_frac >= 0.0 && cfg.edge_frac.is_finite(),
+            "edge_frac must be finite and non-negative"
+        );
+        assert!(
+            (0.0..=1.0).contains(&cfg.increase_prob),
+            "increase_prob must be a probability"
+        );
+        assert!(cfg.max_factor > 1.0, "max_factor must exceed 1.0");
+        UpdateStream {
+            rng: StdRng::seed_from_u64(seed ^ 0x5851f42d4c957f2d),
+            cfg,
+        }
+    }
+
+    /// Generates the next batch against the *current* state: `net` holds
+    /// the weights the deltas are sampled from, `live` lists the object
+    /// ids deletes may target.
+    pub fn next_batch(&mut self, net: &RoadNetwork, live: &[ObjectId]) -> UpdateBatch {
+        let mut updates = Vec::new();
+        let m = net.edge_count();
+
+        // --- weight deltas on distinct edges ---
+        let k = if self.cfg.edge_frac > 0.0 {
+            ((self.cfg.edge_frac * m as f64).round() as usize).clamp(1, m)
+        } else {
+            0
+        };
+        let mut touched: Vec<u32> = Vec::with_capacity(k);
+        while touched.len() < k {
+            let e = self.rng.random_range(0..m as u32);
+            if !touched.contains(&e) {
+                touched.push(e);
+            }
+        }
+        for &e in &touched {
+            let edge = net.edge(EdgeId(e));
+            let floor = edge.geometry.length();
+            let weight = if self.rng.random_range(0.0..1.0) < self.cfg.increase_prob {
+                edge.length * self.rng.random_range(1.0..self.cfg.max_factor)
+            } else {
+                // Relax part of the way back towards free flow; when the
+                // edge is already at the floor this is a (legal) no-op
+                // weight rewrite.
+                let t = self.rng.random_range(0.0..1.0);
+                floor + (edge.length - floor) * t
+            };
+            updates.push(Update::SetEdgeWeight {
+                edge: EdgeId(e),
+                weight,
+            });
+        }
+
+        // --- object churn ---
+        for _ in 0..self.cfg.inserts {
+            let e = EdgeId(self.rng.random_range(0..m as u32));
+            let len = net.edge(e).length;
+            updates.push(Update::InsertObject {
+                pos: NetPosition::new(e, self.rng.random_range(0.0..len)),
+            });
+        }
+        let deletes = self.cfg.deletes.min(live.len());
+        let mut dead: Vec<ObjectId> = Vec::with_capacity(deletes);
+        while dead.len() < deletes {
+            let pick = live[self.rng.random_range(0..live.len())];
+            if !dead.contains(&pick) {
+                dead.push(pick);
+            }
+        }
+        updates.extend(
+            dead.into_iter()
+                .map(|object| Update::DeleteObject { object }),
+        );
+
+        UpdateBatch::new(updates)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netgen::{generate_network, NetGenConfig};
+
+    fn net() -> RoadNetwork {
+        generate_network(&NetGenConfig {
+            cols: 10,
+            rows: 10,
+            edges: 140,
+            jitter: 0.3,
+            detour_prob: 0.2,
+            detour_stretch: (1.05, 1.3),
+            seed: 5,
+        })
+    }
+
+    #[test]
+    fn batches_are_deterministic_per_seed() {
+        let g = net();
+        let live: Vec<ObjectId> = (0..20).map(ObjectId).collect();
+        let mut a = UpdateStream::new(7, ChurnConfig::default());
+        let mut b = UpdateStream::new(7, ChurnConfig::default());
+        for _ in 0..3 {
+            assert_eq!(a.next_batch(&g, &live), b.next_batch(&g, &live));
+        }
+        let mut c = UpdateStream::new(8, ChurnConfig::default());
+        assert_ne!(a.next_batch(&g, &live), c.next_batch(&g, &live));
+    }
+
+    #[test]
+    fn weights_respect_the_free_flow_floor() {
+        let g = net();
+        let mut s = UpdateStream::new(
+            3,
+            ChurnConfig {
+                edge_frac: 0.2,
+                increase_prob: 0.0, // all relaxations
+                ..ChurnConfig::default()
+            },
+        );
+        for _ in 0..5 {
+            for u in s.next_batch(&g, &[]).updates() {
+                if let Update::SetEdgeWeight { edge, weight } = u {
+                    assert!(*weight >= g.edge(*edge).geometry.length() - 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn churn_counts_match_config() {
+        let g = net();
+        let live: Vec<ObjectId> = (0..10).map(ObjectId).collect();
+        let cfg = ChurnConfig {
+            edge_frac: 0.05,
+            inserts: 3,
+            deletes: 2,
+            ..ChurnConfig::default()
+        };
+        let mut s = UpdateStream::new(1, cfg);
+        let batch = s.next_batch(&g, &live);
+        let weights = batch.touched_edges().len();
+        assert_eq!(weights, (0.05f64 * g.edge_count() as f64).round() as usize);
+        let inserts = batch
+            .updates()
+            .iter()
+            .filter(|u| matches!(u, Update::InsertObject { .. }))
+            .count();
+        let deletes = batch
+            .updates()
+            .iter()
+            .filter(|u| matches!(u, Update::DeleteObject { .. }))
+            .count();
+        assert_eq!((inserts, deletes), (3, 2));
+        // Deletes are capped by the live population.
+        let none = s.next_batch(&g, &[]);
+        assert!(!none
+            .updates()
+            .iter()
+            .any(|u| matches!(u, Update::DeleteObject { .. })));
+    }
+}

@@ -151,6 +151,7 @@ fn metric_name_fixture_fires() {
             (8, "metric-name"),
             (10, "metric-name"),
             (13, "metric-name"),
+            (16, "metric-name"),
         ],
         "got: {v:?}"
     );

@@ -16,8 +16,9 @@
 
 mod common;
 
-use msq_core::{Algorithm, Metric, SkylineEngine};
+use msq_core::{Algorithm, DynamicEngine, Metric, SkylineEngine};
 use rn_graph::NetPosition;
+use rn_workload::{ChurnConfig, UpdateStream};
 use std::path::PathBuf;
 
 /// The fixed workload: a seeded 8×8 grid with detours, three query
@@ -114,6 +115,53 @@ fn edc_matches_golden_trace() {
 #[test]
 fn lbc_matches_golden_trace() {
     check_algo("lbc", Algorithm::Lbc);
+}
+
+/// Dynamic-maintenance snapshot (ISSUE 8, satellite d): two seeded churn
+/// batches over the fixed fixture, maintained incrementally. The
+/// exported counters pin down the whole maintenance path — updates
+/// applied, candidates invalidated, incremental vs full recomputes and
+/// the repair expansions — so any drift in the blast-radius certificates
+/// or the fallback threshold shows up as a snapshot diff.
+#[test]
+fn dynamic_maintenance_matches_golden_trace() {
+    let (engine, queries) = fixture();
+    let mut d = DynamicEngine::new(engine);
+    let q = d.register_query(&queries);
+
+    let mut stream = UpdateStream::new(11, ChurnConfig::default());
+    let mut applied = 0u64;
+    for _ in 0..2 {
+        let live = d.live_objects();
+        let batch = stream.next_batch(d.engine().network(), &live);
+        applied += batch.len() as u64;
+        d.apply(&batch);
+    }
+
+    // -- Snapshot: the feature-stable counter export ----------------------
+    assert_matches_golden("dyn", &d.trace().counters_json());
+
+    // -- Cross-checks: counters vs the scratch oracle ---------------------
+    assert_eq!(
+        d.trace().get(Metric::DynUpdatesApplied),
+        applied,
+        "dyn: updates.applied counter != updates fed in"
+    );
+    assert!(
+        d.trace().get(Metric::DynRecomputeIncremental) + d.trace().get(Metric::DynRecomputeFull)
+            > 0,
+        "dyn: churn batches must trigger at least one recompute"
+    );
+    let scratch = d.scratch_engine();
+    let points = d.query_points(q).to_vec();
+    let brute = scratch.run(Algorithm::Brute, &points);
+    let mut maintained: Vec<u32> = d.skyline(q).iter().map(|p| p.object.0).collect();
+    maintained.sort_unstable();
+    let oracle: Vec<u32> = brute.ids().iter().map(|o| o.0).collect();
+    assert_eq!(
+        maintained, oracle,
+        "dyn: maintained skyline diverged from scratch oracle"
+    );
 }
 
 #[test]

@@ -16,19 +16,36 @@
 //!   unchanged, and every vector is exactly `k ×` the original.
 //! * **Query-point duplication** — a duplicated dimension duplicates a
 //!   coordinate in every vector, which never flips a domination.
+//! * **Perturb-then-revert** (ISSUE 8, satellite b) — applying an update
+//!   batch and then its exact inverse restores the maintained skyline
+//!   bit for bit: same object ids, same `f64` vectors, same query-point
+//!   coordinates, same edge weights. Work counters are explicitly *not*
+//!   invariant: `dyn.updates.applied`, `dyn.candidates.invalidated`,
+//!   `dyn.recompute.incremental`, `dyn.recompute.full` and
+//!   `sp.heap.pops` accumulate across both directions of the round trip.
 
 mod common;
 
-use msq_core::{Algorithm, Metric, SkylineEngine};
+use msq_core::{Algorithm, DynamicEngine, Metric, SkylineEngine, SkylinePoint};
 use proptest::prelude::*;
 use rn_geom::{Point, Polyline};
-use rn_graph::{NetPosition, NetworkBuilder, RoadNetwork};
-use rn_workload::{generate_objects, generate_queries};
+use rn_graph::{EdgeId, NetPosition, NetworkBuilder, RoadNetwork};
+use rn_workload::{generate_objects, generate_queries, ChurnConfig, UpdateStream};
 
 /// Sorted skyline object ids.
 fn ids(r: &msq_core::SkylineResult) -> Vec<u32> {
     let mut v: Vec<u32> = r.skyline.iter().map(|p| p.object.0).collect();
     v.sort_unstable();
+    v
+}
+
+/// Canonical bitwise form of a maintained skyline.
+fn dyn_canon(points: &[SkylinePoint]) -> Vec<(u32, Vec<u64>)> {
+    let mut v: Vec<(u32, Vec<u64>)> = points
+        .iter()
+        .map(|p| (p.object.0, p.vector.iter().map(|d| d.to_bits()).collect()))
+        .collect();
+    v.sort();
     v
 }
 
@@ -151,6 +168,72 @@ proptest! {
                 }
             }
         }
+    }
+
+    /// A batch of weight updates and inserts followed by its exact
+    /// inverse is the identity on everything adjudication sees: edge
+    /// weights, query-point coordinates and the skyline itself come back
+    /// bit for bit (deletes are excluded — retiring an id has no exact
+    /// inverse). The maintenance counters listed in the module docs keep
+    /// accumulating and are intentionally unchecked here, except to
+    /// assert that both batches were really applied.
+    #[test]
+    fn perturb_then_revert_restores_skyline_bitwise(
+        p in common::params(),
+        churn_seed in 0u64..10_000,
+    ) {
+        let Some(engine) = common::build(&p) else { return Ok(()) };
+        let mut d = DynamicEngine::new(engine);
+        let queries = generate_queries(d.engine().network(), p.nq, 0.5, p.seed + 7);
+        let q = d.register_query(&queries);
+        let before_skyline = dyn_canon(&d.skyline(q));
+        let before_points: Vec<(u32, u64)> = d
+            .query_points(q)
+            .iter()
+            .map(|pos| (pos.edge.0, pos.offset.to_bits()))
+            .collect();
+        let net_before = d.engine().network().clone();
+        let next_object = d.engine().object_count() as u32;
+
+        let mut stream = UpdateStream::new(churn_seed, ChurnConfig {
+            edge_frac: 0.03,
+            increase_prob: 0.5,
+            max_factor: 2.2,
+            inserts: 2,
+            deletes: 0, // deletes have no exact inverse
+        });
+        let live = d.live_objects();
+        let batch = stream.next_batch(&net_before, &live);
+        let inverse = batch.inverse(&net_before, next_object);
+        d.apply(&batch);
+        d.apply(&inverse);
+
+        let net_after = d.engine().network();
+        for i in 0..net_before.edge_count() {
+            let e = EdgeId(i as u32);
+            prop_assert_eq!(
+                net_after.edge(e).length.to_bits(),
+                net_before.edge(e).length.to_bits(),
+                "edge {:?} weight not restored bitwise on {:?}", e, p
+            );
+        }
+        prop_assert_eq!(
+            d.query_points(q)
+                .iter()
+                .map(|pos| (pos.edge.0, pos.offset.to_bits()))
+                .collect::<Vec<_>>(),
+            before_points,
+            "query points not restored bitwise on {:?}", p
+        );
+        prop_assert_eq!(
+            dyn_canon(&d.skyline(q)),
+            before_skyline,
+            "skyline not restored bitwise on {:?}", p
+        );
+        prop_assert_eq!(
+            d.trace().get(Metric::DynUpdatesApplied),
+            (batch.len() + inverse.len()) as u64
+        );
     }
 
     /// Duplicating a query point duplicates a vector dimension, which

@@ -19,7 +19,7 @@ use rn_geom::EPSILON;
 use rn_graph::{EdgeId, NetPosition, NodeId, RoadNetwork};
 use rn_index::MiddleLayer;
 use rn_sp::apsp_oracle::{all_pairs_node_distances, position_distance_oracle};
-use rn_sp::{AltOracle, BlockOracle, LbTarget, LowerBound};
+use rn_sp::{AltOracle, BlockOracle, EuclidBound, LbTarget, LowerBound};
 use rn_storage::NetworkStore;
 use rn_workload::{generate_network, NetGenConfig};
 
@@ -61,6 +61,94 @@ fn node_to_target(apsp: &[Vec<f64>], u: NodeId, t: &LbTarget) -> f64 {
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Staleness regression (ISSUE 8, satellite c): a weight *decrease*
+    /// can push true distances below a precomputed table, so after
+    /// [`LowerBound::note_weight_change`] with `decreased = true` the
+    /// oracle must (a) report itself degraded — never silently
+    /// inadmissible — and (b) answer every bound with exactly its
+    /// Euclidean floor, which the free-flow weight floor keeps
+    /// admissible against the *mutated* graph. A pure increase leaves
+    /// the tables valid and must not degrade anything.
+    #[test]
+    fn weight_decrease_degrades_oracles_to_admissible_euclid(
+        seed in 0u64..500,
+        cols in 4usize..7,
+        rows in 4usize..7,
+    ) {
+        let mut net = net_for(seed, cols, rows);
+        let store = NetworkStore::build(&net);
+        let mid = MiddleLayer::build(&net, &[]);
+        let alt = AltOracle::build(&net, &store, &mid, 5);
+        let block = BlockOracle::build(&net, &store, &mid, 8, 0.5);
+
+        // Increases never invalidate: tables only under-estimate more.
+        alt.note_weight_change(false);
+        block.note_weight_change(false);
+        prop_assert!(!alt.is_degraded());
+        prop_assert!(!block.is_degraded());
+
+        // Mutate: drop every stretched edge to its free-flow floor (the
+        // deepest decrease the substrate permits), then notify.
+        let mut any_decrease = false;
+        for i in 0..net.edge_count() {
+            let e = EdgeId(i as u32);
+            let floor = net.edge(e).geometry.length();
+            if net.edge(e).length > floor {
+                net.set_edge_weight(e, floor);
+                any_decrease = true;
+            }
+        }
+        if !any_decrease {
+            return Ok(()); // detour_prob 0.4 ⇒ almost never hit
+        }
+        alt.note_weight_change(true);
+        block.note_weight_change(true);
+        prop_assert!(alt.is_degraded(), "decrease not detected by ALT");
+        prop_assert!(block.is_degraded(), "decrease not detected by block oracle");
+
+        // Degraded bounds are exactly the Euclid floor and admissible
+        // against APSP truth on the *mutated* network.
+        let apsp = all_pairs_node_distances(&net);
+        let pos_truth = position_distance_oracle(&net);
+        let positions = sample_positions(&net, 9);
+        let targets: Vec<LbTarget> = positions.iter().map(|p| LbTarget::of(&net, p)).collect();
+        let n = net.node_count();
+        for (name, lb) in [("alt", &alt as &dyn LowerBound), ("block", &block)] {
+            for (i, (pa, ta)) in positions.iter().zip(&targets).enumerate() {
+                for (pb, tb) in positions.iter().zip(&targets).skip(i) {
+                    let got = lb.pair_bound(ta, tb);
+                    prop_assert_eq!(
+                        got.to_bits(),
+                        EuclidBound.pair_bound(ta, tb).to_bits(),
+                        "{}: degraded pair bound is not the Euclid floor", name
+                    );
+                    let truth = pos_truth(pa, pb);
+                    prop_assert!(
+                        got <= truth + EPSILON,
+                        "{name}: degraded pair bound {got} > d_N {truth} on mutated net"
+                    );
+                }
+            }
+            for u in (0..n).step_by((n / 13).max(1)).map(|i| NodeId(i as u32)) {
+                for t in &targets {
+                    let got = lb.node_bound(u, net.point(u), t);
+                    prop_assert_eq!(
+                        got.to_bits(),
+                        EuclidBound.node_bound(u, net.point(u), t).to_bits(),
+                        "{}: degraded node bound is not the Euclid floor", name
+                    );
+                    let truth = node_to_target(&apsp, u, t);
+                    prop_assert!(
+                        got <= truth + EPSILON,
+                        "{name}: degraded node bound {got} > d_N {truth} on mutated net"
+                    );
+                }
+            }
+            // Degraded evaluations are metered as Euclid fallbacks.
+            prop_assert!(lb.counters().euclid_fallbacks > 0, "{}", name);
+        }
+    }
 
     #[test]
     fn oracle_bounds_are_admissible_and_consistent(
