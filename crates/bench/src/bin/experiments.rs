@@ -44,4 +44,12 @@ fn main() {
     if want("obs") || want("observability") {
         rn_bench::observability::observability();
     }
+    // Opt-in only: the continental stream-build is deliberately excluded
+    // from the no-args everything run.
+    if args.iter().any(|a| a == "scale") {
+        rn_bench::scale::scale_report();
+    }
+    if args.iter().any(|a| a == "scale-smoke") {
+        rn_bench::scale::scale_smoke();
+    }
 }

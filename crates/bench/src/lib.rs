@@ -16,6 +16,7 @@ pub mod figures;
 pub mod harness;
 pub mod observability;
 pub mod oracle;
+pub mod scale;
 pub mod sweep;
 pub mod throughput;
 

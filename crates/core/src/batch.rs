@@ -14,6 +14,7 @@ use crate::engine::{Algorithm, SkylineEngine, SkylineResult};
 use crate::stats::Stopwatch;
 use rn_graph::NetPosition;
 use rn_obs::{Event, Metric, QueryBudget, QueryTrace};
+use rn_storage::{IoSnapshot, PoolConfig};
 use std::time::Duration;
 
 /// Executes batches of independent queries concurrently over one shared
@@ -40,6 +41,12 @@ pub struct BatchOutcome {
     /// its query (private cold session), so this merged trace is bitwise
     /// identical at every worker count (DESIGN.md §10).
     pub trace: QueryTrace,
+    /// Aggregate network I/O of the whole batch. For the private-session
+    /// modes this is reassembled from the merged trace (so it inherits
+    /// their determinism); for [`BatchEngine::run_shared`] it is the
+    /// shared pool's own counter delta — exact in aggregate, but how the
+    /// faults split across queries depends on scheduling.
+    pub io: IoSnapshot,
 }
 
 impl<'e> BatchEngine<'e> {
@@ -107,11 +114,87 @@ impl<'e> BatchEngine<'e> {
         }
         trace.add(Metric::IndexNodeReads, index_reads);
         trace.event(Event::IndexReads { count: index_reads });
+        let io = io_from_trace(&trace);
         BatchOutcome {
             results,
             index_reads,
             wall: started.elapsed(),
             trace,
+            io,
         }
+    }
+
+    /// Runs the batch with every worker reading through **one shared
+    /// sharded pool** of shape `pool`, instead of a private cold session
+    /// per query.
+    ///
+    /// This is the *measured* concurrency mode (DESIGN.md §16): queries
+    /// reuse each other's cached pages, so aggregate faults drop well
+    /// below the private-session mode, but how the I/O splits across
+    /// queries depends on scheduling. Skyline sets, vectors, and
+    /// distances are still bitwise identical to [`BatchEngine::run`] —
+    /// pages are immutable, so *what* a query reads never depends on who
+    /// faulted the page in. Use [`BatchOutcome::io`] (the shared pool's
+    /// aggregate counter delta, exact at every worker count) rather than
+    /// per-query I/O stats, which are interleaving-dependent here.
+    ///
+    /// # Panics
+    /// Panics when any query set in the batch is empty.
+    pub fn run_shared(
+        &self,
+        algo: Algorithm,
+        batch: &[Vec<NetPosition>],
+        pool: PoolConfig,
+    ) -> BatchOutcome {
+        self.engine.object_tree().reset_node_reads();
+        self.engine.mid_ref().reset_node_reads();
+        let base = self.engine.store_ref().session_with_config(pool);
+        let started = Stopwatch::start();
+        let results = rn_par::par_map_indexed(batch.len(), self.workers, |i| {
+            let session = base.shared_session();
+            self.engine.run_with_store_budget(
+                &session,
+                algo,
+                &batch[i],
+                None,
+                &QueryBudget::unlimited(),
+            )
+        });
+        let wall = started.elapsed();
+        let io = base.stats().snapshot();
+        let index_reads =
+            self.engine.object_tree().node_reads() + self.engine.mid_ref().node_reads();
+        let mut trace = QueryTrace::new();
+        for r in &results {
+            trace.merge(&r.trace);
+        }
+        trace.add(Metric::IndexNodeReads, index_reads);
+        trace.event(Event::IndexReads { count: index_reads });
+        BatchOutcome {
+            results,
+            index_reads,
+            wall,
+            trace,
+            io,
+        }
+    }
+}
+
+/// Reassembles an [`IoSnapshot`] from a merged batch trace. The private
+/// per-query traces are deterministic, so this aggregate is too.
+fn io_from_trace(trace: &QueryTrace) -> IoSnapshot {
+    let cold = trace.get(Metric::StoragePageFaultsCold);
+    let warm = trace.get(Metric::StoragePageFaultsWarm);
+    IoSnapshot {
+        logical: trace.get(Metric::StoragePageRequests),
+        faults: cold + warm,
+        cold_faults: cold,
+        warm_faults: warm,
+        injected_errors: trace.get(Metric::StorageIoInjectedErrors),
+        retries: trace.get(Metric::StorageIoRetries),
+        backoff_us: trace.get(Metric::StorageIoBackoffUs),
+        prefetch_issued: trace.get(Metric::StoragePrefetchIssued),
+        prefetch_hits: trace.get(Metric::StoragePrefetchHits),
+        prefetch_wasted: trace.get(Metric::StoragePrefetchWasted),
     }
 }

@@ -10,7 +10,7 @@ use rn_sp::{
     AltOracle, BlockOracle, BoundKind, BoundSpec, EuclidBound, LbCounters, LowerBound, NetCtx,
     OracleBuildStats, QueryPoint,
 };
-use rn_storage::{FaultPlan, IoSnapshot, NetworkStore};
+use rn_storage::{FaultPlan, IoSnapshot, NetworkStore, PoolConfig};
 
 /// Which of the paper's algorithms to execute.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -232,17 +232,26 @@ pub struct SkylineEngine {
 impl SkylineEngine {
     /// Builds an engine with the paper's default 1 MB LRU buffer.
     pub fn build(net: RoadNetwork, objects: Vec<NetPosition>) -> Self {
-        Self::with_buffer_bytes(net, objects, rn_storage::buffer::DEFAULT_BUFFER_BYTES)
+        Self::with_pool_config(net, objects, PoolConfig::default())
     }
 
-    /// Builds an engine with an explicit network buffer size.
+    /// Builds an engine with an explicit network buffer size (one
+    /// shard, no readahead — the paper's shape).
     pub fn with_buffer_bytes(
         net: RoadNetwork,
         objects: Vec<NetPosition>,
         buffer_bytes: usize,
     ) -> Self {
+        Self::with_pool_config(net, objects, PoolConfig::with_bytes(buffer_bytes))
+    }
+
+    /// Builds an engine with an explicit buffer-pool shape (size, shard
+    /// count, readahead depth). Sessions derived for batch workers
+    /// inherit the shape, so a sharded/readahead configuration applies
+    /// to every worker's private pool.
+    pub fn with_pool_config(net: RoadNetwork, objects: Vec<NetPosition>, pool: PoolConfig) -> Self {
         let mid = MiddleLayer::build(&net, &objects);
-        Self::from_parts(net, mid, buffer_bytes)
+        Self::from_parts(net, mid, pool)
     }
 
     /// Builds an engine over an explicit slot layout — `None` entries are
@@ -252,11 +261,11 @@ impl SkylineEngine {
     /// skylines compare bitwise over the same [`ObjectId`]s.
     pub fn build_slots(net: RoadNetwork, slots: &[Option<NetPosition>]) -> Self {
         let mid = MiddleLayer::build_slots(&net, slots);
-        Self::from_parts(net, mid, rn_storage::buffer::DEFAULT_BUFFER_BYTES)
+        Self::from_parts(net, mid, PoolConfig::default())
     }
 
-    fn from_parts(net: RoadNetwork, mid: MiddleLayer, buffer_bytes: usize) -> Self {
-        let store = NetworkStore::with_buffer_bytes(&net, buffer_bytes);
+    fn from_parts(net: RoadNetwork, mid: MiddleLayer, pool: PoolConfig) -> Self {
+        let store = NetworkStore::with_config(&net, pool);
         let obj_tree = Self::tree_of(&mid);
         let edge_locator = rn_index::EdgeLocator::build(&net);
         SkylineEngine {
@@ -876,6 +885,9 @@ fn finish_trace(
     trace.add(Metric::StorageIoInjectedErrors, io.injected_errors);
     trace.add(Metric::StorageIoRetries, io.retries);
     trace.add(Metric::StorageIoBackoffUs, io.backoff_us);
+    trace.add(Metric::StoragePrefetchIssued, io.prefetch_issued);
+    trace.add(Metric::StoragePrefetchHits, io.prefetch_hits);
+    trace.add(Metric::StoragePrefetchWasted, io.prefetch_wasted);
     if let Some(p) = &out.partial {
         trace.incr(Metric::QueryIncomplete);
         trace.add(Metric::QueryUnresolvedCandidates, p.unresolved.len() as u64);

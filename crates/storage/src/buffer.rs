@@ -5,11 +5,12 @@
 //! simulated [`crate::page::Disk`]; every request is classified as a hit or
 //! a fault and tallied into [`crate::IoStats`].
 
+use crate::bitset::PageBitSet;
 use crate::fault::FaultPlan;
 use crate::page::{Disk, PageId, PAGE_SIZE};
 use crate::stats::IoStats;
 use bytes::Bytes;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
 /// Default buffer size in bytes (1 MB, as in the paper).
 pub const DEFAULT_BUFFER_BYTES: usize = 1 << 20;
@@ -22,6 +23,11 @@ struct Frame {
     data: Bytes,
     prev: usize,
     next: usize,
+    /// `true` while the frame holds a readahead-staged page no demand
+    /// request has touched yet. Cleared on the first demand hit (which
+    /// counts as a prefetch hit); still set at eviction means the
+    /// speculative read was wasted.
+    prefetched: bool,
 }
 
 /// LRU page cache with a fixed number of frames.
@@ -42,12 +48,17 @@ pub struct BufferPool {
     tail: usize,
     capacity: usize,
     stats: IoStats,
-    /// Every page this pool has ever faulted in, for cold/warm fault
-    /// attribution: a miss on a never-seen page is compulsory (cold), a
-    /// miss on a seen page is a re-fault of an evicted page (warm).
-    /// Cleared together with the cache so a `clear()`ed pool attributes
-    /// like a fresh one.
-    seen: HashSet<PageId>,
+    /// Every page this pool has ever *demand*-touched, for cold/warm
+    /// fault attribution: a miss on a never-seen page is compulsory
+    /// (cold), a miss on a seen page is a re-fault of an evicted page
+    /// (warm). A dense bitset keyed by page index — page ids are small
+    /// dense integers, so this is one bit per page instead of a
+    /// hash-set entry per touched page (the old `HashSet<PageId>` cost
+    /// ~48 bytes/page at 1M-node scale). Cleared together with the
+    /// cache so a `clear()`ed pool attributes like a fresh one.
+    /// Readahead staging does not mark pages seen: attribution follows
+    /// demand touches only, so it is identical with readahead on or off.
+    seen: PageBitSet,
     /// Deterministic fault schedule applied to disk reads on misses;
     /// `None` injects nothing (the default).
     plan: Option<FaultPlan>,
@@ -67,7 +78,7 @@ impl BufferPool {
             tail: NIL,
             capacity,
             stats,
-            seen: HashSet::new(),
+            seen: PageBitSet::new(),
             plan: None,
         }
     }
@@ -116,19 +127,55 @@ impl BufferPool {
     /// attempts, not the fault attribution — a faulted page retried
     /// three times is still one cold (or warm) fault.
     pub fn get(&mut self, disk: &Disk, page: PageId) -> Bytes {
+        self.get_classified(disk, page).0
+    }
+
+    /// [`BufferPool::get`] that also reports whether the request was a
+    /// demand miss — the signal [`crate::ShardedPool`] uses to trigger
+    /// Hilbert-run readahead.
+    pub fn get_classified(&mut self, disk: &Disk, page: PageId) -> (Bytes, bool) {
         if let Some(&fi) = self.map.get(&page) {
             self.stats.record_hit();
+            if self.frames[fi].prefetched {
+                // First demand touch of a readahead-staged page: the
+                // speculative read paid off. Only now does the page
+                // enter the first-touch history — attribution follows
+                // demand accesses, never the prefetcher.
+                self.frames[fi].prefetched = false;
+                self.seen.insert(page.idx());
+                self.stats.record_prefetch_hit();
+            }
             self.touch(fi);
-            return self.frames[fi].data.clone();
+            return (self.frames[fi].data.clone(), false);
         }
-        if self.seen.insert(page) {
+        if self.seen.insert(page.idx()) {
             self.stats.record_fault_cold();
         } else {
             self.stats.record_fault_warm();
         }
         let data = self.read_with_retries(disk, page);
-        self.insert(page, data.clone());
-        data
+        self.insert(page, data.clone(), false);
+        (data, true)
+    }
+
+    /// Stages `page` speculatively (readahead): if it is not already
+    /// cached, reads it from `disk` and inserts it at the MRU position
+    /// flagged as prefetched. Returns `true` when a read was issued.
+    ///
+    /// Staging is invisible to demand accounting: it never touches
+    /// `logical`/`faults`/cold/warm or the first-touch history, and it
+    /// bypasses the fault plan (the plan models demand-read errors; a
+    /// failed speculative read would simply be dropped, which is
+    /// indistinguishable from not prefetching). Already-cached pages are
+    /// left untouched — no recency update, no counter.
+    pub fn stage(&mut self, disk: &Disk, page: PageId) -> bool {
+        if self.map.contains_key(&page) {
+            return false;
+        }
+        self.stats.record_prefetch_issued();
+        let data = disk.read(page);
+        self.insert(page, data, true);
+        true
     }
 
     /// One disk read under the fault plan: replay the per-attempt error
@@ -149,10 +196,17 @@ impl BufferPool {
         disk.read(page)
     }
 
-    /// Drops every cached page (the counters are left untouched). The
-    /// cold/warm attribution history is dropped too, so a cleared pool
-    /// classifies faults exactly like a freshly built one.
+    /// Drops every cached page (the counters are left untouched, except
+    /// that still-unread prefetched frames are tallied as wasted — the
+    /// speculative read can no longer pay off). The cold/warm
+    /// attribution history is dropped too, so a cleared pool classifies
+    /// faults exactly like a freshly built one.
     pub fn clear(&mut self) {
+        for f in &self.frames {
+            if f.prefetched {
+                self.stats.record_prefetch_wasted();
+            }
+        }
         self.frames.clear();
         self.map.clear();
         self.head = NIL;
@@ -201,7 +255,7 @@ impl BufferPool {
         }
     }
 
-    fn insert(&mut self, page: PageId, data: Bytes) {
+    fn insert(&mut self, page: PageId, data: Bytes, prefetched: bool) {
         let fi = if self.frames.len() < self.capacity {
             // Grow the arena.
             self.frames.push(Frame {
@@ -209,6 +263,7 @@ impl BufferPool {
                 data,
                 prev: NIL,
                 next: NIL,
+                prefetched,
             });
             self.frames.len() - 1
         } else {
@@ -216,10 +271,14 @@ impl BufferPool {
             let victim = self.tail;
             debug_assert_ne!(victim, NIL, "capacity > 0 but no tail");
             self.unlink(victim);
+            if self.frames[victim].prefetched {
+                self.stats.record_prefetch_wasted();
+            }
             let old = self.frames[victim].page;
             self.map.remove(&old);
             self.frames[victim].page = page;
             self.frames[victim].data = data;
+            self.frames[victim].prefetched = prefetched;
             victim
         };
         self.map.insert(page, fi);
@@ -475,6 +534,143 @@ mod tests {
             stats.snapshot()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn stage_serves_the_next_demand_request_without_a_fault() {
+        let d = disk_with(4);
+        let stats = IoStats::new();
+        let mut pool = BufferPool::new(2, stats.clone());
+        assert!(pool.stage(&d, PageId(1)));
+        let s = stats.snapshot();
+        assert_eq!(s.prefetch_issued, 1);
+        assert_eq!((s.logical, s.faults), (0, 0), "staging is speculative");
+        let (b, missed) = pool.get_classified(&d, PageId(1));
+        assert_eq!(b[0], 1);
+        assert!(!missed, "prefetched page must not demand-miss");
+        let s = stats.snapshot();
+        assert_eq!(s.prefetch_hits, 1);
+        assert_eq!(s.logical, 1);
+        assert_eq!(s.faults, 0);
+        // Second demand hit of the same frame is a plain hit.
+        pool.get(&d, PageId(1));
+        assert_eq!(stats.snapshot().prefetch_hits, 1);
+    }
+
+    #[test]
+    fn stage_of_a_cached_page_is_a_no_op() {
+        let d = disk_with(2);
+        let stats = IoStats::new();
+        let mut pool = BufferPool::new(2, stats.clone());
+        pool.get(&d, PageId(0));
+        assert!(!pool.stage(&d, PageId(0)));
+        assert_eq!(stats.snapshot().prefetch_issued, 0);
+    }
+
+    #[test]
+    fn untouched_prefetched_frames_count_as_wasted() {
+        let d = disk_with(8);
+        let stats = IoStats::new();
+        let mut pool = BufferPool::new(2, stats.clone());
+        pool.stage(&d, PageId(0));
+        pool.stage(&d, PageId(1));
+        // Demand traffic evicts both staged frames untouched.
+        pool.get(&d, PageId(2));
+        pool.get(&d, PageId(3));
+        let s = stats.snapshot();
+        assert_eq!(s.prefetch_issued, 2);
+        assert_eq!(s.prefetch_wasted, 2);
+        assert_eq!(s.prefetch_hits, 0);
+        // A clear() also retires staged frames as wasted.
+        pool.stage(&d, PageId(4));
+        pool.clear();
+        assert_eq!(stats.snapshot().prefetch_wasted, 3);
+    }
+
+    #[test]
+    fn prefetch_issued_balances_hits_wasted_and_resident() {
+        let d = disk_with(16);
+        let stats = IoStats::new();
+        let mut pool = BufferPool::new(4, stats.clone());
+        for i in 0..200u32 {
+            let p = PageId((i * 7 + i / 3) % 16);
+            pool.get(&d, p);
+            pool.stage(&d, PageId((p.0 + 1) % 16));
+        }
+        pool.clear(); // retire any still-resident staged frames
+        let s = stats.snapshot();
+        assert!(s.prefetch_issued > 0);
+        assert_eq!(s.prefetch_issued, s.prefetch_hits + s.prefetch_wasted);
+    }
+
+    #[test]
+    fn attribution_only_follows_demand_touches() {
+        // A prefetched-then-evicted page was never demand-touched, so its
+        // eventual demand miss is still compulsory (cold); a prefetched
+        // page that *was* demand-hit re-faults warm after eviction.
+        let d = disk_with(8);
+        let stats = IoStats::new();
+        let mut pool = BufferPool::new(1, stats.clone());
+        pool.stage(&d, PageId(0));
+        pool.get(&d, PageId(1)); // evicts staged 0, wasted
+        pool.get(&d, PageId(0)); // first demand touch: cold
+        let s = stats.snapshot();
+        assert_eq!(s.cold_faults, 2);
+        assert_eq!(s.warm_faults, 0);
+        assert_eq!(s.prefetch_wasted, 1);
+
+        pool.stage(&d, PageId(2));
+        pool.get(&d, PageId(2)); // prefetch hit: demand-touched now
+        pool.get(&d, PageId(3)); // evicts 2
+        pool.get(&d, PageId(2)); // re-fault of a demand-touched page: warm
+        let s = stats.snapshot();
+        assert_eq!(s.warm_faults, 1);
+        assert_eq!(s.prefetch_hits, 1);
+    }
+
+    /// Satellite regression (ISSUE 9): swapping the first-touch
+    /// `HashSet<PageId>` for the dense [`PageBitSet`] must leave
+    /// cold/warm attribution bitwise unchanged. The model here *is* the
+    /// old implementation — a `HashSet` insert on every demand miss.
+    #[test]
+    fn bitset_attribution_matches_hashset_model() {
+        use proptest::prelude::*;
+        let mut runner =
+            proptest::test_runner::TestRunner::new(proptest::test_runner::Config::with_cases(64));
+        runner
+            .run(
+                &(proptest::collection::vec(0u32..48, 1..400), 1usize..8),
+                |(accesses, cap)| {
+                    let d = disk_with(48);
+                    let stats = IoStats::new();
+                    let mut pool = BufferPool::new(cap, stats.clone());
+                    let mut model_seen = std::collections::HashSet::new();
+                    let mut model_cached = std::collections::VecDeque::new();
+                    let (mut cold, mut warm) = (0u64, 0u64);
+                    for &a in &accesses {
+                        pool.get(&d, PageId(a));
+                        if !model_cached.contains(&a) {
+                            if model_seen.insert(a) {
+                                cold += 1;
+                            } else {
+                                warm += 1;
+                            }
+                            if model_cached.len() == cap {
+                                model_cached.pop_back();
+                            }
+                        } else {
+                            let i = model_cached.iter().position(|&x| x == a).unwrap();
+                            model_cached.remove(i);
+                        }
+                        model_cached.push_front(a);
+                    }
+                    let s = stats.snapshot();
+                    prop_assert_eq!(s.cold_faults, cold);
+                    prop_assert_eq!(s.warm_faults, warm);
+                    Ok(())
+                },
+            )
+            .unwrap();
     }
 
     #[test]

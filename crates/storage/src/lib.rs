@@ -8,6 +8,9 @@
 //!
 //! * [`page`] — fixed 4 KB pages and page ids;
 //! * [`buffer`] — an O(1) LRU buffer pool with hit/fault accounting;
+//! * [`shard`] — the buffer pool sharded by page-id hash for concurrent
+//!   sessions, with optional Hilbert-run readahead (off by default, so
+//!   the paper's configuration is reproduced bit for bit);
 //! * [`netstore`] — the clustered network store: every node's adjacency
 //!   record (its coordinates plus, per incident edge, the edge id, the
 //!   opposite node, its coordinates and the edge length) serialised onto
@@ -23,14 +26,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bitset;
 pub mod buffer;
 pub mod fault;
 pub mod netstore;
 pub mod page;
+pub mod shard;
 pub mod stats;
 
+pub use bitset::PageBitSet;
 pub use buffer::BufferPool;
 pub use fault::FaultPlan;
-pub use netstore::{AdjEntry, AdjRecord, NetworkStore};
+pub use netstore::{AdjEntry, AdjRecord, NetworkStore, StoreBuilder};
 pub use page::{PageId, PAGE_SIZE};
+pub use shard::{PoolConfig, ShardedPool};
 pub use stats::{IoSnapshot, IoStats};

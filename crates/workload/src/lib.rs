@@ -27,6 +27,7 @@ pub mod objects;
 pub mod presets;
 pub mod queries;
 pub mod radial;
+pub mod stream;
 pub mod updates;
 
 pub use netgen::{generate_network, NetGenConfig};
@@ -34,4 +35,5 @@ pub use objects::{generate_objects, read_positions, write_positions};
 pub use presets::{au_like, ca_like, na_like, OracleKnobs, Preset};
 pub use queries::generate_queries;
 pub use radial::{generate_radial_network, RadialConfig};
+pub use stream::{stream_build, StreamBuildReport, StreamNetConfig};
 pub use updates::{ChurnConfig, UpdateStream};

@@ -46,7 +46,8 @@ use analysis::{FileAnalysis, Workspace};
 pub use report::{explain_rule, render_json, rule_ids, sort_violations, Violation};
 pub use rules::{
     MetricRegistry, Scope, RULE_APSP, RULE_DET_TAINT, RULE_FLOAT_ORD, RULE_HASH_ORDER,
-    RULE_HOT_LOCK, RULE_LOCK_REACH, RULE_METRIC_NAME, RULE_PANIC_PATH, RULE_UNSAFE,
+    RULE_HOT_LOCK, RULE_LOCK_REACH, RULE_METRIC_NAME, RULE_PANIC_PATH, RULE_SHARD_LOCK,
+    RULE_UNSAFE,
 };
 
 /// Lints a set of `(workspace-relative path, contents)` sources: every

@@ -9,7 +9,8 @@
 use crate::analysis::{FileAnalysis, Token, TokenKind};
 use crate::report::Violation;
 use crate::rules::{
-    RULE_APSP, RULE_FLOAT_ORD, RULE_HASH_ORDER, RULE_HOT_LOCK, RULE_METRIC_NAME, RULE_UNSAFE,
+    RULE_APSP, RULE_FLOAT_ORD, RULE_HASH_ORDER, RULE_HOT_LOCK, RULE_METRIC_NAME, RULE_SHARD_LOCK,
+    RULE_UNSAFE,
 };
 use crate::source::{quoted_literals, read_string_literal};
 
@@ -282,6 +283,62 @@ pub(crate) fn rule_hot_lock(fa: &FileAnalysis, out: &mut Vec<Violation>) {
                 ),
             });
         }
+    }
+}
+
+/// `shard-lock`: inside the sharded buffer pool, no function body may
+/// acquire more than one shard lock (`.lock(` site). Two acquisitions in
+/// one body is the shape that deadlocks under concurrent shared
+/// sessions — worker A holds shard 0 wanting shard 1 while worker B
+/// holds shard 1 wanting shard 0 — and the pool's no-deadlock argument
+/// is exactly that no execution ever holds two shard locks. A single
+/// `.lock(` in a loop (clear / set_fault_plan) is fine: the previous
+/// guard is released before the next acquisition. Scoped to
+/// `crates/storage/src/shard.rs`, where every `Mutex` is a shard lock.
+pub(crate) fn rule_shard_lock(fa: &FileAnalysis, out: &mut Vec<Violation>) {
+    let text = fa.clean.text();
+    for f in &fa.fns {
+        if f.is_test {
+            continue;
+        }
+        let Some((open, close)) = f.body else {
+            continue;
+        };
+        // `.lock(` sites in the body, recorded by byte offset of `lock`.
+        let mut sites: Vec<usize> = Vec::new();
+        let mut j = open;
+        while j + 2 <= close {
+            if fa.tokens[j].is_punct(b'.')
+                && fa.tokens[j + 1].is_ident(text, "lock")
+                && fa.tokens[j + 2].is_punct(b'(')
+            {
+                sites.push(fa.tokens[j + 1].start);
+            }
+            j += 1;
+        }
+        if sites.len() < 2 {
+            continue;
+        }
+        let lineno = fa.clean.line_of(sites[1]);
+        if fa.clean.is_test_line(lineno)
+            || fa.clean.allowed(f.line, RULE_SHARD_LOCK)
+            || fa.clean.allowed(lineno, RULE_SHARD_LOCK)
+        {
+            continue;
+        }
+        out.push(Violation {
+            file: fa.rel.clone(),
+            line: lineno + 1,
+            rule: RULE_SHARD_LOCK,
+            message: format!(
+                "`{}` acquires {} shard locks in one body; holding two shard \
+                 guards at once can deadlock concurrent shared sessions — \
+                 release the first before taking the second (one `.lock()` \
+                 per function), or justify with // lint: allow(shard-lock)",
+                f.display_name(),
+                sites.len()
+            ),
+        });
     }
 }
 

@@ -28,6 +28,8 @@ pub const RULE_HOT_LOCK: &str = "hot-lock";
 /// See [`RULE_FLOAT_ORD`].
 pub const RULE_METRIC_NAME: &str = "metric-name";
 /// See [`RULE_FLOAT_ORD`].
+pub const RULE_SHARD_LOCK: &str = "shard-lock";
+/// See [`RULE_FLOAT_ORD`].
 pub const RULE_DET_TAINT: &str = "det-taint";
 /// See [`RULE_FLOAT_ORD`].
 pub const RULE_PANIC_PATH: &str = "panic-path";
@@ -62,6 +64,7 @@ pub struct Scope {
     pub(crate) check_hash_order: bool,
     pub(crate) check_apsp: bool,
     pub(crate) check_hot_lock: bool,
+    pub(crate) check_shard_lock: bool,
     pub(crate) is_crate_root: bool,
     pub(crate) whole_file_is_test: bool,
 }
@@ -105,6 +108,10 @@ impl Scope {
             check_hash_order: hash_scoped,
             check_apsp: apsp_scoped,
             check_hot_lock: hot_path_file(rel),
+            // The sharded pool is the one file where a `Mutex` guards a
+            // pool shard; two `.lock()` sites in one body there is the
+            // deadlock shape the pool's design note rules out.
+            check_shard_lock: rel == "crates/storage/src/shard.rs",
             is_crate_root,
             whole_file_is_test,
         }
@@ -135,6 +142,9 @@ pub fn lint_file_analysis(
     }
     if scope.check_hot_lock {
         lexical::rule_hot_lock(fa, out);
+    }
+    if scope.check_shard_lock {
+        lexical::rule_shard_lock(fa, out);
     }
     if let Some(reg) = registry {
         lexical::rule_metric_name(fa, raw, reg, out);

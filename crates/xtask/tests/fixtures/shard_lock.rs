@@ -1,0 +1,25 @@
+//! shard-lock fixture: two shard-lock acquisitions in one body (the
+//! deadlock shape) must be flagged; the release-before-reacquire loop
+//! shape and an explicitly blessed ordering must not.
+
+pub fn transfer(pool: &Pool, a: PageId, b: PageId) {
+    let src = pool.shards[pool.shard_of(a)].lock();
+    let dst = pool.shards[pool.shard_of(b)].lock();
+    dst.put(b, src.take(a));
+}
+
+pub fn clear(pool: &Pool) {
+    // One `.lock(` site: each guard drops before the next acquisition.
+    for s in &pool.shards {
+        s.lock().clear();
+    }
+}
+
+// lint: allow(shard-lock) — fixture: guards taken in ascending shard
+// index, so the wait graph cannot cycle.
+pub fn blessed_pair(pool: &Pool, a: PageId, b: PageId) {
+    let lo = pool.shards[0].lock();
+    let hi = pool.shards[1].lock();
+    lo.touch(a);
+    hi.touch(b);
+}

@@ -135,6 +135,28 @@ fn hot_lock_fixture_fires() {
 }
 
 #[test]
+fn shard_lock_fixture_fires() {
+    let src = include_str!("fixtures/shard_lock.rs");
+    // Lint under the sharded pool's path: the one file in scope.
+    let v = lint_file("crates/storage/src/shard.rs", src);
+    assert_eq!(
+        lines_for(&v, xtask::RULE_SHARD_LOCK),
+        vec![(7, "shard-lock")],
+        "the second acquisition in `transfer` must fire; got: {v:?}"
+    );
+    let finding = v.iter().find(|v| v.rule == "shard-lock").expect("finding");
+    assert!(
+        finding.message.contains("`transfer`") && finding.message.contains("2 shard locks"),
+        "got: {finding}"
+    );
+    // The loop shape and the blessed ordering stay silent, and no other
+    // rule fires on the fixture.
+    assert_eq!(v.len(), 1, "got: {v:?}");
+    // Outside the sharded pool the rule does not run at all.
+    assert!(lint_file("crates/storage/src/buffer.rs", src).is_empty());
+}
+
+#[test]
 fn metric_name_fixture_fires() {
     let src = include_str!("fixtures/metric_name.rs");
     // The real registry, parsed from the obs crate root exactly as
