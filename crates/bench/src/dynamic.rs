@@ -200,10 +200,7 @@ pub fn dynamic_report() {
 
     let json = render_json(&series, seeds);
     let path = "BENCH_8.json";
-    match std::fs::write(path, &json) {
-        Ok(()) => println!("\nwrote {path}"),
-        Err(e) => eprintln!("\ncould not write {path}: {e}"),
-    }
+    crate::report::write_report(path, &json);
 }
 
 fn print_table(series: &[DynSeries], seeds: u64) {

@@ -11,11 +11,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod dist;
 pub mod dynamic;
 pub mod figures;
 pub mod harness;
 pub mod observability;
 pub mod oracle;
+pub mod report;
 pub mod scale;
 pub mod sweep;
 pub mod throughput;

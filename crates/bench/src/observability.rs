@@ -81,10 +81,7 @@ pub fn observability() {
 
     let json = render_json(&traces, seeds);
     let path = "BENCH_3.json";
-    match std::fs::write(path, &json) {
-        Ok(()) => println!("\nwrote {path}"),
-        Err(e) => eprintln!("\ncould not write {path}: {e}"),
-    }
+    crate::report::write_report(path, &json);
 }
 
 /// One table row: the metric name is wider than the harness's default

@@ -238,10 +238,7 @@ pub fn oracle_report() {
 
     let json = render_json(&all_series, &all_builds, seeds);
     let path = "BENCH_7.json";
-    match std::fs::write(path, &json) {
-        Ok(()) => println!("\nwrote {path}"),
-        Err(e) => eprintln!("\ncould not write {path}: {e}"),
-    }
+    crate::report::write_report(path, &json);
 }
 
 fn print_preset_table(

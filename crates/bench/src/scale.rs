@@ -407,10 +407,7 @@ pub fn scale_report() {
         host_cores,
     );
     let path = "BENCH_9.json";
-    match std::fs::write(path, &json) {
-        Ok(()) => println!("\nwrote {path}"),
-        Err(e) => eprintln!("\ncould not write {path}: {e}"),
-    }
+    crate::report::write_report(path, &json);
 }
 
 /// The staging budget as a printable number (`"none"` when unbounded).

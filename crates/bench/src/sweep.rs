@@ -197,10 +197,7 @@ pub fn sweep_report() {
 
     let json = render_json(&series, seeds);
     let path = "BENCH_4.json";
-    match std::fs::write(path, &json) {
-        Ok(()) => println!("\nwrote {path}"),
-        Err(e) => eprintln!("\ncould not write {path}: {e}"),
-    }
+    crate::report::write_report(path, &json);
 }
 
 /// Hand-rolled JSON (the in-tree serde shim is a no-op facade).

@@ -165,10 +165,7 @@ pub fn throughput() {
 
     let json = render_json(&series, nsets, host_cores);
     let path = "BENCH_2.json";
-    match std::fs::write(path, &json) {
-        Ok(()) => println!("\nwrote {path}"),
-        Err(e) => eprintln!("\ncould not write {path}: {e}"),
-    }
+    crate::report::write_report(path, &json);
 }
 
 /// Hand-rolled JSON (the in-tree serde shim is a no-op facade).

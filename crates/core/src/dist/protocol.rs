@@ -1,0 +1,111 @@
+//! The coordinator↔shard message cost model (DESIGN.md §17.4).
+//!
+//! The backend is simulated in-process, so "communication" is an
+//! explicit byte-accounting model rather than real sockets — the same
+//! move the storage layer makes with its simulated page faults. Every
+//! protocol exchange charges a fixed per-message header plus the size
+//! of its typed payload; the totals land in the `dist.msgs.*` counters
+//! and are deterministic functions of (query, partition, algorithm),
+//! which is what lets `xtask bench-gate` pin them at 0 % tolerance.
+
+/// Fixed framing overhead charged per message (type tag, shard id,
+/// query id, payload length).
+pub const MSG_HEADER_BYTES: u64 = 16;
+
+/// One on-edge position: edge id (4) + offset (8).
+pub const QUERY_POS_BYTES: u64 = 12;
+
+/// One frontier-anchor entry in the broadcast: node id (4) + exact
+/// query→anchor distance (8).
+pub const ANCHOR_ENTRY_BYTES: u64 = 12;
+
+/// One distance-vector dimension.
+pub const DIM_BYTES: u64 = 8;
+
+/// One candidate object id.
+pub const OBJECT_ID_BYTES: u64 = 4;
+
+/// Bytes of one candidate record: object id plus its distance vector.
+pub fn vector_bytes(dims: usize) -> u64 {
+    OBJECT_ID_BYTES + dims as u64 * DIM_BYTES
+}
+
+/// Round 1, coordinator → shard: the query positions plus the exact
+/// distances from every query point to the shard's frontier anchors
+/// (the slice of the coordinator's skeleton the shard cannot compute
+/// from its fragment alone).
+pub fn broadcast_bytes(dims: usize, anchors: usize) -> u64 {
+    MSG_HEADER_BYTES
+        + dims as u64 * QUERY_POS_BYTES
+        + (anchors as u64) * (dims as u64) * ANCHOR_ENTRY_BYTES
+}
+
+/// Round 2, shard → coordinator: candidate count (8), per-dimension
+/// lower and upper bands, the representative vector, and a presence
+/// flag for it.
+pub fn summary_bytes(dims: usize) -> u64 {
+    MSG_HEADER_BYTES + 8 + 3 * dims as u64 * DIM_BYTES + 1
+}
+
+/// Merge poll, coordinator → shard: the coordinator's current merged
+/// skyline (count + one record per member), which the shard filters
+/// its local candidates against before replying.
+pub fn poll_bytes(dims: usize, filter: usize) -> u64 {
+    MSG_HEADER_BYTES + 8 + filter as u64 * vector_bytes(dims)
+}
+
+/// Merge reply, shard → coordinator: the local candidates that
+/// survived the filter (count + one record each).
+pub fn reply_bytes(dims: usize, sent: usize) -> u64 {
+    MSG_HEADER_BYTES + 8 + sent as u64 * vector_bytes(dims)
+}
+
+/// Deterministic communication totals for one distributed query.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CommStats {
+    /// Messages exchanged (each broadcast, summary, poll and reply is
+    /// one message).
+    pub msgs: u64,
+    /// Total modeled payload bytes of those messages.
+    pub bytes: u64,
+    /// Coordinator round trips: broadcast, summary gather, then one
+    /// per polled shard.
+    pub rounds: u64,
+    /// Local skyline candidates across all shards before merging.
+    pub candidates_local: u64,
+    /// Candidates actually shipped to the coordinator.
+    pub candidates_sent: u64,
+    /// Shards skipped via their summary's lower band.
+    pub shards_pruned: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_sizes_scale_with_their_drivers() {
+        // Broadcast grows with anchors, polls with the filter set,
+        // replies with the shipped candidates; headers are constant.
+        assert_eq!(
+            broadcast_bytes(3, 4) - broadcast_bytes(3, 0),
+            4 * 3 * ANCHOR_ENTRY_BYTES
+        );
+        assert_eq!(poll_bytes(2, 5) - poll_bytes(2, 0), 5 * vector_bytes(2));
+        assert_eq!(reply_bytes(2, 7) - reply_bytes(2, 0), 7 * vector_bytes(2));
+        assert_eq!(summary_bytes(4), MSG_HEADER_BYTES + 8 + 96 + 1);
+        assert_eq!(vector_bytes(3), 4 + 24);
+    }
+
+    #[test]
+    fn empty_payloads_still_pay_the_header() {
+        for bytes in [
+            broadcast_bytes(1, 0),
+            summary_bytes(0),
+            poll_bytes(1, 0),
+            reply_bytes(1, 0),
+        ] {
+            assert!(bytes >= MSG_HEADER_BYTES);
+        }
+    }
+}

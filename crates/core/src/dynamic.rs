@@ -62,7 +62,7 @@ use rn_sp::{AStar, IncrementalExpansion, LbTarget, NetCtx};
 
 /// What happens to a precomputed lower-bound oracle when a batch lowers
 /// an edge weight (increases never invalidate it — see
-/// [`LowerBound::note_weight_change`]).
+/// [`LowerBound::note_weight_change`](rn_sp::LowerBound::note_weight_change)).
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum OracleMaintenance {
     /// Mark the oracle stale: every bound degrades to its Euclidean floor
@@ -207,7 +207,8 @@ impl DynamicEngine {
     }
 
     /// Object ids currently alive, ascending — the population an
-    /// [`rn_workload::UpdateStream`]-style generator samples deletes from.
+    /// `rn_workload::UpdateStream`-style generator samples deletes from
+    /// (that crate is a dev-dependency, hence no link).
     pub fn live_objects(&self) -> Vec<ObjectId> {
         let mid = self.engine.mid_ref();
         (0..mid.object_count() as u32)
@@ -244,7 +245,7 @@ impl DynamicEngine {
 
     /// The maintained skyline of a registered query: live objects whose
     /// exact vectors are non-dominated, ascending by object id — the same
-    /// form [`Algorithm::Brute`] reports.
+    /// form [`Algorithm::Brute`](crate::Algorithm::Brute) reports.
     pub fn skyline(&self, query: QueryId) -> Vec<SkylinePoint> {
         let q = &self.queries[query.0];
         let mid = self.engine.mid_ref();

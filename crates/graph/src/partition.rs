@@ -1,0 +1,302 @@
+//! Hilbert-order network partitioning for sharded skyline execution.
+//!
+//! The sharded backend (DESIGN.md §17) cuts the network into `k` shards
+//! and computes per-shard candidate skylines that a coordinator merges.
+//! The cut reuses the same locality argument as the disk layout: nodes
+//! are ordered along the Hilbert curve ([`crate::hilbert`]) and sliced
+//! into `k` contiguous runs, so each shard is a spatially compact blob
+//! and the *cross-shard edge count* — which drives both the boundary
+//! summary size and the merge communication — stays small.
+//!
+//! A [`Partition`] assigns every node to exactly one shard. Edges and
+//! on-edge positions belong to the shard of their `u` endpoint, which
+//! makes object ownership deterministic and total. The *boundary* of a
+//! shard is the set of its nodes incident to at least one cross-shard
+//! edge: every path that enters the shard from outside passes through a
+//! boundary node, which is what makes boundary-node distance summaries
+//! sound (see `msq_core::dist`).
+
+use crate::hilbert::hilbert_order;
+use crate::network::{EdgeId, NetPosition, NodeId, RoadNetwork};
+
+/// A total assignment of network nodes to `k` shards, with per-shard
+/// boundary (frontier) node sets.
+#[derive(Clone, Debug)]
+pub struct Partition {
+    /// Shard index per node, indexed by `NodeId::idx()`.
+    shard_of: Vec<u16>,
+    /// Number of shards (shards may be empty on tiny networks).
+    shards: usize,
+    /// Per-shard boundary nodes, each list ascending by node id.
+    boundary: Vec<Vec<NodeId>>,
+    /// Per-shard member node counts.
+    counts: Vec<usize>,
+    /// Number of edges whose endpoints live in different shards.
+    cross_edges: usize,
+}
+
+impl Partition {
+    /// Cuts `net` into `shards` contiguous runs of the Hilbert node
+    /// order, balanced by node count (runs differ by at most one node).
+    ///
+    /// # Panics
+    /// Panics when `shards` is zero or exceeds `u16::MAX + 1`.
+    pub fn hilbert(net: &RoadNetwork, shards: usize) -> Partition {
+        assert!(shards >= 1, "a partition needs at least one shard");
+        assert!(
+            shards <= (u16::MAX as usize) + 1,
+            "shard index must fit in u16"
+        );
+        let points: Vec<_> = net.node_ids().map(|n| net.point(n)).collect();
+        let order = hilbert_order(&points);
+        let n = points.len();
+        let mut shard_of = vec![0u16; n];
+        // First `n % shards` runs take one extra node, so sizes differ
+        // by at most one.
+        let base = n / shards;
+        let extra = n % shards;
+        let mut at = 0usize;
+        for s in 0..shards {
+            let len = base + usize::from(s < extra);
+            for &node in &order[at..at + len] {
+                shard_of[node as usize] = s as u16;
+            }
+            at += len;
+        }
+        Partition::from_assignment(net, shard_of, shards)
+    }
+
+    /// Builds a partition from an explicit node→shard assignment
+    /// (used by the summary-soundness proptests, which exercise random
+    /// non-contiguous cuts).
+    ///
+    /// # Panics
+    /// Panics when `shard_of.len() != net.node_count()` or any entry
+    /// is `>= shards`.
+    pub fn from_assignment(net: &RoadNetwork, shard_of: Vec<u16>, shards: usize) -> Partition {
+        assert!(shards >= 1, "a partition needs at least one shard");
+        assert_eq!(
+            shard_of.len(),
+            net.node_count(),
+            "assignment must cover every node"
+        );
+        let mut counts = vec![0usize; shards];
+        for &s in &shard_of {
+            assert!((s as usize) < shards, "shard index {s} out of range");
+            counts[s as usize] += 1;
+        }
+        // A node is a boundary node of its own shard when any incident
+        // edge crosses into another shard. One pass over the edge list
+        // finds them all; sort + dedup keeps the per-shard lists
+        // deterministic and binary-searchable.
+        let mut boundary: Vec<Vec<NodeId>> = vec![Vec::new(); shards];
+        let mut cross_edges = 0usize;
+        for e in net.edge_ids() {
+            let edge = net.edge(e);
+            let su = shard_of[edge.u.idx()];
+            let sv = shard_of[edge.v.idx()];
+            if su != sv {
+                cross_edges += 1;
+                boundary[su as usize].push(edge.u);
+                boundary[sv as usize].push(edge.v);
+            }
+        }
+        for list in &mut boundary {
+            list.sort_unstable_by_key(|n| n.idx());
+            list.dedup();
+        }
+        Partition {
+            shard_of,
+            shards,
+            boundary,
+            counts,
+            cross_edges,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards
+    }
+
+    /// Shard owning node `n`.
+    pub fn shard_of_node(&self, n: NodeId) -> usize {
+        self.shard_of[n.idx()] as usize
+    }
+
+    /// Shard owning edge `e`: the shard of its `u` endpoint. Objects
+    /// and query points inherit the shard of the edge they sit on.
+    pub fn shard_of_edge(&self, net: &RoadNetwork, e: EdgeId) -> usize {
+        self.shard_of_node(net.edge(e).u)
+    }
+
+    /// Shard owning an on-edge position (see [`Partition::shard_of_edge`]).
+    pub fn shard_of_position(&self, net: &RoadNetwork, pos: &NetPosition) -> usize {
+        self.shard_of_edge(net, pos.edge)
+    }
+
+    /// Boundary nodes of shard `s`, ascending by node id: members of
+    /// `s` incident to at least one cross-shard edge.
+    pub fn boundary_nodes(&self, s: usize) -> &[NodeId] {
+        &self.boundary[s]
+    }
+
+    /// Number of member nodes of shard `s`.
+    pub fn node_count(&self, s: usize) -> usize {
+        self.counts[s]
+    }
+
+    /// Total number of cross-shard edges — the cut size the Hilbert
+    /// ordering is chosen to minimise.
+    pub fn cross_edge_count(&self) -> usize {
+        self.cross_edges
+    }
+
+    /// `true` when the edge's endpoints live in different shards.
+    pub fn is_cross_edge(&self, net: &RoadNetwork, e: EdgeId) -> bool {
+        let edge = net.edge(e);
+        self.shard_of[edge.u.idx()] != self.shard_of[edge.v.idx()]
+    }
+
+    /// `true` when both endpoints of `e` belong to shard `s` or the
+    /// edge is owned by `s` (its `u` endpoint is a member): the edge
+    /// set of the shard *fragment* over which intra-shard distances
+    /// are computed. Including owned cross-shard edges keeps every
+    /// owned object reachable inside its own fragment.
+    pub fn fragment_has_edge(&self, net: &RoadNetwork, s: usize, e: EdgeId) -> bool {
+        let edge = net.edge(e);
+        self.shard_of[edge.u.idx()] as usize == s || self.shard_of[edge.v.idx()] as usize == s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetworkBuilder;
+    use rn_geom::Point;
+
+    /// w x h unit grid.
+    fn grid(w: u32, h: u32) -> RoadNetwork {
+        let mut b = NetworkBuilder::new();
+        for y in 0..h {
+            for x in 0..w {
+                b.add_node(Point::new(x as f64, y as f64));
+            }
+        }
+        for y in 0..h {
+            for x in 0..w {
+                let id = y * w + x;
+                if x + 1 < w {
+                    b.add_straight_edge(NodeId(id), NodeId(id + 1)).unwrap();
+                }
+                if y + 1 < h {
+                    b.add_straight_edge(NodeId(id), NodeId(id + w)).unwrap();
+                }
+            }
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn hilbert_partition_is_total_and_balanced() {
+        let g = grid(8, 8);
+        for k in [1usize, 2, 3, 4, 8] {
+            let p = Partition::hilbert(&g, k);
+            assert_eq!(p.shard_count(), k);
+            let total: usize = (0..k).map(|s| p.node_count(s)).sum();
+            assert_eq!(total, g.node_count());
+            let max = (0..k).map(|s| p.node_count(s)).max().unwrap();
+            let min = (0..k).map(|s| p.node_count(s)).min().unwrap();
+            assert!(max - min <= 1, "k={k}: sizes {min}..{max} not balanced");
+        }
+    }
+
+    #[test]
+    fn single_shard_has_no_boundary() {
+        let g = grid(5, 5);
+        let p = Partition::hilbert(&g, 1);
+        assert!(p.boundary_nodes(0).is_empty());
+        assert_eq!(p.cross_edge_count(), 0);
+        for e in g.edge_ids() {
+            assert!(!p.is_cross_edge(&g, e));
+            assert!(p.fragment_has_edge(&g, 0, e));
+        }
+    }
+
+    #[test]
+    fn boundary_nodes_are_exactly_cross_edge_endpoints() {
+        let g = grid(6, 6);
+        let p = Partition::hilbert(&g, 4);
+        for s in 0..4 {
+            for &b in p.boundary_nodes(s) {
+                assert_eq!(p.shard_of_node(b), s, "boundary node belongs to shard");
+                let crosses = g
+                    .adjacent(b)
+                    .iter()
+                    .any(|&(_, nb)| p.shard_of_node(nb) != s);
+                assert!(crosses, "boundary node {b:?} has no cross edge");
+            }
+        }
+        // Conversely: every member node with a cross edge is listed.
+        for n in g.node_ids() {
+            let s = p.shard_of_node(n);
+            let crosses = g
+                .adjacent(n)
+                .iter()
+                .any(|&(_, nb)| p.shard_of_node(nb) != s);
+            let listed = p
+                .boundary_nodes(s)
+                .binary_search_by_key(&n.idx(), |m| m.idx());
+            assert_eq!(crosses, listed.is_ok(), "node {n:?}");
+        }
+    }
+
+    #[test]
+    fn hilbert_cut_beats_round_robin_on_cross_edges() {
+        // The whole point of the Hilbert cut: spatially compact shards
+        // cross far fewer edges than an arbitrary (round-robin) cut.
+        let g = grid(12, 12);
+        let hilbert = Partition::hilbert(&g, 4);
+        let rr: Vec<u16> = (0..g.node_count()).map(|i| (i % 4) as u16).collect();
+        let round_robin = Partition::from_assignment(&g, rr, 4);
+        assert!(
+            hilbert.cross_edge_count() < round_robin.cross_edge_count(),
+            "hilbert {} vs round-robin {}",
+            hilbert.cross_edge_count(),
+            round_robin.cross_edge_count()
+        );
+    }
+
+    #[test]
+    fn positions_inherit_the_u_endpoint_shard() {
+        let g = grid(4, 4);
+        let p = Partition::hilbert(&g, 2);
+        for e in g.edge_ids() {
+            let pos = NetPosition::new(e, g.edge(e).length / 2.0);
+            assert_eq!(p.shard_of_position(&g, &pos), p.shard_of_node(g.edge(e).u));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_panics() {
+        let g = grid(2, 2);
+        let _ = Partition::hilbert(&g, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_assignment_panics() {
+        let g = grid(2, 2);
+        let _ = Partition::from_assignment(&g, vec![0, 1, 2, 9], 3);
+    }
+
+    #[test]
+    fn more_shards_than_nodes_leaves_empties() {
+        let g = grid(2, 2);
+        let p = Partition::hilbert(&g, 8);
+        let total: usize = (0..8).map(|s| p.node_count(s)).sum();
+        assert_eq!(total, 4);
+        assert!((0..8).any(|s| p.node_count(s) == 0));
+    }
+}

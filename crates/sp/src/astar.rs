@@ -163,8 +163,9 @@ impl<'a> AStar<'a> {
     /// Largest number of destinations one pack sweep drives at once;
     /// [`AStar::distances_to_pack`] splits anything bigger into
     /// consecutive chunked sweeps. Bounds the nearest-target scan every
-    /// heap push performs ([`pack_argmin`]) to a constant, keeping the
-    /// per-expansion cost independent of the caller's batch size.
+    /// heap push performs (the private `pack_argmin` helper) to a
+    /// constant, keeping the per-expansion cost independent of the
+    /// caller's batch size.
     pub const MAX_PACK: usize = 16;
 
     /// Starts an A\* engine at `source`.
@@ -460,8 +461,8 @@ impl<'a> AStar<'a> {
     /// values stay exact and the settled map remains reusable. Where k
     /// single-target resolutions pay k frontier re-keys, a pack pays one
     /// re-key up front and re-keys mid-sweep only when a popped node was
-    /// steered by an already-resolved target (see
-    /// [`PackTarget::in_epoch`]); targets whose edge endpoints are both
+    /// steered by an already-resolved target (tracked by the private
+    /// `PackTarget::in_epoch` flag); targets whose edge endpoints are both
     /// already settled confirm instantly with zero expansions and zero
     /// re-keys.
     ///

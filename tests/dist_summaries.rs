@@ -1,0 +1,148 @@
+//! Boundary-summary soundness (ISSUE 10, satellite e — DESIGN.md §17.3).
+//!
+//! A shard's [`msq_core::ShardSummary`] advertises a per-dimension
+//! `[lower, upper]` band for its candidates. The merge protocol's
+//! shard-skip prune is sound **only** if every candidate's true network
+//! distance lies inside that band, for *any* partition — not just the
+//! Hilbert cuts production uses. This suite feeds random node→shard
+//! assignments through [`rn_graph::Partition::from_assignment`] and
+//! cross-validates every band against the brute-force Floyd–Warshall
+//! position oracle:
+//!
+//! * `lower[j] ≤ d_N(q_j, c)` for every summarised candidate `c`
+//!   (admissibility rides the PR 7 [`msq_core::LowerBound`] seam);
+//! * `d_N(q_j, c) ≤ upper[j]` whenever `upper[j]` is finite, and an
+//!   infinite upper honestly means no witnessed path — never a bluff.
+
+mod common;
+
+use msq_core::dist::summary::{build_summary, shard_anchors, QuerySkeleton};
+use proptest::prelude::*;
+use rn_graph::{NetPosition, ObjectId, Partition};
+use rn_sp::apsp_oracle::position_distance_oracle;
+use rn_sp::EUCLID;
+use rn_workload::{generate_network, generate_objects, generate_queries, NetGenConfig};
+
+const EPS: f64 = 1e-9;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random partitions, random workloads: every true distance of
+    /// every owned object sits inside the shard's advertised band.
+    #[test]
+    fn bands_cover_true_distances(
+        cols in 4usize..8,
+        rows in 4usize..8,
+        extra in 0usize..40,
+        omega in 0.3..1.0f64,
+        nq in 1usize..5,
+        shards in 1usize..6,
+        seed in 0u64..10_000,
+    ) {
+        let net = generate_network(&NetGenConfig {
+            cols,
+            rows,
+            edges: cols * rows - 1 + extra,
+            jitter: 0.3,
+            detour_prob: 0.3,
+            detour_stretch: (1.05, 1.5),
+            seed,
+        });
+        let objects = generate_objects(&net, omega, seed + 1);
+        if objects.is_empty() { return Ok(()); }
+        let queries = generate_queries(&net, nq, 0.2, seed + 2);
+
+        // A random (adversarial, non-contiguous) node→shard assignment.
+        let mut rng = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        let shard_of: Vec<u16> = (0..net.node_count())
+            .map(|_| {
+                rng ^= rng << 13;
+                rng ^= rng >> 7;
+                rng ^= rng << 17;
+                (rng % shards as u64) as u16
+            })
+            .collect();
+        let partition = Partition::from_assignment(&net, shard_of, shards);
+
+        let truth = position_distance_oracle(&net);
+        let skeleton = QuerySkeleton::build(&net, &queries);
+        for s in 0..shards {
+            let candidates: Vec<(ObjectId, NetPosition)> = objects
+                .iter()
+                .enumerate()
+                .filter(|(_, pos)| partition.shard_of_position(&net, pos) == s)
+                .map(|(i, pos)| (ObjectId(i as u32), *pos))
+                .collect();
+            let summary = build_summary(
+                &net, &partition, s, &candidates, &queries, &skeleton, &EUCLID,
+            );
+            prop_assert_eq!(summary.count, candidates.len() as u64);
+            if candidates.is_empty() {
+                prop_assert!(summary.rep.is_none());
+                continue;
+            }
+            for (j, q) in queries.iter().enumerate() {
+                for &(id, pos) in &candidates {
+                    let d = truth(q, &pos);
+                    prop_assert!(
+                        summary.lower[j] <= d + EPS,
+                        "shard {} dim {} object {:?}: lower {} exceeds true {}",
+                        s, j, id, summary.lower[j], d
+                    );
+                    if summary.upper[j].is_finite() {
+                        prop_assert!(
+                            d <= summary.upper[j] + EPS,
+                            "shard {} dim {} object {:?}: true {} exceeds upper {}",
+                            s, j, id, d, summary.upper[j]
+                        );
+                    }
+                }
+            }
+            // The representative is a real candidate's upper vector, so
+            // it must sit inside the envelope too.
+            let rep = summary.rep.as_ref().expect("non-empty shard");
+            for (j, r) in rep.iter().enumerate() {
+                prop_assert!(*r <= summary.upper[j] + EPS);
+            }
+        }
+    }
+
+    /// Anchor selection is a deterministic, capped, sorted subset of
+    /// the boundary for any partition shape.
+    #[test]
+    fn anchors_are_boundary_subset(
+        cols in 4usize..8,
+        rows in 4usize..8,
+        shards in 2usize..6,
+        seed in 0u64..10_000,
+    ) {
+        let net = generate_network(&NetGenConfig {
+            cols,
+            rows,
+            edges: cols * rows + 10,
+            jitter: 0.3,
+            detour_prob: 0.2,
+            detour_stretch: (1.05, 1.4),
+            seed,
+        });
+        let mut rng = seed.wrapping_add(7);
+        let shard_of: Vec<u16> = (0..net.node_count())
+            .map(|_| {
+                rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((rng >> 33) % shards as u64) as u16
+            })
+            .collect();
+        let partition = Partition::from_assignment(&net, shard_of, shards);
+        for s in 0..shards {
+            let anchors = shard_anchors(&partition, s);
+            prop_assert_eq!(anchors.clone(), shard_anchors(&partition, s));
+            prop_assert!(anchors.len() <= msq_core::dist::summary::MAX_ANCHORS);
+            let boundary = partition.boundary_nodes(s);
+            for a in &anchors {
+                prop_assert!(boundary.contains(a), "anchor {:?} not on boundary", a);
+                prop_assert_eq!(partition.shard_of_node(*a), s);
+            }
+        }
+    }
+}
